@@ -1,0 +1,53 @@
+"""Shared plumbing for the per-table benchmark harness.
+
+Every benchmark runs its table's simulations exactly once under
+pytest-benchmark (``pedantic`` with one round — the interesting number is
+the *simulated* result, the wall-clock time is a bonus), prints the
+measured rows next to the paper's, and writes the same text to
+``benchmarks/output/<name>.txt`` so results survive pytest's capture.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.tables import render
+
+#: Load size for benchmark runs; large enough for stable shapes.
+BENCH_SETTINGS = ExperimentSettings(n_transactions=30)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def run_table(
+    benchmark,
+    name: str,
+    table_func: Callable[..., Dict],
+    paper_text: Optional[str] = None,
+    settings: ExperimentSettings = BENCH_SETTINGS,
+) -> Dict:
+    """Run ``table_func`` once under the benchmark fixture and report it."""
+    result = benchmark.pedantic(
+        lambda: table_func(settings), rounds=1, iterations=1
+    )
+    text = render(result)
+    if paper_text:
+        text += "\n\n" + paper_text
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return result
+
+
+def paper_block(title: str, lines) -> str:
+    """Format the paper's numbers as a reference block."""
+    body = "\n".join(f"  {line}" for line in lines)
+    return f"{title}\n{body}"

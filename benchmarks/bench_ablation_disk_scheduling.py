@@ -1,0 +1,25 @@
+"""Ablation (extension): FCFS vs SSTF data-disk scheduling.
+
+The paper's era of controllers served requests in arrival order.  This
+extension asks what shortest-seek-time-first queues would have bought the
+conventional-disk configurations.  Expected shape: SSTF helps random loads
+(shorter average seeks under a mixed queue) and cannot hurt sequential
+ones — but the gain is modest because the multiprogramming level keeps
+queues short.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import ablation_disk_scheduling
+
+PAPER_TEXT = paper_block(
+    "Paper:",
+    ["(not studied — 1985 controllers were FCFS; extension ablation)"],
+)
+
+
+def test_ablation_disk_scheduling(benchmark):
+    result = run_table(
+        benchmark, "ablation_disk_scheduling", ablation_disk_scheduling, PAPER_TEXT
+    )
+    for row in result["rows"]:
+        assert row["sstf"] <= 1.03 * row["fcfs"], row

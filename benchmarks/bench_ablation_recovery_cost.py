@@ -1,0 +1,101 @@
+"""Ablation: the collection-vs-restart trade-off, measured functionally.
+
+The paper's Section 3 premise: "a recovery mechanism may make collection of
+recovery data relatively less expensive at the price of making recovery
+from failures costly" — and the architectures deliberately optimize the
+normal case.  This ablation quantifies the other side of that trade on the
+functional engine: identical transaction histories run under every
+manager, a crash is injected, and the *restart work* (stable page writes
+performed during ``recover()``) is reported, alongside the collection work
+(stable writes during normal processing).
+
+Expected shape: shadow paging and version selection restart for free
+(commit already installed everything atomically); no-undo overwriting
+redoes committed-but-unapplied scratch copies; WAL pays redo for
+committed-unflushed pages plus undo for stolen ones — the classic
+spectrum.
+"""
+
+import random
+
+from benchmarks._harness import OUTPUT_DIR, paper_block
+from repro.metrics import format_table
+from repro.storage import (
+    DifferentialFileManager,
+    DistributedWalManager,
+    OverwriteVariant,
+    OverwritingManager,
+    ShadowPageTableManager,
+    VersionSelectionManager,
+)
+
+MANAGERS = {
+    "wal-3-logs": lambda: DistributedWalManager(n_logs=3),
+    "shadow-pt": lambda: ShadowPageTableManager(),
+    "overwrite-no-undo": lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
+    "overwrite-no-redo": lambda: OverwritingManager(OverwriteVariant.NO_REDO),
+    "version-selection": lambda: VersionSelectionManager(),
+    "differential": lambda: DifferentialFileManager(),
+}
+
+
+def run_history(manager, n_txns=40, pages=32, seed=3):
+    """Committed transfers plus an in-flight loser, then a crash."""
+    rng = random.Random(seed)
+    for _ in range(n_txns):
+        tid = manager.begin()
+        for page in rng.sample(range(pages), 4):
+            manager.write(tid, page, bytes([rng.randrange(256)]) * 8)
+        manager.commit(tid)
+    loser = manager.begin()
+    for page in rng.sample(range(pages), 4):
+        manager.write(loser, page, b"uncommitted")
+    if hasattr(manager, "flush_page"):
+        manager.flush_page(next(iter(manager.dirty_pages)))  # a steal
+    collection_writes = manager.stable.page_writes
+    collection_appends = manager.stable.records_appended
+    manager.crash()
+    before = manager.stable.page_writes
+    manager.recover()
+    restart_writes = manager.stable.page_writes - before
+    return collection_writes, collection_appends, restart_writes
+
+
+def test_ablation_recovery_cost(benchmark):
+    rows = []
+    results = {}
+
+    def run_all():
+        for name, factory in MANAGERS.items():
+            results[name] = run_history(factory())
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, (coll_w, coll_a, restart_w) in results.items():
+        rows.append([name, coll_w, coll_a, restart_w])
+    text = format_table(
+        ["manager", "collection page-writes", "collection appends", "restart page-writes"],
+        rows,
+        title="Ablation: collection work vs restart work (identical history)",
+    )
+    text += "\n\n" + paper_block(
+        "Paper (Section 3):",
+        [
+            "'the focus of an implementation should be on making the normal",
+            " case efficient ... even if it meant making recovery from a",
+            " failure more expensive'",
+        ],
+    )
+    print()
+    print(text)
+    import os
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "ablation_recovery_cost.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+    # Shadow / version selection restart without touching data pages.
+    assert results["shadow-pt"][2] == 0
+    assert results["version-selection"][2] == 0
+    # WAL must do restart work here (redo of unflushed committed pages).
+    assert results["wal-3-logs"][2] > 0

@@ -1,0 +1,100 @@
+"""Ablation: restart time after a crash, priced on 1985 hardware.
+
+Complements ``bench_ablation_recovery_cost`` (which counts restart *work*
+in the functional engine) by pricing each architecture's restart in
+milliseconds: identical timed runs produce their actual recovery-data
+volumes, and the estimator charges the simulated disks for scanning and
+re-applying them.  Expected shape — the paper's Section 3 trade-off:
+parallel logging, the normal-case winner, pays the largest restart bill;
+shadow paging and version selection restart essentially for free.
+"""
+
+from benchmarks._harness import BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from repro.analysis import estimate_restart
+from repro.core import (
+    BareArchitecture,
+    DifferentialFileArchitecture,
+    LoggingConfig,
+    OverwritingArchitecture,
+    OverwritingMode,
+    PageTableShadowArchitecture,
+    ParallelLoggingArchitecture,
+    VersionSelectionArchitecture,
+)
+from repro.experiments import CONFIGURATIONS, run_configuration
+from repro.machine import MachineConfig
+from repro.metrics import format_table
+
+ARCHITECTURES = {
+    "logging (1 log disk)": (
+        lambda: ParallelLoggingArchitecture(LoggingConfig()),
+        {"n_log_disks": 1},
+    ),
+    "logging (3 log disks)": (
+        lambda: ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3)),
+        {"n_log_disks": 3},
+    ),
+    "shadow-pt": (lambda: PageTableShadowArchitecture(), {}),
+    "overwriting no-undo": (
+        lambda: OverwritingArchitecture(OverwritingMode.NO_UNDO),
+        {},
+    ),
+    "overwriting no-redo": (
+        lambda: OverwritingArchitecture(OverwritingMode.NO_REDO),
+        {},
+    ),
+    "differential": (lambda: DifferentialFileArchitecture(), {}),
+}
+
+
+def test_ablation_restart_time(benchmark):
+    config = MachineConfig()
+    rows = []
+    estimates = {}
+
+    def run_all():
+        for label, (factory, kwargs) in ARCHITECTURES.items():
+            result = run_configuration(
+                CONFIGURATIONS["conventional-random"], factory, BENCH_SETTINGS
+            )
+            estimates[label] = estimate_restart(result, config, **kwargs)
+        return estimates
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for label, estimate in estimates.items():
+        rows.append(
+            [
+                label,
+                round(estimate.scan_ms, 1),
+                round(estimate.redo_ms, 1),
+                round(estimate.undo_ms, 1),
+                round(estimate.total_ms, 1),
+            ]
+        )
+    text = format_table(
+        ["architecture", "scan (ms)", "redo (ms)", "undo (ms)", "total (ms)"],
+        rows,
+        title="Ablation: estimated restart time after a crash (conv-random run)",
+    )
+    text += "\n\n" + paper_block(
+        "Paper (Section 3):",
+        [
+            "'a recovery mechanism may make collection of recovery data",
+            " relatively less expensive at the price of making recovery",
+            " from failures costly'",
+        ],
+    )
+    print()
+    print(text)
+    import os
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "ablation_restart_time.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+    assert estimates["logging (1 log disk)"].total_ms > estimates["shadow-pt"].total_ms
+    assert (
+        estimates["logging (3 log disks)"].scan_ms
+        < estimates["logging (1 log disk)"].scan_ms
+    )
+    assert estimates["differential"].total_ms < 100.0

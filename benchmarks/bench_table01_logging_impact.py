@@ -1,0 +1,27 @@
+"""Table 1: impact of (logical) logging with one log disk.
+
+Regenerates the paper's Table 1 — execution time per page and transaction
+completion time, with and without logging, in all four configurations.
+Expected shape: logging leaves throughput essentially unchanged (collection
+of recovery data overlaps data processing) and nudges completion times.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table1_logging_impact
+from repro.metrics import format_table
+
+PAPER_TEXT = paper_block(
+    "Paper Table 1 (exec ms/page without -> with log):",
+    [
+        f"{name}: {PAPER['table1']['exec_without_log'][name]} -> "
+        f"{PAPER['table1']['exec_with_log'][name]}"
+        for name in PAPER["table1"]["exec_without_log"]
+    ],
+)
+
+
+def test_table1_logging_impact(benchmark):
+    result = run_table(benchmark, "table01", table1_logging_impact, PAPER_TEXT)
+    for row in result["rows"]:
+        # Logging must not degrade throughput by more than ~10 %.
+        assert row["exec_with_log"] <= 1.10 * row["exec_without_log"], row

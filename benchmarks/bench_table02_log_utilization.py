@@ -1,0 +1,25 @@
+"""Table 2: log-disk utilization with one log processor.
+
+Expected shape: the single log disk is almost idle (paper: 0.02 in three
+configurations, 0.13 for parallel-sequential) — the data-page rate simply
+cannot keep a log disk busy, the paper's argument that one log disk
+suffices.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table2_log_utilization
+
+PAPER_TEXT = paper_block(
+    "Paper Table 2 (log-disk utilization):",
+    [f"{name}: {value}" for name, value in PAPER["table2"].items()],
+)
+
+
+def test_table2_log_utilization(benchmark):
+    result = run_table(benchmark, "table02", table2_log_utilization, PAPER_TEXT)
+    by_config = {row["configuration"]: row for row in result["rows"]}
+    assert by_config["conventional-random"]["log_disk_utilization"] < 0.08
+    assert (
+        by_config["parallel-sequential"]["log_disk_utilization"]
+        > by_config["conventional-random"]["log_disk_utilization"]
+    )

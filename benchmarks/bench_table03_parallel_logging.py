@@ -1,0 +1,30 @@
+"""Table 3: parallel logging under physical logging on the fast machine.
+
+75 query processors, 2 parallel-access data disks, 150 cache frames,
+sequential transactions, physical logging (before + after image per
+update).  Expected shape: one log disk saturates and multiplies execution
+time; adding log disks restores performance toward the no-logging floor;
+cyclic / random / qp-mod selection are comparable, txn-mod is the loser.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table3_parallel_logging
+
+PAPER_TEXT = paper_block(
+    "Paper Table 3 (exec ms/page, cyclic column):",
+    [
+        f"{n} log disks: {PAPER['table3']['exec'][(n, 'cyclic')]}"
+        for n in (1, 2, 3, 4, 5)
+    ]
+    + [f"w/o logging: {PAPER['table3']['exec_without_logging']}"],
+)
+
+
+def test_table3_parallel_logging(benchmark):
+    result = run_table(benchmark, "table03", table3_parallel_logging, PAPER_TEXT)
+    rows = {row["n_log_disks"]: row for row in result["rows"]}
+    # One log disk is the bottleneck; three make it much better.
+    assert rows[1]["exec_cyclic"] > 1.8 * rows["w/o logging"]["exec_cyclic"]
+    assert rows[3]["exec_cyclic"] < 0.75 * rows[1]["exec_cyclic"]
+    # txn-mod never recovers fully (few concurrent transactions).
+    assert rows[5]["exec_txn_mod"] > rows[5]["exec_random"]

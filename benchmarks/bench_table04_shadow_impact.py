@@ -1,0 +1,30 @@
+"""Table 4: impact of the shadow mechanism (1 vs 2 page-table processors).
+
+Expected shape: with one PT processor the random configurations degrade
+(the PT disk becomes the bottleneck); a second PT processor annuls the
+degradation; sequential loads touch at most two PT pages per transaction
+and barely notice the mechanism.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table4_shadow_impact
+
+PAPER_TEXT = paper_block(
+    "Paper Table 4 (exec ms/page bare / 1 PT proc / 2 PT procs):",
+    [
+        f"{name}: {PAPER['table4']['exec_bare'][name]} / "
+        f"{PAPER['table4']['exec_1ptp'][name]} / "
+        f"{PAPER['table4']['exec_2ptp'][name]}"
+        for name in PAPER["table4"]["exec_bare"]
+    ],
+)
+
+
+def test_table4_shadow_impact(benchmark):
+    result = run_table(benchmark, "table04", table4_shadow_impact, PAPER_TEXT)
+    rows = {row["configuration"]: row for row in result["rows"]}
+    rand = rows["conventional-random"]
+    assert rand["exec_1ptp"] > 1.04 * rand["exec_bare"]
+    assert rand["exec_2ptp"] < rand["exec_1ptp"]
+    seq = rows["conventional-sequential"]
+    assert seq["exec_1ptp"] <= 1.10 * seq["exec_bare"]

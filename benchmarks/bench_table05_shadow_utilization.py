@@ -1,0 +1,29 @@
+"""Table 5: average utilization of data and page-table disks.
+
+Expected shape (paper's numbers in parentheses): with one PT processor on
+a random load the PT disk saturates (1.00) while the data disks starve
+(0.86); with two PT processors the PT utilization halves (0.60); on
+sequential loads the PT disk is nearly idle (0.06).
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table5_shadow_utilization
+
+PAPER_TEXT = paper_block(
+    "Paper Table 5 (1 PT proc: data util / PT util):",
+    [
+        f"{name}: {PAPER['table5']['1ptp_data'][name]} / "
+        f"{PAPER['table5']['1ptp_pt'][name]}"
+        for name in PAPER["table5"]["1ptp_data"]
+    ],
+)
+
+
+def test_table5_shadow_utilization(benchmark):
+    result = run_table(benchmark, "table05", table5_shadow_utilization, PAPER_TEXT)
+    rows = {row["configuration"]: row for row in result["rows"]}
+    rand = rows["conventional-random"]
+    assert rand["1ptp_pt"] > 0.9          # PT disk saturated
+    assert rand["1ptp_data"] < rand["bare_data"] - 0.05  # data disks starve
+    assert rand["2ptp_pt"] < rand["1ptp_pt"] - 0.2       # relief with 2 procs
+    assert rows["conventional-sequential"]["1ptp_pt"] < 0.2

@@ -1,0 +1,25 @@
+"""Table 6: page-table buffer size annuls the shadow degradation.
+
+Expected shape: with one PT processor and a 10-page buffer random loads
+degrade; 25- and 50-page buffers progressively annul the degradation by
+turning PT-disk reads into buffer hits (and avoiding commit-time rereads).
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table6_pt_buffer
+
+PAPER_TEXT = paper_block(
+    "Paper Table 6 (exec ms/page, bare / buf 10 / 25 / 50):",
+    [
+        f"{kind}: {row['bare']} / {row[10]} / {row[25]} / {row[50]}"
+        for kind, row in PAPER["table6"].items()
+    ],
+)
+
+
+def test_table6_pt_buffer(benchmark):
+    result = run_table(benchmark, "table06", table6_pt_buffer, PAPER_TEXT)
+    for row in result["rows"]:
+        assert row["buffer_10"] > row["bare"]          # small buffer hurts
+        assert row["buffer_50"] < row["buffer_10"]     # big buffer recovers
+        assert row["buffer_50"] <= 1.08 * row["bare"]  # ...nearly fully

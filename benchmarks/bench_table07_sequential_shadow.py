@@ -1,0 +1,31 @@
+"""Table 7: sequential transactions under the shadow variants.
+
+Expected shape: clustered thru-page-table tracks the bare machine;
+*scrambled* placement (logical adjacency lost) roughly doubles conventional
+cost and collapses parallel-access performance by ~10x; overwriting is
+expensive on conventional disks but stays close to bare on parallel-access
+disks (its scratch reads and overwrites batch into few accesses).
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table7_sequential_shadow
+
+PAPER_TEXT = paper_block(
+    "Paper Table 7 (bare / clustered / scrambled / overwriting):",
+    [
+        f"{kind}: {row['bare']} / {row['clustered']} / "
+        f"{row['scrambled']} / {row['overwriting']}"
+        for kind, row in PAPER["table7"].items()
+    ],
+)
+
+
+def test_table7_sequential_shadow(benchmark):
+    result = run_table(benchmark, "table07", table7_sequential_shadow, PAPER_TEXT)
+    rows = {row["configuration"]: row for row in result["rows"]}
+    conv = rows["conventional-sequential"]
+    par = rows["parallel-sequential"]
+    assert conv["scrambled"] > 1.5 * conv["clustered"]
+    assert par["scrambled"] > 4 * par["bare"]          # the 10x collapse
+    assert par["overwriting"] < 0.4 * par["scrambled"]  # overwriting wins back
+    assert conv["overwriting"] > 1.3 * conv["bare"]

@@ -1,0 +1,28 @@
+"""Table 8: random transactions — thru page-table vs overwriting.
+
+Expected shape: overwriting is the worst option for random loads (three
+I/Os per update, arm bouncing between scratch and data areas), worse than
+the thru-page-table shadow whose PT accesses pipeline with data-page
+processing.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table8_random_overwriting
+
+PAPER_TEXT = paper_block(
+    "Paper Table 8 (bare / thru page-table / overwriting):",
+    [
+        f"{kind}: {row['bare']} / {row['thru_pt']} / {row['overwriting']}"
+        for kind, row in PAPER["table8"].items()
+    ],
+)
+
+
+def test_table8_random_overwriting(benchmark):
+    result = run_table(benchmark, "table08", table8_random_overwriting, PAPER_TEXT)
+    for row in result["rows"]:
+        assert row["overwriting"] > row["bare"]
+    conv = next(
+        r for r in result["rows"] if r["configuration"] == "conventional-random"
+    )
+    assert conv["overwriting"] > 1.1 * conv["thru_pt"]

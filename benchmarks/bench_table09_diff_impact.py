@@ -1,0 +1,34 @@
+"""Table 9: impact of the differential-file mechanism.
+
+Expected shape: the *basic* strategy (set-difference on every B/A page)
+saturates the 25 query processors and flattens all four configurations to
+roughly the same cost; the *optimal* strategy (diff only qualifying pages)
+recovers the random configurations to near disk-bound but still hurts
+sequential loads badly.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table9_differential_impact
+
+PAPER_TEXT = paper_block(
+    "Paper Table 9 (exec ms/page bare / basic / optimal):",
+    [
+        f"{name}: {PAPER['table9']['exec_bare'][name]} / "
+        f"{PAPER['table9']['exec_basic'][name]} / "
+        f"{PAPER['table9']['exec_optimal'][name]}"
+        for name in PAPER["table9"]["exec_bare"]
+    ],
+)
+
+
+def test_table9_differential_impact(benchmark):
+    result = run_table(benchmark, "table09", table9_differential_impact, PAPER_TEXT)
+    basics = [row["exec_basic"] for row in result["rows"]]
+    # CPU-bound flattening: all four basic numbers within 25 % of each other.
+    assert max(basics) < 1.25 * min(basics)
+    for row in result["rows"]:
+        assert row["exec_optimal"] < 0.65 * row["exec_basic"]
+    parseq = next(
+        r for r in result["rows"] if r["configuration"] == "parallel-sequential"
+    )
+    assert parseq["exec_optimal"] > 3 * parseq["exec_bare"]

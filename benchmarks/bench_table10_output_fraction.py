@@ -1,0 +1,26 @@
+"""Table 10: effect of the output fraction (differential files, optimal).
+
+Expected shape: execution time grows only slightly as the output fraction
+rises from 10 % to 50 % — page fragmentation means small fractions already
+pay for mostly-empty output pages, the paper's explanation for the
+sublinear growth.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table10_output_fraction
+
+PAPER_TEXT = paper_block(
+    "Paper Table 10 (exec ms/page, bare / 10% / 20% / 50%):",
+    [
+        f"{name}: {row['bare']} / {row[0.10]} / {row[0.20]} / {row[0.50]}"
+        for name, row in PAPER["table10"].items()
+    ],
+)
+
+
+def test_table10_output_fraction(benchmark):
+    result = run_table(benchmark, "table10", table10_output_fraction, PAPER_TEXT)
+    for row in result["rows"]:
+        # Quintupling the output fraction costs far less than 5x.
+        assert row["output_50pct"] < 1.35 * row["output_10pct"], row
+        assert row["output_10pct"] >= row["bare"] * 0.95

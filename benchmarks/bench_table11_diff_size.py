@@ -1,0 +1,26 @@
+"""Table 11: effect of the size of the differential files.
+
+Expected shape: performance degrades *nonlinearly* as the A/D files grow
+from 10 % to 20 % of the base — extra I/O and the quadratic-ish growth in
+set-difference work saturate the query processors (paper: 19.2 -> 24.8 ->
+37.0 for conventional-random).
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table11_differential_size
+
+PAPER_TEXT = paper_block(
+    "Paper Table 11 (exec ms/page, bare / 10% / 15% / 20%):",
+    [
+        f"{name}: {row['bare']} / {row[0.10]} / {row[0.15]} / {row[0.20]}"
+        for name, row in PAPER["table11"].items()
+    ],
+)
+
+
+def test_table11_differential_size(benchmark):
+    result = run_table(benchmark, "table11", table11_differential_size, PAPER_TEXT)
+    for row in result["rows"]:
+        e10, e15, e20 = row["size_10pct"], row["size_15pct"], row["size_20pct"]
+        assert e10 < e15 < e20, row
+        assert (e20 - e15) > (e15 - e10), f"growth not accelerating: {row}"

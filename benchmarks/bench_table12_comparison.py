@@ -1,0 +1,38 @@
+"""Table 12: the grand comparison of all recovery architectures.
+
+Expected shape (the paper's conclusion): parallel logging tracks the bare
+machine in every configuration; thru-page-table shadow matches it only
+when clustering can be maintained and the PT bottleneck is bought off
+(buffer or second processor); scrambled shadow and differential files
+collapse on sequential loads; overwriting hurts everywhere except
+parallel-access + sequential.
+"""
+
+from benchmarks._harness import paper_block, run_table
+from repro.experiments import PAPER, table12_comparison
+
+PAPER_TEXT = paper_block(
+    "Paper Table 12 (bare/logging/shadow b10/b50/2ptp/scrambled/overwrite/diff):",
+    [
+        f"{name}: " + " / ".join(
+            str(row[k])
+            for k in (
+                "bare", "logging", "shadow_b10", "shadow_b50",
+                "shadow_2ptp", "scrambled", "overwriting", "differential",
+            )
+        )
+        for name, row in PAPER["table12"].items()
+    ],
+)
+
+
+def test_table12_comparison(benchmark):
+    result = run_table(benchmark, "table12", table12_comparison, PAPER_TEXT)
+    rows = {row["configuration"]: row for row in result["rows"]}
+    for name, row in rows.items():
+        # The headline: logging within 15 % of bare everywhere.
+        assert row["logging"] <= 1.15 * row["bare"], name
+    # Each rival collapses somewhere.
+    assert rows["parallel-sequential"]["scrambled"] > 4 * rows["parallel-sequential"]["bare"]
+    assert rows["conventional-random"]["overwriting"] > 1.25 * rows["conventional-random"]["bare"]
+    assert rows["parallel-sequential"]["differential"] > 3 * rows["parallel-sequential"]["bare"]

@@ -1,0 +1,109 @@
+"""Crash-recovery walkthrough: the paper's algorithms actually recovering.
+
+Drives the functional storage engine through a banking-style scenario —
+concurrent transfers, a page stolen to disk mid-transaction, a crash at the
+worst moment — under three recovery managers:
+
+1. distributed write-ahead logging (N independent logs, never merged);
+2. shadow page tables (atomic root swap);
+3. no-undo overwriting (scratch ring + committed-transaction list).
+
+Each prints what is on stable storage before and after restart, so you can
+see redo, undo, and root-swap recovery doing their work.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.storage import (
+    DistributedWalManager,
+    OverwriteVariant,
+    OverwritingManager,
+    ShadowPageTableManager,
+)
+
+ALICE, BOB, CAROL = 1, 2, 3
+
+
+def show_balances(manager, label: str) -> None:
+    balances = {
+        name: manager.read_committed(page).decode() or "(empty)"
+        for name, page in (("alice", ALICE), ("bob", BOB), ("carol", CAROL))
+    }
+    print(f"  {label:<28} {balances}")
+
+
+def seed_accounts(manager) -> None:
+    tid = manager.begin()
+    manager.write(tid, ALICE, b"100")
+    manager.write(tid, BOB, b"100")
+    manager.write(tid, CAROL, b"100")
+    manager.commit(tid)
+
+
+def crash_scenario(manager, steal: bool = False) -> None:
+    """A committed transfer, then a crash mid-way through a second one."""
+    seed_accounts(manager)
+    show_balances(manager, "after initial deposits")
+
+    # Transfer 1 (commits): alice -> bob, 30.
+    t1 = manager.begin()
+    manager.write(t1, ALICE, b"70")
+    manager.write(t1, BOB, b"130")
+    manager.commit(t1)
+    show_balances(manager, "after committed transfer")
+
+    # Transfer 2 (never commits): bob -> carol, 50.
+    t2 = manager.begin()
+    manager.write(t2, BOB, b"80")
+    manager.write(t2, CAROL, b"150")
+    if steal:
+        # The buffer manager steals the dirty page: uncommitted data
+        # reaches the disk before the crash.
+        manager.flush_page(BOB)
+        print("  (page 'bob' stolen to disk with uncommitted balance 80)")
+
+    print("  *** CRASH ***")
+    manager.crash()
+    manager.recover()
+    show_balances(manager, "after restart")
+    assert manager.read_committed(ALICE) == b"70"
+    assert manager.read_committed(BOB) == b"130"
+    assert manager.read_committed(CAROL) == b"100"
+    print("  atomicity + durability verified")
+
+
+def main() -> None:
+    print("=== Distributed WAL (3 logs, restart without merging) ===")
+    wal = DistributedWalManager(n_logs=3)
+    crash_scenario(wal, steal=True)
+    # Fuzzy checkpointing: new activity accumulates records across the three
+    # logs; a checkpoint truncates everything already reflected on disk
+    # without quiescing the still-active transaction.
+    for _ in range(3):
+        tid = wal.begin()
+        wal.write(tid, ALICE, b"70")
+        wal.commit(tid)
+    active = wal.begin()
+    wal.write(active, CAROL, b"60")
+    print(f"  log record counts before checkpoint: {wal.log_lengths()}")
+    wal.checkpoint(flush=True)
+    print(
+        f"  log record counts after fuzzy checkpoint "
+        f"(one txn still active): {wal.log_lengths()}"
+    )
+    wal.abort(active)
+
+    print()
+    print("=== Shadow page table (atomic root swap) ===")
+    crash_scenario(ShadowPageTableManager())
+
+    print()
+    print("=== No-undo overwriting (scratch ring) ===")
+    crash_scenario(OverwritingManager(OverwriteVariant.NO_UNDO))
+
+    print()
+    print("All three recovery algorithms restored the same committed state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Tuning parallel logging: how many log disks, and which selection policy?
+
+Reproduces the decision the paper's Table 3 supports, on an update-heavy
+"teller" workload: a fast machine (75 query processors, 2 parallel-access
+data disks, 150 cache frames, sequential transactions) with *physical*
+logging — the regime where one log disk finally saturates.  The sweep shows
+
+* one log disk is plenty for the baseline machine (utilization ~2 %),
+* the fast machine saturates one log disk and recovers with more,
+* cyclic / random / qp-mod selection are comparable; txn-mod is the loser
+  when few transactions run concurrently.
+
+Run:  python examples/parallel_logging_tuning.py
+"""
+
+from repro.experiments import CONFIGURATIONS, ExperimentSettings, run_configuration
+from repro.experiments.tables import TABLE3_MACHINE
+from repro.core import LoggingConfig, LogMode, ParallelLoggingArchitecture, SelectionPolicy
+from repro.metrics import format_table
+
+
+def main() -> None:
+    settings = ExperimentSettings(n_transactions=20)
+
+    print("Step 1: the baseline machine does not need a second log disk.")
+    baseline = run_configuration(
+        CONFIGURATIONS["conventional-random"],
+        lambda: ParallelLoggingArchitecture(LoggingConfig()),
+        settings,
+    )
+    print(
+        f"  conventional-random, logical logging, 1 log disk: "
+        f"{baseline.execution_time_per_page:.1f} ms/page, "
+        f"log-disk utilization {baseline.utilization('log_disks'):.2f}\n"
+    )
+
+    print("Step 2: the fast machine with physical logging (Table 3 testbed).")
+    config = CONFIGURATIONS["parallel-sequential"]
+    rows = []
+    for n_disks in (1, 2, 3, 4, 5):
+        row = [n_disks]
+        for policy in (
+            SelectionPolicy.CYCLIC,
+            SelectionPolicy.RANDOM,
+            SelectionPolicy.QP_MOD,
+            SelectionPolicy.TXN_MOD,
+        ):
+            result = run_configuration(
+                config,
+                lambda: ParallelLoggingArchitecture(
+                    LoggingConfig(
+                        n_log_processors=n_disks,
+                        mode=LogMode.PHYSICAL,
+                        selection=policy,
+                    )
+                ),
+                settings,
+                machine_overrides=TABLE3_MACHINE,
+            )
+            row.append(round(result.execution_time_per_page, 2))
+        rows.append(row)
+    bare = run_configuration(
+        config, None, settings, machine_overrides=TABLE3_MACHINE
+    )
+    rows.append(["w/o log"] + [round(bare.execution_time_per_page, 2)] * 4)
+    print(
+        format_table(
+            ["log disks", "cyclic", "random", "qp_mod", "txn_mod"],
+            rows,
+            title="Execution time per page (ms) — 75 QPs, parallel disks",
+        )
+    )
+    print(
+        "\nReading the table: one log disk is the bottleneck; 3+ disks\n"
+        "approach the no-logging floor; txn_mod stays worse because only a\n"
+        "few transactions run concurrently and each funnels its whole log\n"
+        "stream to one processor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Differential-file merge policy: the cost the paper declined to model.
+
+The paper (Section 4.3.3): "In order to minimize the size of the
+differential relations, the differential relations will have to be
+frequently merged with the base relation.  In our simulation, we have not
+modeled the effect of merging...".  This module closes that loop
+analytically:
+
+* :func:`merge_cost_ms` prices one merge — a sequential sweep reading the
+  base and both differential files and writing the new base;
+* per-transaction overhead grows as the differential files grow (the
+  nonlinearity of Table 11); given its local slope,
+  :func:`optimal_merge_interval` solves the classic renewal trade-off
+  ``min_T (merge_cost + slope * T^2 / 2) / T`` = merge every
+  ``sqrt(2 * merge_cost / slope)`` transactions;
+* :func:`overhead_slope_ms_per_txn` extracts that slope from two measured
+  runs at different differential sizes (e.g. Table 11 neighbours).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.config import MachineConfig
+from repro.metrics.collectors import RunResult
+
+__all__ = [
+    "merge_cost_ms",
+    "optimal_merge_interval",
+    "overhead_slope_ms_per_txn",
+]
+
+
+def merge_cost_ms(
+    config: MachineConfig,
+    base_pages: int = None,
+    size_fraction: float = 0.10,
+) -> float:
+    """Time to merge the A/D files into the base (a sequential sweep).
+
+    Reads base + A + D, writes a new base of (approximately) the old size:
+    ``(2 + 2 * size_fraction) * base_pages`` sequential page transfers,
+    striped over the data disks, plus a cylinder-crossing seek per
+    cylinder swept.
+    """
+    if base_pages is None:
+        base_pages = config.db_pages
+    if base_pages < 1:
+        raise ValueError("base must have at least one page")
+    if size_fraction <= 0:
+        raise ValueError("size_fraction must be positive")
+    disk = config.disk
+    total_pages = (2.0 + 2.0 * size_fraction) * base_pages
+    per_disk = total_pages / config.n_data_disks
+    crossings = per_disk / disk.pages_per_cylinder
+    return (
+        per_disk * disk.transfer_ms
+        + crossings * (disk.seek_ms(1) + disk.avg_latency_ms)
+    )
+
+
+def overhead_slope_ms_per_txn(
+    smaller: RunResult,
+    larger: RunResult,
+    appended_pages_per_txn: float,
+    base_pages: int,
+) -> float:
+    """Per-transaction growth of per-transaction overhead.
+
+    ``smaller``/``larger`` are runs at two differential sizes (their
+    architecture descriptions carry the fractions; we only need the
+    makespans).  The slope converts the measured d(overhead)/d(fraction)
+    into d(overhead)/d(transaction) via the append rate.
+    """
+    if smaller.n_transactions != larger.n_transactions:
+        raise ValueError("compare runs of the same transaction count")
+    per_txn_small = smaller.makespan_ms / smaller.n_transactions
+    per_txn_large = larger.makespan_ms / larger.n_transactions
+    d_overhead = per_txn_large - per_txn_small
+    d_fraction = _fraction_of(larger) - _fraction_of(smaller)
+    if d_fraction <= 0:
+        raise ValueError("runs must differ in differential size")
+    fraction_per_txn = appended_pages_per_txn / base_pages
+    return max(0.0, d_overhead / d_fraction * fraction_per_txn)
+
+
+def _fraction_of(result: RunResult) -> float:
+    """Parse 'size=NN%' out of a differential architecture description."""
+    text = result.architecture
+    marker = "size="
+    start = text.find(marker)
+    if start < 0:
+        raise ValueError(f"not a differential run: {text!r}")
+    end = text.find("%", start)
+    return float(text[start + len(marker) : end]) / 100.0
+
+
+def optimal_merge_interval(merge_ms: float, slope_ms_per_txn: float) -> float:
+    """Transactions between merges minimizing total cost per transaction.
+
+    With per-transaction overhead growing linearly (slope s) since the
+    last merge, T transactions cost ``merge_ms + s*T^2/2``; the average is
+    minimized at ``T* = sqrt(2 * merge_ms / s)`` — merge more often when
+    queries are hurting, less often when merging is expensive.
+    """
+    if merge_ms <= 0:
+        raise ValueError("merge cost must be positive")
+    if slope_ms_per_txn <= 0:
+        return math.inf
+    return math.sqrt(2.0 * merge_ms / slope_ms_per_txn)

@@ -1,0 +1,203 @@
+"""Analytic bottleneck models for the database machine.
+
+All formulas work from the same parameter objects the simulator uses
+(:class:`~repro.hardware.params.DiskParams`,
+:class:`~repro.machine.config.MachineConfig`), so a change to the hardware
+constants moves both the prediction and the simulation.
+
+Conventions: times in milliseconds; "page operations" count pages read
+plus pages written, matching the paper's execution-time-per-page
+denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.params import DiskParams
+from repro.machine.config import MachineConfig
+
+__all__ = [
+    "cpu_bound_ms_per_page",
+    "disk_bound_ms_per_page",
+    "expected_random_access_ms",
+    "expected_seek_ms",
+    "io_bound_ms_per_page",
+    "log_disk_utilization",
+    "predict_bare_ms_per_page",
+    "predict_bottleneck",
+    "pt_disk_demand_ms_per_page",
+    "sequential_access_ms",
+]
+
+
+def expected_seek_ms(disk: DiskParams, span_cylinders: int) -> float:
+    """Mean seek time between two uniform positions within a span.
+
+    For independent uniform positions on ``span`` cylinders the mean
+    distance is span/3; the seek profile is linear in distance, so the
+    expectation passes through (ignoring the zero-distance atom, which is
+    negligible for realistic spans).
+    """
+    if span_cylinders <= 1:
+        return 0.0
+    mean_distance = span_cylinders / 3.0
+    return disk.seek_ms(int(round(mean_distance)))
+
+
+def expected_random_access_ms(disk: DiskParams, span_cylinders: int) -> float:
+    """Mean time for one random page access within a span of cylinders."""
+    return expected_seek_ms(disk, span_cylinders) + disk.avg_latency_ms + disk.transfer_ms
+
+
+def sequential_access_ms(disk: DiskParams, run_length: int) -> float:
+    """Mean per-page time for a ``run_length``-page one-request chain.
+
+    The first page pays rotational latency; subsequent adjacent pages
+    stream at transfer rate (the 1985 controller model: no streaming
+    *across* requests).
+    """
+    if run_length < 1:
+        raise ValueError("run length must be >= 1")
+    return (disk.avg_latency_ms + run_length * disk.transfer_ms) / run_length
+
+
+def disk_bound_ms_per_page(config: MachineConfig) -> float:
+    """Execution time per page if the data disks are the bottleneck.
+
+    Random loads: every page operation costs a random access over the
+    database span, spread across the data disks.
+    """
+    span = min(
+        config.disk.cylinders,
+        -(-config.db_pages // (config.n_data_disks * config.disk.pages_per_cylinder)),
+    )
+    access = expected_random_access_ms(config.disk, span)
+    return access / config.n_data_disks
+
+
+def cpu_bound_ms_per_page(
+    config: MachineConfig, write_fraction: float = 0.2
+) -> float:
+    """Execution time per page if the query processors are the bottleneck.
+
+    Each *read* page costs a scan; updated pages add update work.  The
+    denominator counts reads + writes, hence the (1 + w) normalization.
+    """
+    scan = config.cpu.ms(config.cost.scan_page)
+    update = config.cpu.ms(config.cost.update_page)
+    per_read = scan + write_fraction * update
+    per_operation = per_read / (1.0 + write_fraction)
+    return per_operation / config.n_query_processors
+
+
+def predict_bare_ms_per_page(
+    config: MachineConfig, sequential: bool = False, write_fraction: float = 0.2
+) -> float:
+    """First-order prediction of bare-machine execution time per page.
+
+    The machine runs at the slower of its disk-bound and CPU-bound rates.
+    Sequential loads on parallel-access disks approach one cylinder per
+    access; sequential loads on conventional disks stream within the
+    read-ahead window.  This is deliberately a *first-order* model — it
+    ignores queueing interference between concurrent transactions, so it
+    lower-bounds the simulator by design.
+    """
+    cpu = cpu_bound_ms_per_page(config, write_fraction)
+    io = io_bound_ms_per_page(config, sequential, write_fraction)
+    return max(io, cpu)
+
+
+def io_bound_ms_per_page(
+    config: MachineConfig, sequential: bool = False, write_fraction: float = 0.2
+) -> float:
+    """Execution time per page if the data disks are the bottleneck."""
+    disk = config.disk
+    if not sequential:
+        # Write-backs cost the same as reads under random placement.
+        return disk_bound_ms_per_page(config)
+    if config.parallel_data_disks:
+        # A cylinder (or the read-ahead window, if smaller) per access.
+        batch = min(
+            disk.pages_per_cylinder,
+            max(1, config.prefetch_window // config.n_data_disks),
+        )
+        access = expected_seek_ms(disk, 3) + disk.avg_latency_ms + disk.rotation_ms
+        reads = access / batch / config.n_data_disks
+        # Write-backs of a sequential transaction share cylinders and
+        # coalesce into few accesses as well.
+        writes = access / max(1, batch // 2) / config.n_data_disks
+    else:
+        reads = sequential_access_ms(disk, 1) / config.n_data_disks
+        # Sequential write-backs land near the read cursor: short seeks.
+        writes = (
+            disk.min_seek_ms + disk.avg_latency_ms + disk.transfer_ms
+        ) / config.n_data_disks
+    w = write_fraction
+    return (reads + w * writes) / (1.0 + w)
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Which resource limits a configuration, and the predicted rate."""
+
+    bottleneck: str
+    ms_per_page: float
+    disk_bound: float
+    cpu_bound: float
+
+
+def predict_bottleneck(
+    config: MachineConfig, sequential: bool = False
+) -> BottleneckReport:
+    """Identify the binding resource for a bare-machine configuration."""
+    io = io_bound_ms_per_page(config, sequential)
+    cpu = cpu_bound_ms_per_page(config)
+    if cpu >= io:
+        return BottleneckReport("query-processors", cpu, io, cpu)
+    return BottleneckReport("data-disks", io, io, cpu)
+
+
+def log_disk_utilization(
+    config: MachineConfig,
+    exec_ms_per_page: float,
+    fragments_per_log_page: int = 6,
+    write_fraction: float = 0.2,
+    physical: bool = False,
+) -> float:
+    """Predicted utilization of one log disk (the paper's Table 2 logic).
+
+    Page operations complete at 1/exec_ms each; a ``write_fraction / (1 +
+    write_fraction)`` share are updates; logical logging emits one log-page
+    write per ``fragments_per_log_page`` updates, physical logging two log
+    pages per update.  Each log write costs latency + transfer (sequential
+    ring, no cross-request streaming).
+    """
+    update_rate = (write_fraction / (1.0 + write_fraction)) / exec_ms_per_page
+    disk = config.disk
+    if physical:
+        service = 2 * (disk.avg_latency_ms + disk.transfer_ms)
+        demand = update_rate * service
+    else:
+        service = disk.avg_latency_ms + disk.transfer_ms
+        demand = (update_rate / fragments_per_log_page) * service
+    return min(1.0, demand)
+
+
+def pt_disk_demand_ms_per_page(
+    config: MachineConfig,
+    pt_access_ms: float = 21.0,
+    miss_rate: float = 0.9,
+    write_fraction: float = 0.2,
+) -> float:
+    """Page-table disk demand per page operation (the Table 4 bottleneck).
+
+    Each read misses the PT buffer with ``miss_rate``; each update adds a
+    commit-time reread + write of its PT page (amortized).  If this demand
+    exceeds the data-disk rate, the PT disk is the bottleneck — the paper's
+    one-PT-processor degradation.
+    """
+    w = write_fraction
+    reads_per_op = miss_rate / (1.0 + w)
+    commit_ops_per_op = 2.0 * (w / (1.0 + w)) * miss_rate
+    return (reads_per_op + commit_ops_per_op) * pt_access_ms

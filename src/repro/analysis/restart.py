@@ -1,0 +1,127 @@
+"""Restart-time estimation: what a crash costs each architecture, in time.
+
+The functional engine (:mod:`repro.storage`) shows *what work* each
+restart algorithm does; this module prices that work on the simulated
+hardware, using the recovery-data volumes an actual timed run produced
+(its :class:`~repro.metrics.RunResult` counters).  Together they quantify
+the paper's Section 3 premise — optimizing the normal case can make
+recovery from failures more expensive — in milliseconds:
+
+* **logging** — restart scans every log page written since the last
+  checkpoint on each log disk (in parallel across log disks), then redoes
+  the updated pages that were still blocked in the cache;
+* **shadow / version selection** — restart is (nearly) free: the root
+  page or the timestamps already select the committed state;
+* **overwriting (no-undo)** — restart scans the scratch ring since the
+  last checkpoint and re-applies the in-doubt transactions' pages;
+* **differential files** — restart truncates at most one unterminated
+  append run: a handful of I/Os.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+from repro.metrics.collectors import RunResult
+
+__all__ = ["RestartEstimate", "estimate_restart"]
+
+
+@dataclass(frozen=True)
+class RestartEstimate:
+    """Predicted restart cost after a crash at the end of a run."""
+
+    architecture: str
+    #: Sequential scanning of recovery data (logs, scratch ring, PT).
+    scan_ms: float
+    #: Re-applying updates (redo) to the database.
+    redo_ms: float
+    #: Rolling back stolen/half-applied updates (undo).
+    undo_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.scan_ms + self.redo_ms + self.undo_ms
+
+
+def _sequential_scan_ms(config: MachineConfig, n_pages: int, n_disks: int = 1) -> float:
+    """Chained sequential read of ``n_pages`` spread over ``n_disks``."""
+    if n_pages <= 0:
+        return 0.0
+    disk = config.disk
+    per_disk = -(-n_pages // max(1, n_disks))
+    # One long chained request per disk: one latency, then streaming, plus
+    # a cylinder-crossing seek every pages_per_cylinder pages.
+    crossings = per_disk // disk.pages_per_cylinder
+    return (
+        disk.avg_latency_ms
+        + per_disk * disk.transfer_ms
+        + crossings * disk.seek_ms(1)
+    )
+
+
+def _random_io_ms(config: MachineConfig, n_pages: int) -> float:
+    """Random reads/writes against the database, spread over data disks."""
+    if n_pages <= 0:
+        return 0.0
+    disk = config.disk
+    span = disk.cylinders
+    access = disk.seek_ms(span // 3) + disk.avg_latency_ms + disk.transfer_ms
+    return n_pages * access / config.n_data_disks
+
+
+def estimate_restart(
+    result: RunResult,
+    config: MachineConfig,
+    n_log_disks: int = 1,
+    in_doubt_transactions: int = None,
+    mean_writes_per_txn: float = 25.0,
+) -> RestartEstimate:
+    """Price a crash-at-end restart for the architecture that produced
+    ``result``.
+
+    ``in_doubt_transactions`` defaults to the multiprogramming level — the
+    transactions active at the crash.  Volumes come from the run's own
+    counters, so a run that wrote more recovery data pays a longer restart.
+    """
+    if in_doubt_transactions is None:
+        in_doubt_transactions = config.mpl
+    name = result.architecture
+    in_doubt_pages = int(in_doubt_transactions * mean_writes_per_txn)
+
+    if name.startswith("logging"):
+        log_pages = result.counter("log_pages_written")
+        scan = _sequential_scan_ms(config, log_pages, n_disks=n_log_disks)
+        # Redo the pages that were blocked awaiting their log records, plus
+        # undo the stolen pages of in-doubt transactions.
+        blocked = result.averages.get("blocked_pages", 0.0)
+        redo = _random_io_ms(config, int(round(blocked)))
+        undo = _random_io_ms(config, in_doubt_pages)
+        return RestartEstimate(name, scan, redo, undo)
+
+    if name.startswith("shadow") or name.startswith("version"):
+        # Read the page-table root (shadow) or nothing at all (versions);
+        # garbage collection is deferred, not part of restart.
+        pt_pages = -(-config.db_pages // 1024) if name.startswith("shadow") else 0
+        scan = _sequential_scan_ms(config, min(pt_pages, 2))
+        return RestartEstimate(name, scan, 0.0, 0.0)
+
+    if name.startswith("overwriting"):
+        scratch_pages = result.counter("scratch_writes")
+        scan = _sequential_scan_ms(config, scratch_pages)
+        if "no-undo" in name:
+            # Re-apply committed-but-unapplied transactions from scratch.
+            redo = _random_io_ms(config, in_doubt_pages)
+            return RestartEstimate(name, scan, redo, 0.0)
+        # No-redo: restore shadows of in-doubt transactions.
+        undo = _random_io_ms(config, in_doubt_pages)
+        return RestartEstimate(name, scan, 0.0, undo)
+
+    if name.startswith("differential"):
+        # Truncate at most one unterminated run per file: a few I/Os.
+        scan = _sequential_scan_ms(config, 2 * config.n_data_disks)
+        return RestartEstimate(name, scan, 0.0, 0.0)
+
+    # Bare machine: there is nothing to restart from (and nothing saved).
+    return RestartEstimate(name, 0.0, 0.0, 0.0)

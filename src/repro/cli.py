@@ -1,0 +1,200 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro tables                 # list the experiments
+    python -m repro table 3                # regenerate the paper's Table 3
+    python -m repro table 12 -n 15         # grand comparison, smaller load
+    python -m repro ablation interconnect  # Section 4.1.3 ablation
+    python -m repro predict --parallel --sequential
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import predict_bottleneck
+from repro.experiments import (
+    ExperimentSettings,
+    ablation_checkpointing,
+    ablation_disk_scheduling,
+    ablation_hotspot,
+    ablation_interconnect,
+    ablation_overwriting_variants,
+    ablation_version_selection,
+    table1_logging_impact,
+    table2_log_utilization,
+    table3_parallel_logging,
+    table4_shadow_impact,
+    table5_shadow_utilization,
+    table6_pt_buffer,
+    table7_sequential_shadow,
+    table8_random_overwriting,
+    table9_differential_impact,
+    table10_output_fraction,
+    table11_differential_size,
+    table12_comparison,
+)
+from repro.experiments.fidelity import fidelity_summary
+from repro.experiments.report import generate_report
+from repro.experiments.tables import render
+from repro.machine import MachineConfig
+
+__all__ = ["main"]
+
+TABLES: Dict[int, Callable] = {
+    1: table1_logging_impact,
+    2: table2_log_utilization,
+    3: table3_parallel_logging,
+    4: table4_shadow_impact,
+    5: table5_shadow_utilization,
+    6: table6_pt_buffer,
+    7: table7_sequential_shadow,
+    8: table8_random_overwriting,
+    9: table9_differential_impact,
+    10: table10_output_fraction,
+    11: table11_differential_size,
+    12: table12_comparison,
+}
+
+ABLATIONS: Dict[str, Callable] = {
+    "checkpointing": ablation_checkpointing,
+    "disk-scheduling": ablation_disk_scheduling,
+    "hotspot": ablation_hotspot,
+    "interconnect": ablation_interconnect,
+    "version-selection": ablation_version_selection,
+    "overwriting-variants": ablation_overwriting_variants,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Recovery Architectures for Multiprocessor "
+            "Database Machines' (Agrawal & DeWitt, 1985)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="list the reproducible experiments")
+
+    table = sub.add_parser("table", help="regenerate one paper table")
+    table.add_argument("number", type=int, choices=sorted(TABLES))
+    table.add_argument(
+        "-n",
+        "--transactions",
+        type=int,
+        default=30,
+        help="transactions per simulated run (default 30)",
+    )
+    table.add_argument("--seed", type=int, default=1985, help="machine seed")
+
+    ablation = sub.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("name", choices=sorted(ABLATIONS))
+    ablation.add_argument("-n", "--transactions", type=int, default=30)
+    ablation.add_argument("--seed", type=int, default=1985)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full measured-vs-paper report"
+    )
+    report.add_argument("-n", "--transactions", type=int, default=30)
+    report.add_argument("--seed", type=int, default=1985)
+    report.add_argument(
+        "-t",
+        "--table",
+        type=int,
+        action="append",
+        dest="only_tables",
+        help="limit to specific tables (repeatable)",
+    )
+    report.add_argument(
+        "--ablations", action="store_true", help="include the ablation studies"
+    )
+    report.add_argument("-o", "--output", help="write to a file instead of stdout")
+
+    fidelity = sub.add_parser(
+        "fidelity", help="score the reproduction against the paper, cell by cell"
+    )
+    fidelity.add_argument("-n", "--transactions", type=int, default=30)
+    fidelity.add_argument("--seed", type=int, default=1985)
+
+    predict = sub.add_parser(
+        "predict", help="analytic bottleneck prediction for a configuration"
+    )
+    predict.add_argument("--parallel", action="store_true", help="parallel-access disks")
+    predict.add_argument("--sequential", action="store_true", help="sequential transactions")
+    predict.add_argument("--qps", type=int, default=25, help="query processors")
+    predict.add_argument("--disks", type=int, default=2, help="data disks")
+    predict.add_argument("--frames", type=int, default=100, help="cache frames")
+    return parser
+
+
+def _settings(args) -> ExperimentSettings:
+    return ExperimentSettings(n_transactions=args.transactions, seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "tables":
+        for number in sorted(TABLES):
+            doc = (TABLES[number].__doc__ or "").strip().splitlines()[0]
+            print(f"table {number:>2}: {doc}")
+        for name in sorted(ABLATIONS):
+            doc = (ABLATIONS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"ablation {name}: {doc}")
+        return 0
+
+    if args.command == "table":
+        result = TABLES[args.number](_settings(args))
+        print(render(result))
+        return 0
+
+    if args.command == "ablation":
+        result = ABLATIONS[args.name](_settings(args))
+        print(render(result))
+        return 0
+
+    if args.command == "report":
+        text = generate_report(
+            _settings(args),
+            tables=args.only_tables,
+            include_ablations=args.ablations,
+        )
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "fidelity":
+        print(fidelity_summary(_settings(args)).render())
+        return 0
+
+    if args.command == "predict":
+        config = MachineConfig(
+            n_query_processors=args.qps,
+            n_data_disks=args.disks,
+            cache_frames=args.frames,
+            parallel_data_disks=args.parallel,
+        )
+        report = predict_bottleneck(config, sequential=args.sequential)
+        kind = "parallel-access" if args.parallel else "conventional"
+        load = "sequential" if args.sequential else "random"
+        print(f"configuration : {args.qps} QPs, {args.disks} {kind} disks, {load} load")
+        print(f"bottleneck    : {report.bottleneck}")
+        print(f"predicted     : {report.ms_per_page:.2f} ms/page")
+        print(f"  disk-bound  : {report.disk_bound:.2f} ms/page")
+        print(f"  cpu-bound   : {report.cpu_bound:.2f} ms/page")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: parallel recovery architectures.
+
+Every architecture plugs into the :class:`~repro.machine.DatabaseMachine`
+through the :class:`~repro.core.base.RecoveryArchitecture` hook interface
+and adds its own processors/disks at attach time:
+
+* :class:`~repro.core.bare.BareArchitecture` — no recovery (the baseline).
+* :class:`~repro.core.logging.ParallelLoggingArchitecture` — N log
+  processors with private log disks (Section 3.1).
+* :class:`~repro.core.shadow.PageTableShadowArchitecture` — shadow paging
+  through page-table processors/disks (Section 3.2.1).
+* :class:`~repro.core.shadow.VersionSelectionArchitecture` — adjacent-block
+  versions chosen by timestamp (Section 3.2.2.1).
+* :class:`~repro.core.shadow.OverwritingArchitecture` — scratch-ring
+  current copies overwriting shadows at commit (Section 3.2.2.2).
+* :class:`~repro.core.differential.DifferentialFileArchitecture` — A/D
+  differential files with (B u A) - D query processing (Section 3.3).
+"""
+
+from repro.core.bare import BareArchitecture
+from repro.core.base import AuxRead, DataPage, RecoveryArchitecture
+from repro.core.differential import DifferentialConfig, DifferentialFileArchitecture
+from repro.core.logging import (
+    FragmentRouting,
+    LoggingConfig,
+    LogMode,
+    ParallelLoggingArchitecture,
+    SelectionPolicy,
+)
+from repro.core.shadow import (
+    OverwritingArchitecture,
+    OverwritingMode,
+    PageTableShadowArchitecture,
+    ShadowConfig,
+    VersionSelectionArchitecture,
+)
+
+__all__ = [
+    "AuxRead",
+    "BareArchitecture",
+    "DataPage",
+    "DifferentialConfig",
+    "DifferentialFileArchitecture",
+    "FragmentRouting",
+    "LogMode",
+    "LoggingConfig",
+    "OverwritingArchitecture",
+    "OverwritingMode",
+    "PageTableShadowArchitecture",
+    "ParallelLoggingArchitecture",
+    "RecoveryArchitecture",
+    "SelectionPolicy",
+    "ShadowConfig",
+    "VersionSelectionArchitecture",
+]

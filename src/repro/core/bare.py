@@ -1,0 +1,18 @@
+"""The bare machine: no recovery data is collected.
+
+This is the paper's baseline column in every table.  All behaviour lives in
+:class:`repro.core.base.RecoveryArchitecture`; this subclass exists so the
+baseline has an explicit, importable name.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import RecoveryArchitecture
+
+__all__ = ["BareArchitecture"]
+
+
+class BareArchitecture(RecoveryArchitecture):
+    """No recovery: updated pages stream home as soon as they are produced."""
+
+    name = "bare"

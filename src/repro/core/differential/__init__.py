@@ -1,0 +1,16 @@
+"""Differential-file recovery (paper Section 3.3).
+
+The base file B is read-only; additions append to an A file and deletions
+to a D file, so every relation R is the view (B u A) - D.  Retrievals must
+read extra A and D pages and set-difference their results against D — the
+two cost components the paper identifies.  The *basic* strategy diffs every
+B/A page; the *optimal* strategy diffs only pages yielding at least one
+qualifying tuple.
+"""
+
+from repro.core.differential.architecture import (
+    DifferentialConfig,
+    DifferentialFileArchitecture,
+)
+
+__all__ = ["DifferentialConfig", "DifferentialFileArchitecture"]

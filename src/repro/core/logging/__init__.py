@@ -1,0 +1,31 @@
+"""Parallel logging (paper Section 3.1).
+
+N log processors, each with a private log disk.  Query processors ship a
+log fragment for every page they update to a log processor chosen by a
+selection policy; the log processor assembles fragments into log pages and
+writes full pages to its disk.  Updated data pages stay *blocked* in the
+disk cache until their log page is on stable storage (write-ahead logging),
+and commit forces the partial log pages of every log processor holding the
+transaction's fragments.
+"""
+
+from repro.core.logging.architecture import (
+    FragmentRouting,
+    LoggingConfig,
+    LogMode,
+    ParallelLoggingArchitecture,
+)
+from repro.core.logging.log_processor import LogFragment, LogProcessor
+from repro.core.logging.selection import SelectionPolicy, SelectorState, select_log_processor
+
+__all__ = [
+    "FragmentRouting",
+    "LogFragment",
+    "LogMode",
+    "LogProcessor",
+    "LoggingConfig",
+    "ParallelLoggingArchitecture",
+    "SelectionPolicy",
+    "SelectorState",
+    "select_log_processor",
+]

@@ -1,0 +1,345 @@
+"""The parallel-logging recovery architecture (paper Section 3.1).
+
+Flow for every updated page:
+
+1. the query processor builds a log fragment (CPU, charged to the QP);
+2. a log processor is chosen by the selection policy;
+3. the fragment travels over the dedicated link — or through the disk
+   cache, briefly occupying a frame and extra QP time (Section 4.1.3);
+4. the log processor assembles it into a log page and writes full pages;
+5. the updated data page stays blocked in the cache until its fragment is
+   durable (write-ahead logging), then streams home;
+6. commit forces the partial log pages of every involved log processor and
+   completes when the last updated page is on disk.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.base import RecoveryArchitecture
+from repro.core.logging.log_processor import LogFragment, LogProcessor
+from repro.core.logging.selection import (
+    SelectionPolicy,
+    SelectorState,
+    select_log_processor,
+)
+from repro.hardware.disk import ConventionalDisk
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.params import IBM_3350, DiskParams
+
+__all__ = ["FragmentRouting", "LogMode", "LoggingConfig", "ParallelLoggingArchitecture"]
+
+
+class LogMode(enum.Enum):
+    """What a fragment contains."""
+
+    #: Record-level redo/undo entries; several fragments fit one log page.
+    LOGICAL = "logical"
+    #: Full before + after page images; two log pages per update.
+    PHYSICAL = "physical"
+
+
+class FragmentRouting(enum.Enum):
+    """How fragments move from query processors to log processors."""
+
+    #: A dedicated interconnect (paper evaluates 1.0 / 0.1 / 0.01 MB/s).
+    LINK = "link"
+    #: Through the disk cache: no extra hardware, one frame in transit and
+    #: extra query-processor work (Section 4.1.3 finds this free in practice).
+    CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class LoggingConfig:
+    """Parameters of the parallel-logging architecture."""
+
+    n_log_processors: int = 1
+    mode: LogMode = LogMode.LOGICAL
+    selection: SelectionPolicy = SelectionPolicy.CYCLIC
+    routing: FragmentRouting = FragmentRouting.LINK
+    link_bandwidth_mb_s: float = 1.0
+    #: Logical fragment size; ~6 fragments fill a 4 KB log page.
+    fragment_bytes: int = 600
+    log_disk: DiskParams = IBM_3350
+    #: Cache-routing overhead: two extra cache operations by the QP.
+    cache_route_cpu_instructions: int = 2_000
+    #: Period of background checkpoints, in ms (None disables them).  The
+    #: paper (Section 3.1, ref [13]) claims checkpointing can run in
+    #: parallel with normal processing without quiescing: each checkpoint
+    #: forces every log processor's partial page and writes one checkpoint
+    #: page per log disk, and nothing ever stops.
+    checkpoint_interval_ms: Optional[float] = None
+    #: Group-commit window, in ms (None = force immediately at commit).
+    #: An extension beyond the paper: commits arriving within the window
+    #: share one forced log write per log processor, trading a little
+    #: commit latency for fewer partial-page writes — the optimization
+    #: later systems layered on exactly this architecture.
+    group_commit_window_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_log_processors < 1:
+            raise ValueError("need at least one log processor")
+        if self.fragment_bytes < 1:
+            raise ValueError("fragment must have positive size")
+
+    def with_overrides(self, **kwargs) -> "LoggingConfig":
+        return replace(self, **kwargs)
+
+    @property
+    def fragments_per_log_page(self) -> int:
+        return max(1, self.log_disk.page_size // self.fragment_bytes)
+
+
+class ParallelLoggingArchitecture(RecoveryArchitecture):
+    """N log processors with private log disks; see module docstring."""
+
+    name = "logging"
+
+    def __init__(self, config: Optional[LoggingConfig] = None):
+        super().__init__()
+        self.config_log = config or LoggingConfig()
+        self.log_processors: List[LogProcessor] = []
+        self._link: Optional[Interconnect] = None
+        self._selector_state = SelectorState()
+        self._rng = None
+
+    # -- wiring -----------------------------------------------------------------
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        cfg = self.config_log
+        self._rng = machine.streams.stream("logging.selection")
+        self.log_processors = []
+        for i in range(cfg.n_log_processors):
+            disk = ConventionalDisk(
+                machine.env,
+                cfg.log_disk,
+                name=f"log{i}",
+                rng=machine.streams.stream(f"disk.log{i}"),
+            )
+            self.log_processors.append(
+                LogProcessor(
+                    machine.env,
+                    i,
+                    disk,
+                    fragments_per_page=cfg.fragments_per_log_page,
+                    name=f"lp{i}",
+                )
+            )
+        if cfg.routing is FragmentRouting.LINK:
+            # Dedicated connections: one lane per query processor, so a slow
+            # link delays fragments without congesting its neighbours.
+            self._link = Interconnect(
+                machine.env,
+                bandwidth_mb_per_s=cfg.link_bandwidth_mb_s,
+                channels=machine.config.n_query_processors,
+                name="qp-lp-link",
+            )
+        self.checkpoints_taken = 0
+        if cfg.checkpoint_interval_ms is not None:
+            machine.env.process(self._checkpointer(), name="checkpointer")
+        #: Per-LP pending group-commit event (None = no window open).
+        self._group_pending: Dict[int, Optional[object]] = {}
+
+    # -- CPU overhead -------------------------------------------------------------
+    def page_cpu_ms(self, txn, page, is_update: bool) -> float:
+        cost = self.machine.config.cost
+        cpu = self.machine.config.cpu
+        ms = super().page_cpu_ms(txn, page, is_update)
+        if is_update:
+            if self.config_log.mode is LogMode.LOGICAL:
+                ms += cpu.ms(cost.build_log_fragment)
+            else:
+                ms += cpu.ms(2 * cost.copy_page_image)
+            if self.config_log.routing is FragmentRouting.CACHE:
+                ms += cpu.ms(self.config_log.cache_route_cpu_instructions)
+        return ms
+
+    # -- fragment shipping -----------------------------------------------------------
+    def on_page_updated(self, txn, page, qp_index: int):
+        """Pick a log processor and ship the fragment *asynchronously*.
+
+        The query processor hands the fragment to the link (or drops it in
+        the cache) and moves on — it does not wait out the wire time, which
+        is why the paper finds the machine insensitive to link bandwidth:
+        the delay is absorbed in the fragment inter-arrival gap.
+        """
+        cfg = self.config_log
+        machine = self.machine
+        fragment = LogFragment(machine.env, txn.tid, page)
+        lp_index = select_log_processor(
+            cfg.selection,
+            cfg.n_log_processors,
+            qp_index,
+            txn,
+            self._selector_state,
+            self._rng,
+        )
+        self._fragments_of(txn)[page] = fragment
+        txn.recovery_state.setdefault("log_processors", set()).add(lp_index)
+        machine.env.process(
+            self._ship(fragment, lp_index),
+            name=f"frag.t{txn.tid}.p{page}",
+        )
+        return
+        yield  # pragma: no cover - hook stays a generator
+
+    def _ship(self, fragment: LogFragment, lp_index: int):
+        cfg = self.config_log
+        machine = self.machine
+        lp = self.log_processors[lp_index]
+        payload = (
+            cfg.fragment_bytes
+            if cfg.mode is LogMode.LOGICAL
+            else 2 * cfg.log_disk.page_size
+        )
+        if cfg.routing is FragmentRouting.LINK:
+            yield self._link.transfer(payload)
+        else:
+            # Through the disk cache: a frame holds the in-transit fragment
+            # for the duration of the two cache operations.
+            yield machine.cache.acquire(1)
+            yield machine.env.timeout(
+                machine.config.cpu.ms(cfg.cache_route_cpu_instructions)
+            )
+            machine.cache.release(1)
+        if cfg.mode is LogMode.LOGICAL:
+            lp.deliver(fragment)
+        else:
+            lp.deliver_physical(fragment)
+        if not fragment.delivered.triggered:
+            fragment.delivered.succeed()
+
+    def _fragments_of(self, txn) -> Dict[int, LogFragment]:
+        return self.machine.runtime(txn).scratch.setdefault("fragments", {})
+
+    # -- parallel checkpointing (Section 3.1 / ref [13]) ---------------------------
+    def _checkpointer(self):
+        """Periodic fuzzy checkpoint: force partial log pages and write one
+        checkpoint page per log disk — fully overlapped with processing."""
+        interval = self.config_log.checkpoint_interval_ms
+        env = self.machine.env
+        while True:
+            yield env.timeout(interval)
+            writes = []
+            for lp in self.log_processors:
+                lp.force()
+                writes.append(lp.write_checkpoint_page())
+            yield env.all_of(writes)
+            self.checkpoints_taken += 1
+
+    # -- durability -----------------------------------------------------------------
+    def writeback(self, txn, page):
+        """WAL: the data page may only go home after its fragment is durable."""
+        machine = self.machine
+        fragment = self._fragments_of(txn)[page]
+        if not fragment.durable.triggered:
+            machine.cache.mark_blocked(1)
+            yield fragment.durable
+            machine.cache.unmark_blocked(1)
+        disk_idx, addr = self.write_address(txn, page)
+        request = machine.data_disks[disk_idx].write([addr], tag="writeback")
+        yield request.done
+        machine.note_page_written(txn)
+        machine.cache.release(1)
+
+    def on_commit(self, txn):
+        """Force every involved log processor, then drain the write-backs.
+
+        Fragments still in flight on the interconnect must land first, or
+        the force would miss them.
+        """
+        fragments = self._fragments_of(txn)
+        in_flight = [
+            fragment.delivered
+            for fragment in fragments.values()
+            if not fragment.delivered.triggered
+        ]
+        if in_flight:
+            yield self.machine.env.all_of(in_flight)
+        for lp_index in txn.recovery_state.get("log_processors", ()):
+            if self.config_log.group_commit_window_ms is None:
+                self.log_processors[lp_index].force()
+            else:
+                yield from self._group_force(lp_index)
+        pending = [
+            fragment.durable
+            for fragment in fragments.values()
+            if not fragment.durable.triggered
+        ]
+        if pending:
+            yield self.machine.env.all_of(pending)
+        yield from self.machine.wait_writebacks(txn)
+
+    def _group_force(self, lp_index: int):
+        """Group commit: commits within the window share one force."""
+        env = self.machine.env
+        pending = self._group_pending.get(lp_index)
+        if pending is None:
+            pending = env.event()
+            self._group_pending[lp_index] = pending
+            env.process(self._group_fire(lp_index, pending), name=f"gc.lp{lp_index}")
+        yield pending
+
+    def _group_fire(self, lp_index: int, pending):
+        yield self.machine.env.timeout(self.config_log.group_commit_window_ms)
+        self._group_pending[lp_index] = None
+        self.log_processors[lp_index].force()
+        pending.succeed()
+
+    def on_abort(self, txn):
+        """Unblock the aborted transaction's write-backs.
+
+        Its updated pages are gated on WAL fragments; forcing the involved
+        log processors lets them drain (the fragments themselves are
+        harmless — restart treats the transaction as uncommitted).
+        """
+        fragments = self._fragments_of(txn)
+        in_flight = [
+            fragment.delivered
+            for fragment in fragments.values()
+            if not fragment.delivered.triggered
+        ]
+        if in_flight:
+            yield self.machine.env.all_of(in_flight)
+        for lp_index in txn.recovery_state.get("log_processors", ()):
+            self.log_processors[lp_index].force()
+
+    # -- reporting -----------------------------------------------------------------
+    def extra_utilizations(self, t_end: float) -> Dict[str, float]:
+        out = {}
+        for lp in self.log_processors:
+            out[f"{lp.disk.name}"] = lp.disk.utilization(t_end)
+        if self.log_processors:
+            out["log_disks"] = sum(
+                lp.disk.utilization(t_end) for lp in self.log_processors
+            ) / len(self.log_processors)
+        if self._link is not None:
+            out["qp_lp_link"] = self._link.busy.utilization(t_end)
+        return out
+
+    def extra_counters(self) -> Dict[str, int]:
+        return {
+            "log_pages_written": sum(
+                lp.log_pages_written.count for lp in self.log_processors
+            ),
+            "log_fragments": sum(
+                lp.fragments_received.count for lp in self.log_processors
+            ),
+            "log_forces": sum(lp.forced_writes.count for lp in self.log_processors),
+        }
+
+    def extra_averages(self, t_end: float) -> Dict[str, float]:
+        waits = [lp.fragment_wait_ms for lp in self.log_processors]
+        n = sum(w.n for w in waits)
+        mean = sum(w.mean * w.n for w in waits) / n if n else 0.0
+        return {"fragment_wait_ms": mean}
+
+    def describe(self) -> str:
+        cfg = self.config_log
+        return (
+            f"logging[{cfg.mode.value}, {cfg.n_log_processors} lp, "
+            f"{cfg.selection.value}, {cfg.routing.value}]"
+        )

@@ -1,0 +1,64 @@
+"""Log-processor selection policies (paper Sections 3.1 and 4.1.2).
+
+The paper evaluates four ways a query processor picks the log processor for
+a fragment:
+
+* **cyclic** — each query processor cycles through all log processors;
+* **random** — uniform random choice;
+* **qp_mod** — query-processor number mod the number of log processors;
+* **txn_mod** — transaction number mod the number of log processors.
+
+Its Table 3 finds cyclic / random / qp_mod comparable and txn_mod "a
+loser": with few concurrent transactions, txn_mod funnels each
+transaction's entire log stream to one processor and leaves the rest idle.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict
+
+from repro.workload.transaction import Transaction
+
+__all__ = ["SelectionPolicy", "SelectorState", "select_log_processor"]
+
+
+class SelectionPolicy(enum.Enum):
+    CYCLIC = "cyclic"
+    RANDOM = "random"
+    QP_MOD = "qp_mod"
+    TXN_MOD = "txn_mod"
+
+
+class SelectorState:
+    """Mutable per-machine state some policies need (cyclic counters)."""
+
+    def __init__(self) -> None:
+        self.qp_counters: Dict[int, int] = {}
+
+
+def select_log_processor(
+    policy: SelectionPolicy,
+    n_log_processors: int,
+    qp_index: int,
+    txn: Transaction,
+    state: SelectorState,
+    rng: random.Random,
+) -> int:
+    """Index of the log processor that receives this fragment."""
+    if n_log_processors < 1:
+        raise ValueError("need at least one log processor")
+    if n_log_processors == 1:
+        return 0
+    if policy is SelectionPolicy.CYCLIC:
+        count = state.qp_counters.get(qp_index, 0)
+        state.qp_counters[qp_index] = count + 1
+        return count % n_log_processors
+    if policy is SelectionPolicy.RANDOM:
+        return rng.randrange(n_log_processors)
+    if policy is SelectionPolicy.QP_MOD:
+        return qp_index % n_log_processors
+    if policy is SelectionPolicy.TXN_MOD:
+        return txn.tid % n_log_processors
+    raise ValueError(f"unknown policy {policy!r}")

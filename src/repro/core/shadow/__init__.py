@@ -1,0 +1,28 @@
+"""Shadow-paging recovery architectures (paper Section 3.2).
+
+Three variants:
+
+* :class:`PageTableShadowArchitecture` — the canonical "thru page-table"
+  scheme with dedicated page-table processors/disks and an LRU page-table
+  buffer (Section 3.2.1);
+* :class:`VersionSelectionArchitecture` — current + shadow copies in
+  physically adjacent blocks, both fetched, a timestamp picking the current
+  one (Section 3.2.2.1);
+* :class:`OverwritingArchitecture` — current copies kept in a scratch ring
+  while the transaction is active; on commit (no-undo) they overwrite the
+  shadows in place, preserving physical clustering (Section 3.2.2.2).
+"""
+
+from repro.core.shadow.overwriting import OverwritingArchitecture, OverwritingMode
+from repro.core.shadow.page_table import PageTableSubsystem
+from repro.core.shadow.page_table_arch import PageTableShadowArchitecture, ShadowConfig
+from repro.core.shadow.version_selection import VersionSelectionArchitecture
+
+__all__ = [
+    "OverwritingArchitecture",
+    "OverwritingMode",
+    "PageTableShadowArchitecture",
+    "PageTableSubsystem",
+    "ShadowConfig",
+    "VersionSelectionArchitecture",
+]

@@ -1,0 +1,83 @@
+"""Version selection (paper Section 3.2.2.1).
+
+Indirection is avoided by keeping the current and shadow copies of every
+page in two physically adjacent disk blocks.  A read fetches *both* blocks
+(cheap, because the second block follows the first under the heads) and a
+timestamp-based version-selection step picks the current copy.  A write
+goes to the non-current block of the pair, so physical clustering is
+preserved and no page table exists — at the price of doubling disk space
+and lengthening every read transfer, which is why the paper dismisses it
+for an I/O-bandwidth-bound machine (Section 4.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.base import RecoveryArchitecture
+from repro.hardware.disk import DiskAddress
+from repro.hardware.placement import Placement
+
+__all__ = ["VersionSelectionArchitecture", "VersionPairPlacement"]
+
+
+class VersionPairPlacement(Placement):
+    """Each logical page owns two adjacent physical blocks."""
+
+    def __init__(self, params, n_disks: int, db_pages: int):
+        super().__init__(params, n_disks, db_pages)
+        needed = 2 * self.pages_per_disk
+        if needed > params.capacity_pages:
+            raise ValueError(
+                f"version pairs need {needed} pages per disk but drives hold "
+                f"{params.capacity_pages}; halve db_pages (disk space doubles "
+                "under version selection)"
+            )
+
+    def _local_index(self, local: int) -> int:
+        return 2 * local
+
+    def pair(self, page: int) -> Tuple[int, Tuple[DiskAddress, DiskAddress]]:
+        """Disk index and the (current-candidate, shadow-candidate) blocks."""
+        disk, first = self.locate(page)
+        linear = first.linear(self.params)
+        second = DiskAddress.from_linear(linear + 1, self.params)
+        if second.cylinder != first.cylinder:
+            # Odd pages-per-cylinder geometry: keep the pair on one cylinder
+            # so parallel-access requests stay single-cylinder.
+            second = DiskAddress.from_linear(linear - 1, self.params)
+        return disk, (first, second)
+
+
+class VersionSelectionArchitecture(RecoveryArchitecture):
+    """Adjacent-block versions chosen by timestamp on every read."""
+
+    name = "version-selection"
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self._pairs = VersionPairPlacement(
+            machine.config.disk,
+            machine.config.n_data_disks,
+            machine.config.db_pages,
+        )
+        machine.placement = self._pairs
+
+    def read_addresses(self, txn, page: int):
+        """Fetch both versions; the second block streams after the first."""
+        disk_idx, pair = self._pairs.pair(page)
+        return disk_idx, pair
+
+    def write_address(self, txn, page: int):
+        """The new version goes to the other block of the pair (same cost)."""
+        disk_idx, (first, _second) = self._pairs.pair(page)
+        return disk_idx, first
+
+    def page_cpu_ms(self, txn, page, is_update: bool) -> float:
+        cfg = self.machine.config
+        return super().page_cpu_ms(txn, page, is_update) + cfg.cpu.ms(
+            cfg.cost.version_select
+        )
+
+    def describe(self) -> str:
+        return "version-selection"

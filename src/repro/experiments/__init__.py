@@ -1,0 +1,60 @@
+"""Per-table experiment configurations and runners.
+
+Every table (1-12) of the paper's evaluation has a function here that runs
+the corresponding simulations and returns structured rows; the benchmark
+harness under ``benchmarks/`` prints them next to the paper's numbers.
+"""
+
+from repro.experiments.paper import PAPER
+from repro.experiments.runner import (
+    CONFIGURATIONS,
+    Configuration,
+    ExperimentSettings,
+    run_configuration,
+)
+from repro.experiments.tables import (
+    ablation_checkpointing,
+    ablation_disk_scheduling,
+    ablation_hotspot,
+    ablation_interconnect,
+    ablation_overwriting_variants,
+    ablation_version_selection,
+    table1_logging_impact,
+    table2_log_utilization,
+    table3_parallel_logging,
+    table4_shadow_impact,
+    table5_shadow_utilization,
+    table6_pt_buffer,
+    table7_sequential_shadow,
+    table8_random_overwriting,
+    table9_differential_impact,
+    table10_output_fraction,
+    table11_differential_size,
+    table12_comparison,
+)
+
+__all__ = [
+    "CONFIGURATIONS",
+    "Configuration",
+    "ExperimentSettings",
+    "PAPER",
+    "ablation_checkpointing",
+    "ablation_disk_scheduling",
+    "ablation_hotspot",
+    "ablation_interconnect",
+    "ablation_overwriting_variants",
+    "ablation_version_selection",
+    "run_configuration",
+    "table1_logging_impact",
+    "table2_log_utilization",
+    "table3_parallel_logging",
+    "table4_shadow_impact",
+    "table5_shadow_utilization",
+    "table6_pt_buffer",
+    "table7_sequential_shadow",
+    "table8_random_overwriting",
+    "table9_differential_impact",
+    "table10_output_fraction",
+    "table11_differential_size",
+    "table12_comparison",
+]

@@ -1,0 +1,80 @@
+"""Generic parameter sweeps over machine / workload / architecture knobs.
+
+A sweep runs the same (configuration, architecture) cell while varying one
+named parameter and returns one row per value — the building block behind
+the sensitivity ablations (cache frames, MPL, read-ahead) and handy for
+users exploring their own what-ifs::
+
+    from repro.experiments import CONFIGURATIONS
+    from repro.experiments.sweeps import sweep_machine
+
+    rows = sweep_machine(
+        CONFIGURATIONS["parallel-sequential"],
+        field="cache_frames",
+        values=(50, 100, 200),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.base import RecoveryArchitecture
+from repro.experiments.runner import (
+    Configuration,
+    ExperimentSettings,
+    run_configuration,
+)
+
+__all__ = ["sweep_machine", "sweep_workload"]
+
+
+def _row(value, result) -> Dict:
+    return {
+        "value": value,
+        "exec_ms_per_page": round(result.execution_time_per_page, 2),
+        "completion_ms": round(result.mean_completion_ms, 1),
+        "qp_util": round(result.utilization("qp"), 2),
+        "data_disk_util": round(result.utilization("data_disks"), 2),
+        "restarts": result.n_restarts,
+    }
+
+
+def sweep_machine(
+    configuration: Configuration,
+    field: str,
+    values: Iterable,
+    architecture: Optional[Callable[[], RecoveryArchitecture]] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> List[Dict]:
+    """One run per value of ``MachineConfig.<field>``; returns row dicts."""
+    rows = []
+    for value in values:
+        result = run_configuration(
+            configuration,
+            architecture,
+            settings,
+            machine_overrides={field: value},
+        )
+        rows.append(_row(value, result))
+    return rows
+
+
+def sweep_workload(
+    configuration: Configuration,
+    field: str,
+    values: Iterable,
+    architecture: Optional[Callable[[], RecoveryArchitecture]] = None,
+    settings: Optional[ExperimentSettings] = None,
+) -> List[Dict]:
+    """One run per value of ``WorkloadConfig.<field>``; returns row dicts."""
+    rows = []
+    for value in values:
+        result = run_configuration(
+            configuration,
+            architecture,
+            settings,
+            workload_overrides={field: value},
+        )
+        rows.append(_row(value, result))
+    return rows

@@ -1,0 +1,48 @@
+"""Hardware substrate: disks, processors, and interconnects, circa 1985.
+
+The models are parametric; the constants shipped in :mod:`repro.hardware.params`
+correspond to the paper's testbed — IBM 3350-class disk drives, VAX 11/750-class
+query processors, and SURE/DBC-style parallel-access drives.
+"""
+
+from repro.hardware.disk import (
+    ConventionalDisk,
+    Disk,
+    DiskAddress,
+    DiskRequest,
+    ParallelAccessDisk,
+    make_disk,
+)
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.params import (
+    IBM_3350,
+    VAX_11_750,
+    CostModel,
+    CpuParams,
+    DiskParams,
+)
+from repro.hardware.placement import (
+    ClusteredPlacement,
+    Placement,
+    RingAllocator,
+    ScrambledPlacement,
+)
+
+__all__ = [
+    "ClusteredPlacement",
+    "ConventionalDisk",
+    "CostModel",
+    "CpuParams",
+    "Disk",
+    "DiskAddress",
+    "DiskParams",
+    "DiskRequest",
+    "IBM_3350",
+    "Interconnect",
+    "ParallelAccessDisk",
+    "Placement",
+    "RingAllocator",
+    "ScrambledPlacement",
+    "VAX_11_750",
+    "make_disk",
+]

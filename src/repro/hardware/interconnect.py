@@ -1,0 +1,63 @@
+"""A simple shared interconnect: serialized transfers at a fixed bandwidth.
+
+Used for the dedicated link between query processors and log processors
+(paper Section 4.1.3).  The paper evaluates effective bandwidths of 1.0,
+0.1, and 0.01 MB/s and finds the database machine insensitive to all of
+them; our reproduction of that ablation uses this model.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import CounterStat, UtilizationTracker
+from repro.sim.resources import Resource
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """A bandwidth-limited interconnect with ``channels`` parallel lanes.
+
+    ``channels=1`` models one shared half-duplex wire; larger values model
+    dedicated point-to-point connections (the paper's "dedicated connection
+    between the query and log processors" gives every query processor its
+    own lane, which is why even a 0.01 MB/s effective bandwidth only delays
+    individual fragments instead of congesting a shared bus).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth_mb_per_s: float = 1.0,
+        latency_ms: float = 0.0,
+        channels: int = 1,
+        name: str = "link",
+    ):
+        if bandwidth_mb_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if channels < 1:
+            raise ValueError("need at least one channel")
+        self.env = env
+        self.name = name
+        self.bandwidth_mb_per_s = bandwidth_mb_per_s
+        self.latency_ms = latency_ms
+        self.channels = channels
+        self._channel = Resource(env, capacity=channels)
+        self.busy = UtilizationTracker(env.now, name=name)
+        self.bytes_moved = CounterStat(f"{name}.bytes")
+
+    def transfer_ms(self, n_bytes: int) -> float:
+        """Wire time for ``n_bytes``."""
+        return self.latency_ms + n_bytes / (self.bandwidth_mb_per_s * 1000.0)
+
+    def transfer(self, n_bytes: int) -> Event:
+        """Start a transfer; the returned process-event fires on completion."""
+        return self.env.process(self._transfer(n_bytes), name=f"{self.name}.xfer")
+
+    def _transfer(self, n_bytes: int):
+        with self._channel.request() as req:
+            yield req
+            self.busy.start(self.env.now)
+            yield self.env.timeout(self.transfer_ms(n_bytes))
+            self.busy.stop(self.env.now)
+            self.bytes_moved.increment(n_bytes)

@@ -1,0 +1,128 @@
+"""Mapping from logical page numbers to physical disk addresses.
+
+The database occupies ``db_pages`` logical pages striped across ``n_disks``
+drives.  Two layouts matter to the paper:
+
+* :class:`ClusteredPlacement` — logically adjacent pages are physically
+  adjacent (modulo striping), so sequential scans stream.
+* :class:`ScrambledPlacement` — a pseudo-random permutation of each drive's
+  local ordering.  This is what the canonical shadow mechanism does to data
+  over time: after pages migrate to fresh blocks, logical adjacency no
+  longer implies physical adjacency (paper Section 4.2.3 / Table 7).
+
+Striping interleaves consecutive logical pages round-robin across drives so
+a sequential scan draws bandwidth from every drive.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hardware.disk import DiskAddress
+from repro.hardware.params import DiskParams
+
+__all__ = ["ClusteredPlacement", "Placement", "RingAllocator", "ScrambledPlacement"]
+
+
+class RingAllocator:
+    """Hands out consecutive disk addresses, wrapping around a region.
+
+    Used for append-structured areas: a log disk's write ring, the
+    overwriting architecture's scratch space ("scratch space on disk which
+    is managed as a ring buffer", paper Section 3.2.2.2), and differential-
+    file extents.
+    """
+
+    def __init__(self, params: DiskParams, start_cylinder: int, n_cylinders: int):
+        if n_cylinders < 1:
+            raise ValueError("ring needs at least one cylinder")
+        if start_cylinder < 0 or start_cylinder + n_cylinders > params.cylinders:
+            raise ValueError(
+                f"ring [{start_cylinder}, {start_cylinder + n_cylinders}) "
+                f"outside disk of {params.cylinders} cylinders"
+            )
+        self.params = params
+        self._start = start_cylinder * params.pages_per_cylinder
+        self.capacity = n_cylinders * params.pages_per_cylinder
+        self._next = 0
+        self.allocated = 0
+
+    def take(self, n: int = 1) -> Tuple[DiskAddress, ...]:
+        """The next ``n`` consecutive addresses (wrapping at the region end)."""
+        if n < 1:
+            raise ValueError("must take at least one page")
+        out = []
+        for _ in range(n):
+            out.append(
+                DiskAddress.from_linear(self._start + self._next, self.params)
+            )
+            self._next = (self._next + 1) % self.capacity
+        self.allocated += n
+        return tuple(out)
+
+
+class Placement:
+    """Base mapping logical page -> (disk index, physical address)."""
+
+    def __init__(self, params: DiskParams, n_disks: int, db_pages: int):
+        if n_disks < 1:
+            raise ValueError("need at least one disk")
+        capacity = params.capacity_pages * n_disks
+        if db_pages > capacity:
+            raise ValueError(
+                f"database of {db_pages} pages exceeds {n_disks} disks "
+                f"({capacity} pages)"
+            )
+        self.params = params
+        self.n_disks = n_disks
+        self.db_pages = db_pages
+        #: Local pages per disk (ceiling so every page maps somewhere).
+        self.pages_per_disk = -(-db_pages // n_disks)
+
+    def locate(self, page: int) -> Tuple[int, DiskAddress]:
+        """Disk index and physical address of logical ``page``."""
+        if page < 0 or page >= self.db_pages:
+            raise ValueError(f"page {page} outside database of {self.db_pages}")
+        disk = page % self.n_disks
+        local = page // self.n_disks
+        return disk, DiskAddress.from_linear(self._local_index(local), self.params)
+
+    def _local_index(self, local: int) -> int:
+        raise NotImplementedError
+
+
+class ClusteredPlacement(Placement):
+    """Identity layout: logical order == physical order on each drive."""
+
+    def _local_index(self, local: int) -> int:
+        return local
+
+
+class ScrambledPlacement(Placement):
+    """A fixed pseudo-random permutation of each drive's local ordering.
+
+    Uses a multiplicative affine permutation over the per-disk page count
+    (stepping by a constant coprime to the modulus), which is a bijection,
+    cheap, and deterministic — no permutation table needed even for large
+    databases.
+    """
+
+    #: A large odd constant; made coprime to the modulus at construction.
+    _MULTIPLIER = 2654435761
+
+    def __init__(self, params: DiskParams, n_disks: int, db_pages: int):
+        super().__init__(params, n_disks, db_pages)
+        self._modulus = self.pages_per_disk
+        multiplier = self._MULTIPLIER
+        while self._gcd(multiplier, self._modulus) != 1:
+            multiplier += 1
+        self._multiplier = multiplier
+
+    @staticmethod
+    def _gcd(a: int, b: int) -> int:
+        while b:
+            a, b = b, a % b
+        return a
+
+    def _local_index(self, local: int) -> int:
+        return (local * self._multiplier + 12345) % self._modulus

@@ -1,0 +1,23 @@
+"""The multiprocessor-cache database machine (paper Section 2).
+
+Query processors process transactions asynchronously; a back-end controller
+coordinates them, manages a page-addressable disk cache, and runs a
+page-level-locking scheduler; an I/O processor moves pages between the data
+disks and the cache.
+"""
+
+from repro.machine.cache import DiskCache
+from repro.machine.config import MachineConfig
+from repro.machine.locks import DeadlockAbort, LockManager, LockMode
+from repro.machine.machine import DatabaseMachine
+from repro.machine.processors import ProcessorPool
+
+__all__ = [
+    "DatabaseMachine",
+    "DeadlockAbort",
+    "DiskCache",
+    "LockManager",
+    "LockMode",
+    "MachineConfig",
+    "ProcessorPool",
+]

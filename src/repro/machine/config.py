@@ -1,0 +1,78 @@
+"""Configuration of the simulated database machine.
+
+Defaults reproduce the paper's baseline testbed (Section 4): 25 query
+processors, 100 4 KB cache frames, 2 data disks, multiprogramming level and
+read-ahead chosen to match the paper's bare-machine anchors (see
+``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.params import IBM_3350, VAX_11_750, CostModel, CpuParams, DiskParams
+
+__all__ = ["MachineConfig"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static parameters of one database-machine instance."""
+
+    n_query_processors: int = 25
+    cache_frames: int = 100
+    n_data_disks: int = 2
+    parallel_data_disks: bool = False
+    disk: DiskParams = IBM_3350
+    cpu: CpuParams = VAX_11_750
+    cost: CostModel = field(default_factory=CostModel)
+    #: Concurrent transactions admitted by the back-end controller.
+    mpl: int = 3
+    #: Per-transaction anticipatory-read depth (pages in flight), subject to
+    #: free cache frames.  The BEC reads ahead while frames allow.
+    prefetch_window: int = 32
+    #: Logical database size in pages; the database is striped over the data
+    #: disks' non-reserved cylinders.
+    db_pages: int = 120_000
+    #: Cylinders reserved per data disk for scratch space, differential
+    #: files, and other recovery structures.
+    reserved_cylinders: int = 50
+    #: Queue discipline of conventional data disks: "fcfs" (period-correct
+    #: default) or "sstf" (shortest-seek-time-first; ablation extension).
+    disk_scheduling: str = "fcfs"
+    seed: int = 1985
+
+    def __post_init__(self) -> None:
+        if self.n_query_processors < 1:
+            raise ValueError("need at least one query processor")
+        if self.mpl < 1:
+            raise ValueError("multiprogramming level must be >= 1")
+        if self.prefetch_window < 1:
+            raise ValueError("prefetch window must be >= 1")
+        usable = (
+            (self.disk.cylinders - self.reserved_cylinders)
+            * self.disk.pages_per_cylinder
+            * self.n_data_disks
+        )
+        if self.db_pages > usable:
+            raise ValueError(
+                f"database of {self.db_pages} pages does not fit in "
+                f"{usable} usable pages "
+                f"({self.n_data_disks} disks minus reserved cylinders)"
+            )
+        if self.cache_frames < self.mpl:
+            raise ValueError("cache must hold at least one frame per active txn")
+        if self.disk_scheduling not in ("fcfs", "sstf"):
+            raise ValueError(f"unknown disk scheduling {self.disk_scheduling!r}")
+
+    @property
+    def usable_pages_per_disk(self) -> int:
+        return (self.disk.cylinders - self.reserved_cylinders) * self.disk.pages_per_cylinder
+
+    @property
+    def reserved_start_cylinder(self) -> int:
+        return self.disk.cylinders - self.reserved_cylinders
+
+    def with_overrides(self, **kwargs) -> "MachineConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,335 @@
+"""The database machine: back-end controller, pipelines, and the run loop.
+
+One :class:`DatabaseMachine` instance owns a simulation environment, the
+hardware (data disks, cache, query-processor pool), the page-level-locking
+scheduler, and a recovery architecture.  ``run(transactions)`` executes a
+transaction load to completion and returns a :class:`~repro.metrics.RunResult`.
+
+Execution model (paper Sections 2 and 4):
+
+* the back-end controller admits up to ``mpl`` transactions concurrently;
+* each transaction's reference string is pipelined through a read-ahead
+  window: lock -> (architecture indirection) -> cache frame -> disk read ->
+  query processor -> optional update -> write-back;
+* write-backs run detached; the recovery architecture owns the durability
+  path (WAL barriers, scratch writes, ...);
+* transaction completion time runs from the first cache-frame allocation to
+  the last updated page reaching disk, exactly the paper's metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import AuxRead, DataPage, RecoveryArchitecture, WorkItem
+from repro.hardware.disk import Disk, DiskAddress, make_disk, split_by_cylinder
+from repro.hardware.placement import ClusteredPlacement, Placement
+from repro.machine.cache import DiskCache
+from repro.machine.config import MachineConfig
+from repro.machine.locks import DeadlockAbort, LockManager, LockMode
+from repro.machine.processors import ProcessorPool
+from repro.metrics.collectors import RunResult
+from repro.metrics.timeline import Timeline
+from repro.sim.core import Environment, Event, Process
+from repro.sim.monitor import CounterStat, SampleStat
+from repro.sim.resources import Container, Resource
+from repro.sim.rng import RandomStreams
+from repro.workload.transaction import Transaction, TransactionStatus
+
+__all__ = ["DatabaseMachine"]
+
+#: Delay before a deadlock victim restarts, in ms.
+RESTART_BACKOFF_MS = 50.0
+
+
+class _TxnRuntime:
+    """Per-attempt bookkeeping the machine and architectures share."""
+
+    __slots__ = ("aborted", "abort_cause", "writebacks", "started", "scratch")
+
+    def __init__(self) -> None:
+        self.aborted = False
+        self.abort_cause: Optional[DeadlockAbort] = None
+        self.writebacks: List[Process] = []
+        self.started = False
+        #: Free-form per-attempt state for the recovery architecture.
+        self.scratch: dict = {}
+
+
+class DatabaseMachine:
+    """A multiprocessor-cache database machine with pluggable recovery."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        architecture: Optional[RecoveryArchitecture] = None,
+        placement: Optional[Placement] = None,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.config = config
+        self.timeline = timeline
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.placement = placement or ClusteredPlacement(
+            config.disk, config.n_data_disks, config.db_pages
+        )
+        self.data_disks: List[Disk] = [
+            make_disk(
+                self.env,
+                config.disk,
+                parallel=config.parallel_data_disks,
+                name=f"data{i}",
+                rng=self.streams.stream(f"disk.data{i}"),
+                scheduling=config.disk_scheduling,
+            )
+            for i in range(config.n_data_disks)
+        ]
+        self.cache = DiskCache(self.env, config.cache_frames)
+        self.qps = ProcessorPool(
+            self.env, config.n_query_processors, config.cpu, name="qp"
+        )
+        self.locks = LockManager(self.env)
+        self.pages_read = CounterStat("pages_read")
+        self.pages_written = CounterStat("pages_written")
+        self.completions = SampleStat("completion_ms", keep=True)
+        self._runtimes: Dict[int, _TxnRuntime] = {}
+        self._restarts = 0
+        self.arch = architecture if architecture is not None else RecoveryArchitecture()
+        self.arch.attach(self)
+
+    # ------------------------------------------------------------------ helpers
+    def locate(self, page: int) -> Tuple[int, DiskAddress]:
+        """Home disk and address of logical ``page`` under the placement."""
+        return self.placement.locate(page)
+
+    def runtime(self, txn: Transaction) -> _TxnRuntime:
+        """The per-attempt runtime record for ``txn``."""
+        return self._runtimes[txn.tid]
+
+    def note_page_written(self, txn: Transaction, n: int = 1) -> None:
+        """Record that ``n`` updated pages of ``txn`` reached the disk."""
+        self.pages_written.increment(n)
+        txn.last_durable_write = self.env.now
+        self._trace("write_durable", tid=txn.tid, pages=n)
+
+    def wait_writebacks(self, txn: Transaction):
+        """Generator: wait for every outstanding write-back of ``txn``."""
+        runtime = self.runtime(txn)
+        if runtime.writebacks:
+            yield self.env.all_of(runtime.writebacks)
+
+    def spawn_writeback(self, txn: Transaction, page: int) -> Process:
+        """Start the architecture's durability path for an updated page."""
+        proc = self.env.process(
+            self.arch.writeback(txn, page), name=f"wb.t{txn.tid}.p{page}"
+        )
+        self.runtime(txn).writebacks.append(proc)
+        return proc
+
+    def read_batched(self, disk_idx: int, addresses: Sequence[DiskAddress], tag: str):
+        """Generator: read ``addresses``, split per cylinder for parallel
+        drives (their requests must be single-cylinder)."""
+        yield from self._io_batched(disk_idx, "read", addresses, tag)
+
+    def write_batched(self, disk_idx: int, addresses: Sequence[DiskAddress], tag: str):
+        """Generator: write ``addresses``, split per cylinder when needed."""
+        yield from self._io_batched(disk_idx, "write", addresses, tag)
+
+    def _io_batched(self, disk_idx, kind, addresses, tag):
+        disk = self.data_disks[disk_idx]
+        if disk.parallel_access:
+            groups = split_by_cylinder(addresses)
+        else:
+            groups = [list(addresses)]
+        requests = [disk.submit(kind, group, tag) for group in groups]
+        yield self.env.all_of([r.done for r in requests])
+
+    # ------------------------------------------------------------------ running
+    def run(self, transactions: Sequence[Transaction]) -> RunResult:
+        """Execute the load to completion and collect the paper's metrics."""
+        if not transactions:
+            raise ValueError("empty transaction load")
+        done = self.env.process(self._driver(transactions), name="driver")
+        self.env.run(until=done)
+        return self._collect(transactions)
+
+    def _driver(self, transactions: Sequence[Transaction]):
+        mpl = Resource(self.env, capacity=self.config.mpl)
+        running = []
+        for txn in transactions:
+            grant = mpl.request()
+            yield grant
+            proc = self.env.process(
+                self._run_transaction(txn, mpl, grant), name=f"txn{txn.tid}"
+            )
+            running.append(proc)
+        if running:
+            yield self.env.all_of(running)
+
+    def _run_transaction(self, txn: Transaction, mpl: Resource, grant) -> None:
+        try:
+            while True:
+                self._runtimes[txn.tid] = _TxnRuntime()
+                completed = yield from self._attempt(txn)
+                if completed:
+                    break
+                txn.restarts += 1
+                self._restarts += 1
+                yield self.env.timeout(RESTART_BACKOFF_MS * txn.restarts)
+        finally:
+            mpl.release(grant)
+
+    def _attempt(self, txn: Transaction):
+        """One execution attempt; returns True on commit, False on abort."""
+        env = self.env
+        runtime = self.runtime(txn)
+        txn.status = TransactionStatus.ACTIVE
+        self._trace("txn_begin", tid=txn.tid, attempt=txn.restarts + 1)
+        yield from self.arch.on_begin(txn)
+
+        window = Container(
+            env, capacity=self.config.prefetch_window, init=self.config.prefetch_window
+        )
+        pipelines: List[Process] = []
+        for item in self.arch.read_sequence(txn):
+            yield window.get(1)
+            if runtime.aborted:
+                window.put(1)
+                break
+            pipelines.append(
+                env.process(
+                    self._item_pipeline(txn, runtime, item, window),
+                    name=f"pipe.t{txn.tid}",
+                )
+            )
+        if pipelines:
+            yield env.all_of(pipelines)
+
+        if runtime.aborted:
+            # The architecture's abort hook runs first: it must unblock any
+            # write-backs gated on recovery data (e.g. force the log pages
+            # holding this transaction's fragments).
+            yield from self.arch.on_abort(txn)
+            yield from self.wait_writebacks(txn)
+            self.locks.release_all(txn.tid)
+            txn.status = TransactionStatus.ABORTED
+            self._trace("txn_abort", tid=txn.tid)
+            txn.reset_runtime()
+            return False
+
+        yield from self.arch.on_commit(txn)
+        self.locks.release_all(txn.tid)
+        txn.status = TransactionStatus.COMMITTED
+        self._trace("txn_commit", tid=txn.tid)
+        if txn.write_pages and txn.last_durable_write is not None:
+            txn.finish_time = txn.last_durable_write
+        else:
+            txn.finish_time = env.now
+        if txn.start_time is not None:
+            self.completions.add(txn.finish_time - txn.start_time)
+        return True
+
+    # ------------------------------------------------------------------ pipelines
+    def _item_pipeline(self, txn, runtime, item: WorkItem, window: Container):
+        try:
+            if isinstance(item, DataPage):
+                yield from self._data_page_pipeline(txn, runtime, item.page)
+            elif isinstance(item, AuxRead):
+                yield from self._aux_read_pipeline(txn, runtime, item)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown work item {item!r}")
+        finally:
+            window.put(1)
+
+    def _data_page_pipeline(self, txn, runtime, page: int):
+        env = self.env
+        is_update = page in txn.write_pages
+        mode = LockMode.X if is_update else LockMode.S
+        try:
+            yield self.locks.acquire(txn.tid, page, mode)
+        except DeadlockAbort as abort:
+            runtime.aborted = True
+            runtime.abort_cause = abort
+            return
+        if runtime.aborted:
+            return
+        yield from self.arch.before_page_read(txn, page)
+        if runtime.aborted:
+            return
+        yield self.cache.acquire(1)
+        if not runtime.started:
+            runtime.started = True
+            txn.start_time = env.now
+        disk_idx, addresses = self.arch.read_addresses(txn, page)
+        request = self.data_disks[disk_idx].read(addresses, tag="data")
+        yield request.done
+        self.pages_read.increment()
+        self._trace("page_read", tid=txn.tid, page=page)
+        if runtime.aborted:
+            self.cache.release(1)
+            return
+        qp_index, grant = yield from self.qps.acquire()
+        try:
+            yield env.timeout(self.arch.page_cpu_ms(txn, page, is_update))
+            if is_update and not runtime.aborted:
+                yield from self.arch.on_page_updated(txn, page, qp_index)
+        finally:
+            self.qps.release(qp_index, grant)
+        if is_update and not runtime.aborted:
+            self.spawn_writeback(txn, page)
+        else:
+            self.cache.release(1)
+
+    def _aux_read_pipeline(self, txn, runtime, item: AuxRead):
+        n_frames = len(item.addresses)
+        yield self.cache.acquire(n_frames)
+        if not runtime.started:
+            runtime.started = True
+            txn.start_time = self.env.now
+        yield from self.read_batched(item.disk_idx, item.addresses, item.tag)
+        if item.cpu_ms > 0 and not runtime.aborted:
+            yield from self.qps.execute_ms(item.cpu_ms)
+        self.cache.release(n_frames)
+
+    def _trace(self, category: str, **fields) -> None:
+        if self.timeline is not None:
+            self.timeline.record(self.env.now, category, **fields)
+
+    # ------------------------------------------------------------------ results
+    def _collect(self, transactions: Sequence[Transaction]) -> RunResult:
+        t_end = self.env.now
+        pages_processed = sum(t.pages_processed for t in transactions)
+        utilizations = {"qp": self.qps.utilization(t_end)}
+        counters = {
+            "data_disk_accesses": 0,
+            "data_pages_read": self.pages_read.count,
+            "data_pages_written": self.pages_written.count,
+            "lock_blocks": self.locks.blocks.count,
+            "lock_deadlocks": self.locks.deadlocks.count,
+        }
+        for disk in self.data_disks:
+            utilizations[disk.name] = disk.utilization(t_end)
+            counters["data_disk_accesses"] += disk.accesses.count
+        if self.data_disks:
+            utilizations["data_disks"] = sum(
+                d.utilization(t_end) for d in self.data_disks
+            ) / len(self.data_disks)
+        averages = {
+            "blocked_pages": self.cache.mean_blocked(t_end),
+            "free_frames": self.cache.mean_free(t_end),
+        }
+        utilizations.update(self.arch.extra_utilizations(t_end))
+        counters.update(self.arch.extra_counters())
+        averages.update(self.arch.extra_averages(t_end))
+        return RunResult(
+            architecture=self.arch.describe(),
+            makespan_ms=t_end,
+            pages_processed=pages_processed,
+            mean_completion_ms=self.completions.mean,
+            max_completion_ms=self.completions.max,
+            n_transactions=len(transactions),
+            n_restarts=self._restarts,
+            utilizations=utilizations,
+            counters=counters,
+            averages=averages,
+        )

@@ -1,0 +1,13 @@
+"""Run-level metrics, timelines, and report rendering."""
+
+from repro.metrics.collectors import RunResult
+from repro.metrics.report import format_table, render_comparison
+from repro.metrics.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "RunResult",
+    "Timeline",
+    "TimelineEvent",
+    "format_table",
+    "render_comparison",
+]

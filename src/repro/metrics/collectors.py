@@ -1,0 +1,66 @@
+"""The result object produced by one simulated run.
+
+The two paper metrics (Section 4):
+
+* ``execution_time_per_page`` — machine time to execute the whole load
+  divided by the total number of pages processed (pages read + pages
+  written by the logical workload).  Throughput measure; lower is better.
+* ``mean_completion_time`` — average over transactions of (first cache
+  frame allocated -> last updated page written to disk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run of the database machine."""
+
+    architecture: str
+    makespan_ms: float
+    pages_processed: int
+    mean_completion_ms: float
+    max_completion_ms: float = 0.0
+    n_transactions: int = 0
+    n_restarts: int = 0
+    #: Name -> busy fraction over the run (data disks, log disks, QPs, ...).
+    utilizations: Dict[str, float] = field(default_factory=dict)
+    #: Name -> event count (disk accesses, pages read, log pages, ...).
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Name -> time-averaged level (blocked pages, free frames, ...).
+    averages: Dict[str, float] = field(default_factory=dict)
+    #: Architecture-specific extras.
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def execution_time_per_page(self) -> float:
+        """The paper's throughput metric, in ms per page."""
+        if self.pages_processed == 0:
+            return 0.0
+        return self.makespan_ms / self.pages_processed
+
+    def utilization(self, name: str) -> float:
+        return self.utilizations.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable digest."""
+        lines = [
+            f"architecture          : {self.architecture}",
+            f"makespan              : {self.makespan_ms:.1f} ms",
+            f"pages processed       : {self.pages_processed}",
+            f"execution time / page : {self.execution_time_per_page:.2f} ms",
+            f"mean completion time  : {self.mean_completion_ms:.1f} ms",
+            f"transactions          : {self.n_transactions}"
+            + (f" ({self.n_restarts} restarts)" if self.n_restarts else ""),
+        ]
+        for name in sorted(self.utilizations):
+            lines.append(f"util[{name}] : {self.utilizations[name]:.2f}")
+        return "\n".join(lines)

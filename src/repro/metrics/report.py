@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints tables in the same row/column layout the paper
+uses so measured numbers can be compared against it cell by cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "render_comparison"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Align ``rows`` under ``headers``; column widths fit the content."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_comparison(
+    measured: Dict[str, float],
+    paper: Dict[str, float],
+    metric: str = "ms/page",
+    title: Optional[str] = None,
+) -> str:
+    """Side-by-side measured-vs-paper table with ratios.
+
+    Keys present in only one of the dicts are still shown (blank partner).
+    """
+    keys: List[str] = list(measured)
+    keys += [k for k in paper if k not in measured]
+    rows = []
+    for key in keys:
+        m = measured.get(key)
+        p = paper.get(key)
+        ratio = "" if (m is None or p is None or p == 0) else f"{m / p:.2f}"
+        rows.append(
+            [
+                key,
+                "" if m is None else f"{m:.2f}",
+                "" if p is None else f"{p:.2f}",
+                ratio,
+            ]
+        )
+    return format_table(
+        ["case", f"measured ({metric})", f"paper ({metric})", "ratio"],
+        rows,
+        title=title,
+    )

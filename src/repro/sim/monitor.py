@@ -1,0 +1,192 @@
+"""Statistics collectors for simulation runs.
+
+All collectors are explicitly fed (no magic instrumentation) and know the
+environment only through the timestamps they are given, so they are equally
+usable from unit tests without a running simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+__all__ = ["CounterStat", "SampleStat", "TimeWeightedStat", "UtilizationTracker"]
+
+
+class CounterStat:
+    """A plain event counter with a helpful repr."""
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.count = 0
+
+    def increment(self, by: int = 1) -> None:
+        self.count += by
+
+    def __repr__(self) -> str:
+        return f"<CounterStat {self.name}={self.count}>"
+
+
+class SampleStat:
+    """Aggregates i.i.d. samples: mean/variance/min/max, optional retention.
+
+    Uses Welford's algorithm so very long runs do not need to keep samples;
+    pass ``keep=True`` to retain raw samples (for percentiles in reports).
+    """
+
+    def __init__(self, name: str = "samples", keep: bool = False):
+        self.name = name
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep else None
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._mean * self.n
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; requires ``keep=True``."""
+        if self._samples is None:
+            raise ValueError("percentiles need keep=True")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        k = (len(data) - 1) * q / 100.0
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return data[int(k)]
+        return data[lo] * (hi - k) + data[hi] * (k - lo)
+
+    def __repr__(self) -> str:
+        return f"<SampleStat {self.name} n={self.n} mean={self.mean:.3f}>"
+
+
+class TimeWeightedStat:
+    """Time-weighted average of a piecewise-constant quantity.
+
+    Feed it ``update(t, new_value)`` whenever the quantity changes; query
+    ``mean(t_end)`` for the time average over [t0, t_end].  Used for queue
+    lengths, cache occupancy, and number of blocked pages.
+    """
+
+    def __init__(self, t0: float = 0.0, value: float = 0.0, name: str = "level"):
+        self.name = name
+        self._t0 = t0
+        self._last_t = t0
+        self._value = value
+        self._area = 0.0
+        self._max = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, t: float, value: float) -> None:
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        self._area += self._value * (t - self._last_t)
+        self._last_t = t
+        self._value = value
+        self._max = max(self._max, value)
+
+    def add(self, t: float, delta: float) -> None:
+        self.update(t, self._value + delta)
+
+    def mean(self, t_end: Optional[float] = None) -> float:
+        t = self._last_t if t_end is None else t_end
+        if t < self._last_t:
+            raise ValueError("t_end before last update")
+        span = t - self._t0
+        if span <= 0:
+            return self._value
+        return (self._area + self._value * (t - self._last_t)) / span
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def __repr__(self) -> str:
+        return f"<TimeWeightedStat {self.name} now={self._value}>"
+
+
+class UtilizationTracker:
+    """Fraction of time a server (or a pool of servers) is busy.
+
+    ``start(t)`` / ``stop(t)`` may nest (a pool with N members counts how
+    many are busy); ``utilization(t_end, capacity)`` divides busy-time by
+    capacity * elapsed.
+    """
+
+    def __init__(self, t0: float = 0.0, name: str = "server"):
+        self.name = name
+        self._t0 = t0
+        self._busy = 0
+        self._last_t = t0
+        self._busy_time = 0.0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    def start(self, t: float) -> None:
+        self._accumulate(t)
+        self._busy += 1
+
+    def stop(self, t: float) -> None:
+        if self._busy <= 0:
+            raise ValueError(f"stop() on idle tracker {self.name!r}")
+        self._accumulate(t)
+        self._busy -= 1
+
+    def _accumulate(self, t: float) -> None:
+        if t < self._last_t:
+            raise ValueError(f"time went backwards: {t} < {self._last_t}")
+        self._busy_time += self._busy * (t - self._last_t)
+        self._last_t = t
+
+    def busy_time(self, t_end: Optional[float] = None) -> float:
+        t = self._last_t if t_end is None else t_end
+        return self._busy_time + self._busy * (t - self._last_t)
+
+    def utilization(self, t_end: float, capacity: int = 1) -> float:
+        span = t_end - self._t0
+        if span <= 0:
+            return 0.0
+        return self.busy_time(t_end) / (span * capacity)
+
+    def __repr__(self) -> str:
+        return f"<UtilizationTracker {self.name} busy={self._busy}>"

@@ -1,0 +1,29 @@
+"""Exceptions of the functional storage engine."""
+
+from __future__ import annotations
+
+__all__ = ["LockConflict", "StorageError", "TransactionAborted", "UnknownTransaction"]
+
+
+class StorageError(Exception):
+    """Base class for storage-engine errors."""
+
+
+class UnknownTransaction(StorageError):
+    """An operation named a transaction id that is not active."""
+
+
+class TransactionAborted(StorageError):
+    """An operation touched a transaction that has already aborted."""
+
+
+class LockConflict(StorageError):
+    """A page-level lock request conflicts with another active transaction."""
+
+    def __init__(self, tid: int, page: int, holder: int):
+        super().__init__(
+            f"transaction {tid} cannot lock page {page}: held by {holder}"
+        )
+        self.tid = tid
+        self.page = page
+        self.holder = holder

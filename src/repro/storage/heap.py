@@ -1,0 +1,257 @@
+"""Crash-safe heap files and a small table facade over a recovery manager.
+
+A :class:`HeapFile` stores variable-length records in slotted pages whose
+bytes live in a :class:`~repro.storage.interface.RecoveryManager` — so
+heap-file operations are transactional and crash-safe under *any* of the
+paper's recovery mechanisms, interchangeably.  This is the layer a
+database machine's query processors would sit on.
+
+Page-number space: each file gets a sparse region of the manager's integer
+page space (``file_id * REGION + page_no``); page 0 of the region is the
+file's catalog page holding the allocated-page count.
+
+:class:`Database` adds named tables and typed rows via the record codec::
+
+    from repro.storage import DistributedWalManager
+    from repro.storage.heap import Database
+
+    db = Database(DistributedWalManager(n_logs=3))
+    accounts = db.create_table("accounts")
+    tid = db.begin()
+    rid = accounts.insert(tid, ("alice", 100))
+    db.commit(tid)
+    db.crash(); db.recover()
+    assert accounts.fetch_row(None, rid) == ("alice", 100)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple
+
+from repro.storage.interface import RecoveryManager
+from repro.storage.pages import PageFullError, SlottedPage
+from repro.storage.records import decode_record, encode_record
+
+__all__ = ["Database", "HeapFile", "RecordId", "Table"]
+
+#: Page-number region per file (file_id * REGION + page_no).
+REGION = 1_000_000
+
+
+class RecordId(NamedTuple):
+    """Stable address of a record: (page number within file, slot)."""
+
+    page_no: int
+    slot: int
+
+
+class HeapFile:
+    """Variable-length records in slotted pages, via a recovery manager."""
+
+    def __init__(
+        self,
+        manager: RecoveryManager,
+        file_id: int,
+        page_size: int = 4096,
+    ):
+        if file_id < 0:
+            raise ValueError("file id must be non-negative")
+        self.manager = manager
+        self.file_id = file_id
+        self.page_size = page_size
+
+    # -- page plumbing -----------------------------------------------------------
+    def _page_key(self, page_no: int) -> int:
+        if not 0 <= page_no < REGION - 1:
+            raise ValueError(f"page number {page_no} outside file region")
+        return self.file_id * REGION + page_no + 1  # +1: key 0 is the catalog
+
+    def _catalog_key(self) -> int:
+        return self.file_id * REGION
+
+    def _read_page(self, tid: Optional[int], page_no: int) -> SlottedPage:
+        raw = self._read(tid, self._page_key(page_no))
+        return SlottedPage.decode(raw, self.page_size)
+
+    def _write_page(self, tid: int, page_no: int, page: SlottedPage) -> None:
+        self.manager.write(tid, self._page_key(page_no), page.encode())
+
+    def _read(self, tid: Optional[int], key: int) -> bytes:
+        if tid is None:
+            return self.manager.read_committed(key)
+        return self.manager.read(tid, key)
+
+    def n_pages(self, tid: Optional[int] = None) -> int:
+        """Allocated data pages (from the catalog page)."""
+        raw = self._read(tid, self._catalog_key())
+        return int.from_bytes(raw, "big") if raw else 0
+
+    def _set_n_pages(self, tid: int, count: int) -> None:
+        self.manager.write(tid, self._catalog_key(), count.to_bytes(4, "big"))
+
+    # -- record operations ------------------------------------------------------------
+    def insert(self, tid: int, record: bytes) -> RecordId:
+        """Append a record (first-fit over existing pages, else grow)."""
+        if len(record) > SlottedPage(self.page_size).free_space():
+            raise PageFullError(
+                f"{len(record)}-byte record can never fit a "
+                f"{self.page_size}-byte page"
+            )
+        count = self.n_pages(tid)
+        for page_no in range(count):
+            page = self._read_page(tid, page_no)
+            if page.fits(record):
+                slot = page.insert(record)
+                self._write_page(tid, page_no, page)
+                return RecordId(page_no, slot)
+        page = SlottedPage(self.page_size)
+        slot = page.insert(record)
+        self._write_page(tid, count, page)
+        self._set_n_pages(tid, count + 1)
+        return RecordId(count, slot)
+
+    def fetch(self, tid: Optional[int], rid: RecordId) -> Optional[bytes]:
+        """The record at ``rid`` (None if deleted).  ``tid=None`` reads the
+        committed state (outside any transaction)."""
+        if rid.page_no >= self.n_pages(tid):
+            return None
+        return self._read_page(tid, rid.page_no).get(rid.slot)
+
+    def delete(self, tid: int, rid: RecordId) -> bool:
+        if rid.page_no >= self.n_pages(tid):
+            return False
+        page = self._read_page(tid, rid.page_no)
+        if not page.delete(rid.slot):
+            return False
+        self._write_page(tid, rid.page_no, page)
+        return True
+
+    def update(self, tid: int, rid: RecordId, record: bytes) -> RecordId:
+        """Replace a record in place; relocates if it no longer fits."""
+        page = self._read_page(tid, rid.page_no)
+        if page.get(rid.slot) is None:
+            raise KeyError(f"no record at {rid}")
+        try:
+            page.update(rid.slot, record)
+        except PageFullError:
+            page.delete(rid.slot)
+            self._write_page(tid, rid.page_no, page)
+            return self.insert(tid, record)
+        self._write_page(tid, rid.page_no, page)
+        return rid
+
+    def scan(self, tid: Optional[int]) -> Iterator[Tuple[RecordId, bytes]]:
+        """All live records in (page, slot) order."""
+        for page_no in range(self.n_pages(tid)):
+            page = self._read_page(tid, page_no)
+            for slot, record in page.records():
+                yield RecordId(page_no, slot), record
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan(None))
+
+
+class Table:
+    """Typed rows over a heap file (via the record codec)."""
+
+    def __init__(self, heap: HeapFile, name: str):
+        self.heap = heap
+        self.name = name
+
+    def insert(self, tid: int, row: Tuple) -> RecordId:
+        return self.heap.insert(tid, encode_record(row))
+
+    def fetch_row(self, tid: Optional[int], rid: RecordId) -> Optional[Tuple]:
+        raw = self.heap.fetch(tid, rid)
+        return decode_record(raw) if raw is not None else None
+
+    def update(self, tid: int, rid: RecordId, row: Tuple) -> RecordId:
+        return self.heap.update(tid, rid, encode_record(row))
+
+    def delete(self, tid: int, rid: RecordId) -> bool:
+        return self.heap.delete(tid, rid)
+
+    def rows(self, tid: Optional[int] = None) -> Iterator[Tuple[RecordId, Tuple]]:
+        for rid, raw in self.heap.scan(tid):
+            yield rid, decode_record(raw)
+
+    def select(self, predicate, tid: Optional[int] = None):
+        """Rows satisfying ``predicate(row)`` — a full table scan."""
+        for rid, row in self.rows(tid):
+            if predicate(row):
+                yield rid, row
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
+class Database:
+    """Named tables over one recovery manager.
+
+    The table catalog itself lives in heap file 0, so table definitions are
+    transactional and survive crashes like everything else.
+    """
+
+    _CATALOG_FILE = 0
+
+    def __init__(self, manager: RecoveryManager, page_size: int = 4096):
+        self.manager = manager
+        self.page_size = page_size
+        self._catalog = Table(
+            HeapFile(manager, self._CATALOG_FILE, page_size), "__catalog__"
+        )
+        self._tables: Dict[str, Table] = {}
+
+    # -- transaction pass-through ---------------------------------------------------
+    def begin(self) -> int:
+        return self.manager.begin()
+
+    def commit(self, tid: int) -> None:
+        self.manager.commit(tid)
+
+    def abort(self, tid: int) -> None:
+        self.manager.abort(tid)
+
+    def crash(self) -> None:
+        self.manager.crash()
+        self._tables.clear()  # volatile handle cache
+
+    def recover(self) -> None:
+        self.manager.recover()
+
+    # -- catalog -----------------------------------------------------------------------
+    def _catalog_entries(self, tid: Optional[int]) -> Dict[str, int]:
+        return {name: fid for _rid, (name, fid) in self._catalog.rows(tid)}
+
+    def create_table(self, name: str, tid: Optional[int] = None) -> Table:
+        """Create (and catalog) a table; auto-commits unless ``tid`` given."""
+        own_txn = tid is None
+        if own_txn:
+            tid = self.begin()
+        entries = self._catalog_entries(tid)
+        if name in entries:
+            if own_txn:
+                self.abort(tid)
+            raise ValueError(f"table {name!r} already exists")
+        file_id = max(entries.values(), default=self._CATALOG_FILE) + 1
+        self._catalog.insert(tid, (name, file_id))
+        if own_txn:
+            self.commit(tid)
+        table = Table(HeapFile(self.manager, file_id, self.page_size), name)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Handle for an existing table (rebuilt from the catalog)."""
+        cached = self._tables.get(name)
+        if cached is not None:
+            return cached
+        entries = self._catalog_entries(None)
+        if name not in entries:
+            raise KeyError(f"no table {name!r}")
+        table = Table(HeapFile(self.manager, entries[name], self.page_size), name)
+        self._tables[name] = table
+        return table
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._catalog_entries(None)))

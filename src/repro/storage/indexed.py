@@ -1,0 +1,205 @@
+"""Indexed tables: heap storage + B+tree secondary indexes, kept in sync.
+
+An :class:`IndexedTable` wraps a :class:`~repro.storage.heap.Table` and
+maintains one B+tree per indexed column inside the *same* transaction as
+the base-row change — so index and heap can never diverge, even across
+crashes, under any recovery manager.  Lookups and ordered range scans go
+through the index; everything else behaves like a plain table.
+
+    from repro.storage import DistributedWalManager
+    from repro.storage.indexed import IndexedDatabase
+
+    db = IndexedDatabase(DistributedWalManager(n_logs=2))
+    people = db.create_table("people", indexes={"name": 0})
+    tid = db.begin()
+    people.insert(tid, ("carol", 45))
+    db.commit(tid)
+    rid, row = people.lookup(None, "name", "carol")[0]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.storage.btree import BTree
+from repro.storage.heap import Database, HeapFile, RecordId, Table
+from repro.storage.interface import RecoveryManager
+from repro.storage.records import decode_record, encode_record
+
+__all__ = ["IndexedDatabase", "IndexedTable"]
+
+
+def _index_key(value) -> bytes:
+    """Order-preserving byte encoding for indexable field values.
+
+    Strings order lexicographically; non-negative ints order numerically
+    (big-endian, fixed width); bytes pass through.  Mixed-type columns are
+    the caller's responsibility, as in any schemaless store.
+    """
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, bool):
+        raise TypeError("bool columns are not indexable")
+    if isinstance(value, int):
+        if value < 0:
+            raise TypeError("negative ints are not indexable (no order-preserving code)")
+        return b"i" + value.to_bytes(8, "big")
+    raise TypeError(f"unindexable value type {type(value).__name__}")
+
+
+def _encode_rid(rid: RecordId) -> bytes:
+    return encode_record(tuple(rid))
+
+
+def _decode_rid(raw: bytes) -> RecordId:
+    return RecordId(*decode_record(raw))
+
+
+class IndexedTable:
+    """A table whose named columns carry B+tree indexes."""
+
+    def __init__(self, table: Table, indexes: Dict[str, Tuple[int, BTree]]):
+        self._table = table
+        #: index name -> (column position, btree)
+        self._indexes = indexes
+        self.name = table.name
+
+    # -- writes (index-maintaining) ------------------------------------------------
+    def insert(self, tid: int, row: Tuple) -> RecordId:
+        rid = self._table.insert(tid, row)
+        for _name, (column, tree) in self._indexes.items():
+            tree.insert(tid, self._entry_key(row, column, rid), _encode_rid(rid))
+        return rid
+
+    def delete(self, tid: int, rid: RecordId) -> bool:
+        row = self._table.fetch_row(tid, rid)
+        if row is None:
+            return False
+        for _name, (column, tree) in self._indexes.items():
+            tree.delete(tid, self._entry_key(row, column, rid))
+        return self._table.delete(tid, rid)
+
+    def update(self, tid: int, rid: RecordId, row: Tuple) -> RecordId:
+        old_row = self._table.fetch_row(tid, rid)
+        if old_row is None:
+            raise KeyError(f"no record at {rid}")
+        new_rid = self._table.update(tid, rid, row)
+        for _name, (column, tree) in self._indexes.items():
+            tree.delete(tid, self._entry_key(old_row, column, rid))
+            tree.insert(tid, self._entry_key(row, column, new_rid), _encode_rid(new_rid))
+        return new_rid
+
+    # -- reads -----------------------------------------------------------------------
+    def fetch_row(self, tid, rid: RecordId) -> Optional[Tuple]:
+        return self._table.fetch_row(tid, rid)
+
+    def rows(self, tid=None) -> Iterator[Tuple[RecordId, Tuple]]:
+        return self._table.rows(tid)
+
+    def lookup(self, tid, index: str, value) -> List[Tuple[RecordId, Tuple]]:
+        """All rows whose indexed column equals ``value`` (via the index)."""
+        column, tree = self._indexes[index]
+        prefix = _index_key(value)
+        out = []
+        for key, raw_rid in tree.entries(tid, low=prefix, high=prefix + b"\xff\xff"):
+            if not key.startswith(prefix + b"@"):
+                continue
+            rid = _decode_rid(raw_rid)
+            row = self._table.fetch_row(tid, rid)
+            if row is not None:
+                out.append((rid, row))
+        return out
+
+    def scan_range(self, tid, index: str, low, high) -> Iterator[Tuple[RecordId, Tuple]]:
+        """Rows with low <= column < high, in index order."""
+        _column, tree = self._indexes[index]
+        low_key = _index_key(low) if low is not None else None
+        high_key = _index_key(high) if high is not None else None
+        for _key, raw_rid in tree.entries(tid, low=low_key, high=high_key):
+            rid = _decode_rid(raw_rid)
+            row = self._table.fetch_row(tid, rid)
+            if row is not None:
+                yield rid, row
+
+    def index_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._indexes))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -- internals ---------------------------------------------------------------------
+    @staticmethod
+    def _entry_key(row: Tuple, column: int, rid: RecordId) -> bytes:
+        """Index keys carry the rid so duplicate column values coexist."""
+        return _index_key(row[column]) + b"@" + _encode_rid(rid)
+
+
+class IndexedDatabase(Database):
+    """A :class:`~repro.storage.heap.Database` whose tables may be indexed.
+
+    Index definitions live in the transactional catalog alongside table
+    definitions (``__indexes__`` table), so they survive crashes and
+    reopen like everything else.
+    """
+
+    def __init__(self, manager: RecoveryManager, page_size: int = 4096):
+        super().__init__(manager, page_size)
+        self._index_catalog = Table(
+            HeapFile(manager, REGION_INDEX_CATALOG, page_size), "__indexes__"
+        )
+
+    def create_table(
+        self,
+        name: str,
+        tid: Optional[int] = None,
+        indexes: Optional[Dict[str, int]] = None,
+    ) -> IndexedTable:
+        """Create a table with ``indexes`` mapping index name -> column."""
+        own_txn = tid is None
+        if own_txn:
+            tid = self.begin()
+        base = super().create_table(name, tid=tid)
+        index_map: Dict[str, Tuple[int, BTree]] = {}
+        for index_name, column in (indexes or {}).items():
+            file_id = self._next_index_file(tid)
+            self._index_catalog.insert(tid, (name, index_name, column, file_id))
+            index_map[index_name] = (
+                column,
+                BTree(self.manager, file_id, self.page_size),
+            )
+        if own_txn:
+            self.commit(tid)
+        table = IndexedTable(base, index_map)
+        self._tables[name] = table  # shadow the plain Table handle
+        return table
+
+    def table(self, name: str) -> IndexedTable:
+        cached = self._tables.get(name)
+        if isinstance(cached, IndexedTable):
+            return cached
+        base = super().table(name)
+        index_map: Dict[str, Tuple[int, BTree]] = {}
+        for _rid, (table_name, index_name, column, file_id) in self._index_catalog.rows(None):
+            if table_name == name:
+                index_map[index_name] = (
+                    column,
+                    BTree(self.manager, file_id, self.page_size),
+                )
+        table = IndexedTable(base, index_map)
+        self._tables[name] = table
+        return table
+
+    def _next_index_file(self, tid) -> int:
+        used = [
+            file_id
+            for _rid, (_t, _i, _c, file_id) in self._index_catalog.rows(tid)
+        ]
+        return (max(used) + 1) if used else REGION_INDEX_FIRST
+
+
+#: File id of the index catalog, far from user tables.
+REGION_INDEX_CATALOG = 900_000 - 1
+#: First file id handed to user indexes.
+REGION_INDEX_FIRST = 500_000

@@ -1,0 +1,139 @@
+"""The common contract of every functional recovery manager.
+
+Transactions are driven explicitly::
+
+    manager = DistributedWalManager(n_logs=3)
+    tid = manager.begin()
+    manager.write(tid, page=1, data=b"hello")
+    manager.commit(tid)
+    manager.crash()      # wipe all volatile state
+    manager.recover()    # restart algorithm
+    assert manager.read_committed(1) == b"hello"
+
+The contract (checked by the shared property-based tests in
+``tests/test_storage_properties.py``):
+
+* **durability** — after ``commit`` returns, the transaction's writes
+  survive any number of crashes;
+* **atomicity** — a transaction that never committed (aborted, or active
+  at a crash) leaves no trace;
+* **isolation** (page level) — with ``enforce_locks=True`` (default),
+  conflicting concurrent page access raises :class:`LockConflict`,
+  modeling the paper's page-level-locking scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.storage.errors import LockConflict, UnknownTransaction
+from repro.storage.stable import StableStorage
+
+__all__ = ["RecoveryManager"]
+
+
+class RecoveryManager:
+    """Base class: transaction registry, page locks, crash plumbing."""
+
+    name = "abstract"
+
+    def __init__(
+        self, stable: Optional[StableStorage] = None, enforce_locks: bool = True
+    ):
+        self.stable = stable if stable is not None else StableStorage()
+        self.enforce_locks = enforce_locks
+        self._next_tid = 1
+        self._active: Set[int] = set()
+        #: page -> owning transaction (exclusive page locks; readers of a
+        #: page someone else is updating conflict, as under strict 2PL with
+        #: the write set known up front).
+        self._locks: Dict[int, int] = {}
+
+    # -- transaction control -------------------------------------------------
+    def begin(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self._active.add(tid)
+        self._on_begin(tid)
+        return tid
+
+    def read(self, tid: int, page: int) -> bytes:
+        self._check_active(tid)
+        self._lock(tid, page)
+        return self._do_read(tid, page)
+
+    def write(self, tid: int, page: int, data: bytes) -> None:
+        self._check_active(tid)
+        self._lock(tid, page)
+        self._do_write(tid, page, data)
+
+    def commit(self, tid: int) -> None:
+        self._check_active(tid)
+        self._do_commit(tid)
+        self._finish(tid)
+
+    def abort(self, tid: int) -> None:
+        self._check_active(tid)
+        self._do_abort(tid)
+        self._finish(tid)
+
+    # -- crash / restart ----------------------------------------------------------
+    def crash(self) -> None:
+        """Lose every piece of volatile state (buffer pool, lock table,
+        active transactions, unforced log tails)."""
+        self._active.clear()
+        self._locks.clear()
+        self._on_crash()
+
+    def recover(self) -> None:
+        """Run the architecture's restart algorithm against stable storage."""
+        self._on_recover()
+
+    def read_committed(self, page: int) -> bytes:
+        """The current committed value of ``page`` (outside any transaction)."""
+        raise NotImplementedError
+
+    # -- subclass hooks ---------------------------------------------------------------
+    def _on_begin(self, tid: int) -> None:
+        pass
+
+    def _do_read(self, tid: int, page: int) -> bytes:
+        raise NotImplementedError
+
+    def _do_write(self, tid: int, page: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _do_commit(self, tid: int) -> None:
+        raise NotImplementedError
+
+    def _do_abort(self, tid: int) -> None:
+        raise NotImplementedError
+
+    def _on_crash(self) -> None:
+        raise NotImplementedError
+
+    def _on_recover(self) -> None:
+        raise NotImplementedError
+
+    # -- shared plumbing -----------------------------------------------------------------
+    def _check_active(self, tid: int) -> None:
+        if tid not in self._active:
+            raise UnknownTransaction(f"transaction {tid} is not active")
+
+    def _lock(self, tid: int, page: int) -> None:
+        if not self.enforce_locks:
+            return
+        holder = self._locks.get(page)
+        if holder is None:
+            self._locks[page] = tid
+        elif holder != tid:
+            raise LockConflict(tid, page, holder)
+
+    def _finish(self, tid: int) -> None:
+        self._active.discard(tid)
+        for page in [p for p, t in self._locks.items() if t == tid]:
+            del self._locks[page]
+
+    @property
+    def active_transactions(self) -> Set[int]:
+        return set(self._active)

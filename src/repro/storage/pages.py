@@ -1,0 +1,159 @@
+"""Slotted-page codec: variable-length records inside fixed-size pages.
+
+The classic layout (used by System R and everything since): a header with
+the slot count, a slot directory growing from the front (offset, length
+per slot), and record data growing from the back.  Deleted slots keep
+their directory entry (offset 0) so record ids stay stable; a vacuum
+rewrites the page compactly.
+
+Pages serialize to ``bytes`` — exactly what the
+:class:`~repro.storage.interface.RecoveryManager` page interface stores —
+so every operation here is automatically crash-safe under any recovery
+manager.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["PageFullError", "SlottedPage"]
+
+#: Header: record-data cursor (grows down) and slot count.
+_HEADER = struct.Struct("<HH")
+#: Slot directory entry: data offset (0 = deleted) and length.
+_SLOT = struct.Struct("<HH")
+
+
+class PageFullError(Exception):
+    """The record does not fit in the page's free space."""
+
+
+class SlottedPage:
+    """An in-memory slotted page, (de)serializable to ``bytes``."""
+
+    def __init__(self, page_size: int = 4096):
+        if page_size < _HEADER.size + _SLOT.size + 1:
+            raise ValueError(f"page size {page_size} too small")
+        if page_size > 0xFFFF:
+            raise ValueError("page size must fit 16-bit offsets")
+        self.page_size = page_size
+        #: Slot directory: (offset, length); offset 0 marks a dead slot.
+        self._slots: List[Tuple[int, int]] = []
+        self._data: dict = {}  # slot -> record bytes (for live slots)
+
+    # -- serialization ---------------------------------------------------------
+    @classmethod
+    def decode(cls, raw: bytes, page_size: int = 4096) -> "SlottedPage":
+        """Rebuild a page from its serialized form (b'' = fresh page)."""
+        page = cls(page_size)
+        if not raw:
+            return page
+        if len(raw) != page_size:
+            raise ValueError(
+                f"serialized page is {len(raw)} bytes, expected {page_size}"
+            )
+        _cursor, n_slots = _HEADER.unpack_from(raw, 0)
+        for index in range(n_slots):
+            offset, length = _SLOT.unpack_from(
+                raw, _HEADER.size + index * _SLOT.size
+            )
+            page._slots.append((offset, length))
+            if offset:
+                page._data[index] = raw[offset : offset + length]
+        return page
+
+    def encode(self) -> bytes:
+        """Serialize; records are repacked compactly from the page end."""
+        buffer = bytearray(self.page_size)
+        cursor = self.page_size
+        directory = []
+        for index, (offset, _length) in enumerate(self._slots):
+            if not offset:
+                directory.append((0, 0))
+                continue
+            record = self._data[index]
+            cursor -= len(record)
+            buffer[cursor : cursor + len(record)] = record
+            directory.append((cursor, len(record)))
+        _HEADER.pack_into(buffer, 0, cursor, len(self._slots))
+        for index, entry in enumerate(directory):
+            _SLOT.pack_into(buffer, _HEADER.size + index * _SLOT.size, *entry)
+        return bytes(buffer)
+
+    # -- space accounting ----------------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    @property
+    def live_records(self) -> int:
+        return len(self._data)
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        used = _HEADER.size + len(self._slots) * _SLOT.size
+        used += sum(len(record) for record in self._data.values())
+        return self.page_size - used - _SLOT.size
+
+    def fits(self, record: bytes) -> bool:
+        return len(record) <= self.free_space()
+
+    # -- record operations -------------------------------------------------------------
+    def insert(self, record: bytes) -> int:
+        """Store a record; returns its slot number (stable until vacuum)."""
+        if not isinstance(record, bytes):
+            raise TypeError("records are bytes")
+        if not self.fits(record):
+            raise PageFullError(
+                f"{len(record)}-byte record vs {self.free_space()} free"
+            )
+        # Reuse a dead slot when possible (keeps the directory small).
+        for index, (offset, _length) in enumerate(self._slots):
+            if not offset:
+                self._slots[index] = (1, len(record))
+                self._data[index] = record
+                return index
+        self._slots.append((1, len(record)))
+        slot = len(self._slots) - 1
+        self._data[slot] = record
+        return slot
+
+    def get(self, slot: int) -> Optional[bytes]:
+        """The record in ``slot``, or None if deleted/never used."""
+        if 0 <= slot < len(self._slots):
+            return self._data.get(slot)
+        return None
+
+    def delete(self, slot: int) -> bool:
+        """Remove the record in ``slot``; returns whether it existed."""
+        if 0 <= slot < len(self._slots) and slot in self._data:
+            self._slots[slot] = (0, 0)
+            del self._data[slot]
+            return True
+        return False
+
+    def update(self, slot: int, record: bytes) -> None:
+        """Replace the record in ``slot`` (must exist; must fit)."""
+        if self.get(slot) is None:
+            raise KeyError(f"slot {slot} is empty")
+        old = self._data[slot]
+        growth = len(record) - len(old)
+        if growth > self.free_space() + _SLOT.size:
+            raise PageFullError("updated record does not fit")
+        self._slots[slot] = (1, len(record))
+        self._data[slot] = record
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """(slot, record) pairs for live records, in slot order."""
+        for slot in sorted(self._data):
+            yield slot, self._data[slot]
+
+    def __len__(self) -> int:
+        return self.live_records
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlottedPage {self.live_records}/{self.n_slots} slots, "
+            f"{self.free_space()}B free>"
+        )

@@ -1,0 +1,83 @@
+"""Stable storage: what survives a crash.
+
+A :class:`StableStorage` instance models the disk: a page store with
+atomic single-page writes, plus named append-only *files* (logs, scratch
+rings, transaction lists, differential files).  Everything here survives
+:py:meth:`~repro.storage.interface.RecoveryManager.crash`; volatile state
+lives in the managers and is wiped.
+
+Page contents are opaque ``bytes``; managers that need structure encode it
+themselves (keeping the volatile/stable boundary honest).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["StableStorage"]
+
+
+class StableStorage:
+    """Crash-surviving page store and append-only files."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, Tuple[bytes, int]] = {}
+        self._files: Dict[str, List[Any]] = {}
+        #: Cumulative I/O counters (for recovery-cost instrumentation).
+        self.page_writes = 0
+        self.page_reads = 0
+        self.records_appended = 0
+
+    # -- page store ----------------------------------------------------------
+    def write_page(self, page: int, data: bytes, seq: int = 0) -> None:
+        """Atomically overwrite ``page`` (a single-page disk write).
+
+        ``seq`` is the page's update sequence number; write-ahead-logging
+        managers use it to decide whether a log record is already reflected.
+        """
+        if not isinstance(data, bytes):
+            raise TypeError(f"page data must be bytes, got {type(data).__name__}")
+        self._pages[page] = (data, seq)
+        self.page_writes += 1
+
+    def read_page(self, page: int) -> bytes:
+        data, _seq = self._pages.get(page, (b"", 0))
+        self.page_reads += 1
+        return data
+
+    def page_seq(self, page: int) -> int:
+        _data, seq = self._pages.get(page, (b"", 0))
+        return seq
+
+    def has_page(self, page: int) -> bool:
+        return page in self._pages
+
+    @property
+    def pages(self) -> Dict[int, bytes]:
+        """A snapshot of all page contents (for assertions in tests)."""
+        return {page: data for page, (data, _seq) in self._pages.items()}
+
+    # -- append-only files ------------------------------------------------------
+    def append(self, file: str, record: Any) -> None:
+        """Append one record to a named file (forced; survives crash)."""
+        self._files.setdefault(file, []).append(record)
+        self.records_appended += 1
+
+    def extend(self, file: str, records) -> None:
+        records = list(records)
+        self._files.setdefault(file, []).extend(records)
+        self.records_appended += len(records)
+
+    def read_file(self, file: str) -> List[Any]:
+        """The full contents of a file (empty if never written)."""
+        return list(self._files.get(file, ()))
+
+    def truncate(self, file: str, keep: Optional[List[Any]] = None) -> None:
+        """Replace a file's contents with ``keep`` (default: empty)."""
+        self._files[file] = list(keep or ())
+
+    def file_length(self, file: str) -> int:
+        return len(self._files.get(file, ()))
+
+    def files(self) -> List[str]:
+        return sorted(self._files)

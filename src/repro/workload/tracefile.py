@@ -1,0 +1,77 @@
+"""Saving and loading transaction loads as plain-text trace files.
+
+A trace file pins down a workload exactly — page-by-page — so experiments
+can be re-run byte-identically on other machines, diffed between versions,
+or hand-edited to construct adversarial cases.  Format: one transaction
+per line::
+
+    tid|flags|read pages (comma separated)|write pages (comma separated)
+
+where flags is ``s`` for sequential reference strings, ``r`` for random.
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO, Union
+
+from repro.workload.transaction import Transaction
+
+__all__ = ["load_trace", "save_trace"]
+
+
+def save_trace(transactions: Iterable[Transaction], destination) -> None:
+    """Write transactions to a path or file object."""
+    if hasattr(destination, "write"):
+        _write(transactions, destination)
+    else:
+        with open(destination, "w") as handle:
+            _write(transactions, handle)
+
+
+def _write(transactions: Iterable[Transaction], handle: TextIO) -> None:
+    handle.write("# repro workload trace v1\n")
+    for txn in transactions:
+        flags = "s" if txn.sequential else "r"
+        reads = ",".join(str(p) for p in txn.read_pages)
+        writes = ",".join(str(p) for p in sorted(txn.write_pages))
+        handle.write(f"{txn.tid}|{flags}|{reads}|{writes}\n")
+
+
+def load_trace(source) -> List[Transaction]:
+    """Read transactions from a path or file object."""
+    if hasattr(source, "read"):
+        return _read(source)
+    with open(source) as handle:
+        return _read(handle)
+
+
+def _read(handle: TextIO) -> List[Transaction]:
+    transactions = []
+    for line_no, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) != 4:
+            raise ValueError(f"line {line_no}: expected 4 fields, got {len(parts)}")
+        tid_text, flags, reads_text, writes_text = parts
+        if flags not in ("s", "r"):
+            raise ValueError(f"line {line_no}: unknown flags {flags!r}")
+        try:
+            tid = int(tid_text)
+            reads = tuple(int(p) for p in reads_text.split(",") if p)
+            writes = frozenset(int(p) for p in writes_text.split(",") if p)
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: {exc}") from exc
+        if not reads:
+            raise ValueError(f"line {line_no}: transaction reads no pages")
+        transactions.append(
+            Transaction(
+                tid=tid,
+                read_pages=reads,
+                write_pages=writes,
+                sequential=(flags == "s"),
+            )
+        )
+    return transactions

@@ -1,0 +1,82 @@
+"""The transaction object shared by the simulator and the experiments."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["Transaction", "TransactionStatus"]
+
+
+class TransactionStatus(enum.Enum):
+    """Life-cycle states of a simulated transaction."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A transaction modeled by its page-reference behaviour.
+
+    ``read_pages`` is the ordered reference string; ``write_pages`` is the
+    subset of those pages the transaction updates (paper: a random 20 %
+    subset of the read set).
+    """
+
+    tid: int
+    read_pages: Tuple[int, ...]
+    write_pages: FrozenSet[int]
+    sequential: bool = False
+
+    # -- runtime bookkeeping (filled in by the machine) --------------------
+    status: TransactionStatus = TransactionStatus.PENDING
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    restarts: int = 0
+    #: Simulation time at which the last updated page reached the disk.
+    last_durable_write: Optional[float] = None
+    #: Scratch area for recovery architectures (e.g. log-processor ids).
+    recovery_state: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        extras = self.write_pages - set(self.read_pages)
+        if extras:
+            raise ValueError(
+                f"write set must be a subset of the read set; extras: {sorted(extras)[:5]}"
+            )
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.read_pages)
+
+    @property
+    def n_writes(self) -> int:
+        return len(self.write_pages)
+
+    @property
+    def pages_processed(self) -> int:
+        """Pages read plus pages written — the paper's metric denominator."""
+        return self.n_reads + self.n_writes
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """First-frame-allocation to last-updated-page-on-disk (paper metric)."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def reset_runtime(self) -> None:
+        """Clear runtime bookkeeping (used when a transaction restarts)."""
+        self.status = TransactionStatus.PENDING
+        self.recovery_state = {}
+
+    def __repr__(self) -> str:
+        kind = "seq" if self.sequential else "rand"
+        return (
+            f"<Txn {self.tid} {kind} reads={self.n_reads} "
+            f"writes={self.n_writes} {self.status.value}>"
+        )

@@ -1,0 +1,115 @@
+"""Tests for the differential-merge policy analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.merge_policy import (
+    merge_cost_ms,
+    optimal_merge_interval,
+    overhead_slope_ms_per_txn,
+)
+from repro.core import DifferentialConfig, DifferentialFileArchitecture
+from repro.experiments import CONFIGURATIONS, ExperimentSettings, run_configuration
+from repro.machine import MachineConfig
+from repro.metrics import RunResult
+
+
+class TestMergeCost:
+    def test_scales_with_base_size(self):
+        config = MachineConfig()
+        small = merge_cost_ms(config, base_pages=10_000)
+        large = merge_cost_ms(config, base_pages=100_000)
+        assert large == pytest.approx(10 * small, rel=0.05)
+
+    def test_more_disks_merge_faster(self):
+        two = merge_cost_ms(MachineConfig())
+        four = merge_cost_ms(MachineConfig(n_data_disks=4, db_pages=120_000))
+        assert four < 0.6 * two
+
+    def test_full_database_merge_is_minutes_not_hours(self):
+        # 120k pages x ~4.2 ms transfer / 2 disks ~ 4-5 simulated minutes.
+        cost = merge_cost_ms(MachineConfig())
+        assert 100_000 < cost < 1_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_cost_ms(MachineConfig(), base_pages=0)
+        with pytest.raises(ValueError):
+            merge_cost_ms(MachineConfig(), size_fraction=0)
+
+
+class TestOptimalInterval:
+    def test_square_root_law(self):
+        assert optimal_merge_interval(200.0, 1.0) == pytest.approx(20.0)
+
+    def test_costlier_merge_means_rarer_merges(self):
+        assert optimal_merge_interval(800.0, 1.0) > optimal_merge_interval(200.0, 1.0)
+
+    def test_steeper_overhead_means_more_frequent_merges(self):
+        assert optimal_merge_interval(200.0, 4.0) < optimal_merge_interval(200.0, 1.0)
+
+    def test_zero_slope_never_merges(self):
+        assert optimal_merge_interval(200.0, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_merge_interval(0.0, 1.0)
+
+
+class TestSlopeFromRuns:
+    def make(self, fraction, makespan):
+        return RunResult(
+            architecture=f"differential[optimal, size={fraction:.0%}, output=10%]",
+            makespan_ms=makespan,
+            pages_processed=1000,
+            mean_completion_ms=1.0,
+            n_transactions=10,
+        )
+
+    def test_slope_from_two_measurements(self):
+        slope = overhead_slope_ms_per_txn(
+            self.make(0.10, 10_000.0),
+            self.make(0.20, 14_000.0),
+            appended_pages_per_txn=4.0,
+            base_pages=120_000,
+        )
+        # d(per-txn)/d(fraction) = 400/0.1 = 4000; x (4/120000) = 0.1333.
+        assert slope == pytest.approx(0.1333, rel=0.01)
+
+    def test_non_differential_rejected(self):
+        bad = RunResult("bare", 1.0, 1, 1.0, n_transactions=10)
+        with pytest.raises(ValueError):
+            overhead_slope_ms_per_txn(bad, bad, 1.0, 1000)
+
+    def test_same_fraction_rejected(self):
+        run = self.make(0.10, 10_000.0)
+        with pytest.raises(ValueError):
+            overhead_slope_ms_per_txn(run, run, 1.0, 1000)
+
+    def test_end_to_end_from_simulated_runs(self):
+        """Real Table 11-style runs feed the policy: the optimal interval
+        is finite and far larger than one transaction."""
+        settings = ExperimentSettings(n_transactions=8)
+        config = CONFIGURATIONS["conventional-random"]
+        small = run_configuration(
+            config,
+            lambda: DifferentialFileArchitecture(
+                DifferentialConfig(size_fraction=0.10)
+            ),
+            settings,
+        )
+        large = run_configuration(
+            config,
+            lambda: DifferentialFileArchitecture(
+                DifferentialConfig(size_fraction=0.20)
+            ),
+            settings,
+        )
+        machine_config = MachineConfig()
+        slope = overhead_slope_ms_per_txn(
+            small, large, appended_pages_per_txn=4.0, base_pages=machine_config.db_pages
+        )
+        merge = merge_cost_ms(machine_config)
+        interval = optimal_merge_interval(merge, slope)
+        assert 10 < interval < 10_000_000

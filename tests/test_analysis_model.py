@@ -1,0 +1,103 @@
+"""The analytic models must agree with both first principles and the
+simulator (cross-validation of the reproduction's calibration)."""
+
+import pytest
+
+from repro.analysis import (
+    cpu_bound_ms_per_page,
+    disk_bound_ms_per_page,
+    expected_random_access_ms,
+    expected_seek_ms,
+    log_disk_utilization,
+    predict_bare_ms_per_page,
+    predict_bottleneck,
+    pt_disk_demand_ms_per_page,
+    sequential_access_ms,
+)
+from repro.experiments import CONFIGURATIONS, ExperimentSettings, run_configuration
+from repro.hardware import IBM_3350
+from repro.machine import MachineConfig
+
+
+class TestFirstPrinciples:
+    def test_expected_seek_over_full_disk(self):
+        # Mean distance 555/3 = 185 cylinders -> seek ~23 ms on a 3350.
+        seek = expected_seek_ms(IBM_3350, IBM_3350.cylinders)
+        assert 20.0 < seek < 26.0
+
+    def test_expected_seek_zero_for_single_cylinder(self):
+        assert expected_seek_ms(IBM_3350, 1) == 0.0
+
+    def test_random_access_around_36ms(self):
+        access = expected_random_access_ms(IBM_3350, IBM_3350.cylinders)
+        assert 33.0 < access < 40.0
+
+    def test_sequential_streaming_amortizes_latency(self):
+        one = sequential_access_ms(IBM_3350, 1)
+        many = sequential_access_ms(IBM_3350, 20)
+        assert many < one / 2
+        assert many > IBM_3350.transfer_ms
+
+    def test_sequential_run_validation(self):
+        with pytest.raises(ValueError):
+            sequential_access_ms(IBM_3350, 0)
+
+    def test_disk_bound_baseline_near_18ms(self):
+        assert 16.0 < disk_bound_ms_per_page(MachineConfig()) < 20.0
+
+    def test_cpu_bound_scales_with_processors(self):
+        few = cpu_bound_ms_per_page(MachineConfig(n_query_processors=25))
+        many = cpu_bound_ms_per_page(MachineConfig(n_query_processors=75))
+        assert few == pytest.approx(3 * many)
+
+    def test_bottleneck_identification(self):
+        base = predict_bottleneck(MachineConfig())
+        assert base.bottleneck == "data-disks"
+        fast_disks = predict_bottleneck(
+            MachineConfig(parallel_data_disks=True), sequential=True
+        )
+        assert fast_disks.bottleneck == "query-processors"
+
+
+class TestAgainstSimulator:
+    """First-order predictions should bracket / approximate the simulator."""
+
+    SETTINGS = ExperimentSettings(n_transactions=10)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["conventional-random", "parallel-random", "parallel-sequential"],
+    )
+    def test_bare_prediction_within_35_percent(self, name):
+        configuration = CONFIGURATIONS[name]
+        simulated = run_configuration(configuration, None, self.SETTINGS)
+        config = MachineConfig(parallel_data_disks=configuration.parallel_disks)
+        predicted = predict_bare_ms_per_page(
+            config, sequential=configuration.sequential
+        )
+        assert predicted == pytest.approx(
+            simulated.execution_time_per_page, rel=0.35
+        )
+
+    def test_prediction_lower_bounds_sequential_simulation(self):
+        """The first-order model ignores inter-transaction interference, so
+        conventional-sequential must simulate slower than predicted."""
+        configuration = CONFIGURATIONS["conventional-sequential"]
+        simulated = run_configuration(configuration, None, self.SETTINGS)
+        predicted = predict_bare_ms_per_page(MachineConfig(), sequential=True)
+        assert predicted < simulated.execution_time_per_page
+
+    def test_log_utilization_prediction_matches_table2(self):
+        # Paper Table 2 / our Table 2 bench: ~0.02 for conventional-random.
+        predicted = log_disk_utilization(MachineConfig(), exec_ms_per_page=18.0)
+        assert 0.005 < predicted < 0.06
+
+    def test_log_utilization_physical_logging_much_higher(self):
+        logical = log_disk_utilization(MachineConfig(), 2.0)
+        physical = log_disk_utilization(MachineConfig(), 2.0, physical=True)
+        assert physical > 5 * logical
+
+    def test_pt_demand_exceeds_data_rate_with_one_processor(self):
+        """The Table 4 bottleneck argument: PT demand per page > 18 ms."""
+        demand = pt_disk_demand_ms_per_page(MachineConfig())
+        assert demand > disk_bound_ms_per_page(MachineConfig())

@@ -1,0 +1,52 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, TABLES, main
+
+
+class TestCli:
+    def test_tables_lists_all_experiments(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for number in TABLES:
+            assert f"table {number:>2}:" in out
+        for name in ABLATIONS:
+            assert f"ablation {name}:" in out
+
+    def test_table_runs_and_prints(self, capsys):
+        assert main(["table", "2", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "log_disk_utilization" in out
+
+    def test_table_seed_changes_output(self, capsys):
+        main(["table", "2", "-n", "4", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["table", "2", "-n", "4", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "13"])
+
+    def test_ablation_runs(self, capsys):
+        assert main(["ablation", "overwriting-variants", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "no_undo" in out
+
+    def test_predict_reports_bottleneck(self, capsys):
+        assert main(["predict"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck    : data-disks" in out
+        assert "ms/page" in out
+
+    def test_predict_parallel_sequential_cpu_bound(self, capsys):
+        assert main(["predict", "--parallel", "--sequential"]) == 0
+        out = capsys.readouterr().out
+        assert "query-processors" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,194 @@
+"""Unit tests for the parallel-logging architecture."""
+
+import random
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import (
+    FragmentRouting,
+    LoggingConfig,
+    LogMode,
+    ParallelLoggingArchitecture,
+    SelectionPolicy,
+)
+from repro.core.logging import LogFragment, LogProcessor, SelectorState, select_log_processor
+from repro.hardware import IBM_3350, ConventionalDisk
+from repro.sim import Environment, RandomStreams
+from repro.workload import Transaction
+
+
+class TestSelectionPolicies:
+    def make(self):
+        return SelectorState(), random.Random(0)
+
+    def txn(self, tid):
+        return Transaction(tid=tid, read_pages=(1,), write_pages=frozenset())
+
+    def test_cyclic_cycles_per_qp(self):
+        state, rng = self.make()
+        picks = [
+            select_log_processor(SelectionPolicy.CYCLIC, 3, 0, self.txn(1), state, rng)
+            for _ in range(6)
+        ]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_cyclic_counters_are_per_qp(self):
+        state, rng = self.make()
+        a = select_log_processor(SelectionPolicy.CYCLIC, 3, 0, self.txn(1), state, rng)
+        b = select_log_processor(SelectionPolicy.CYCLIC, 3, 1, self.txn(1), state, rng)
+        assert a == b == 0  # each QP starts its own cycle
+
+    def test_qp_mod(self):
+        state, rng = self.make()
+        assert select_log_processor(SelectionPolicy.QP_MOD, 4, 9, self.txn(1), state, rng) == 1
+
+    def test_txn_mod(self):
+        state, rng = self.make()
+        assert select_log_processor(SelectionPolicy.TXN_MOD, 4, 0, self.txn(7), state, rng) == 3
+
+    def test_random_in_range(self):
+        state, rng = self.make()
+        picks = {
+            select_log_processor(SelectionPolicy.RANDOM, 3, 0, self.txn(1), state, rng)
+            for _ in range(60)
+        }
+        assert picks == {0, 1, 2}
+
+    def test_single_lp_short_circuits(self):
+        state, rng = self.make()
+        assert select_log_processor(SelectionPolicy.RANDOM, 1, 5, self.txn(9), state, rng) == 0
+
+    def test_zero_lps_rejected(self):
+        state, rng = self.make()
+        with pytest.raises(ValueError):
+            select_log_processor(SelectionPolicy.CYCLIC, 0, 0, self.txn(1), state, rng)
+
+
+class TestLogProcessor:
+    def make_lp(self, fragments_per_page=3):
+        env = Environment()
+        disk = ConventionalDisk(env, IBM_3350, name="log0", rng=random.Random(0))
+        return env, LogProcessor(env, 0, disk, fragments_per_page)
+
+    def test_assembles_until_page_full(self):
+        env, lp = self.make_lp(fragments_per_page=3)
+        frags = [LogFragment(env, 1, p) for p in range(3)]
+        lp.deliver(frags[0])
+        lp.deliver(frags[1])
+        assert lp.log_pages_written.count == 0
+        lp.deliver(frags[2])
+        assert lp.log_pages_written.count == 1
+        env.run()
+        assert all(f.durable.processed for f in frags)
+
+    def test_fragments_become_durable_together(self):
+        env, lp = self.make_lp(fragments_per_page=2)
+        f1, f2 = LogFragment(env, 1, 1), LogFragment(env, 2, 2)
+        lp.deliver(f1)
+        lp.deliver(f2)
+        env.run()
+        assert f1.durable.value == f2.durable.value  # same write completion
+
+    def test_force_flushes_partial_page(self):
+        env, lp = self.make_lp(fragments_per_page=10)
+        frag = LogFragment(env, 1, 1)
+        lp.deliver(frag)
+        assert not frag.durable.triggered
+        lp.force()
+        env.run()
+        assert frag.durable.processed
+        assert lp.forced_writes.count == 1
+
+    def test_force_with_empty_buffer_is_noop(self):
+        env, lp = self.make_lp()
+        lp.force()
+        assert lp.log_pages_written.count == 0
+
+    def test_physical_writes_two_pages_per_update(self):
+        env, lp = self.make_lp()
+        frag = LogFragment(env, 1, 1)
+        lp.deliver_physical(frag)
+        env.run()
+        assert frag.durable.processed
+        assert lp.log_pages_written.count == 2
+        assert lp.disk.pages_written.count == 2
+
+    def test_fragment_wait_recorded(self):
+        env, lp = self.make_lp(fragments_per_page=1)
+        lp.deliver(LogFragment(env, 1, 1))
+        env.run()
+        assert lp.fragment_wait_ms.n == 1
+        assert lp.fragment_wait_ms.mean > 0
+
+
+def run_logging(config_log, n=5, max_pages=50, sequential=False, **machine_over):
+    config = MachineConfig(**machine_over)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=n, max_pages=max_pages, sequential=sequential),
+        config.db_pages,
+        RandomStreams(11).stream("workload"),
+    )
+    arch = ParallelLoggingArchitecture(config_log)
+    machine = DatabaseMachine(config, arch)
+    return machine.run(txns), txns, arch
+
+
+class TestLoggingArchitecture:
+    def test_every_update_produces_a_fragment(self):
+        result, txns, _ = run_logging(LoggingConfig())
+        assert result.counter("log_fragments") == sum(t.n_writes for t in txns)
+
+    def test_wal_all_fragments_durable_by_commit(self):
+        result, txns, arch = run_logging(LoggingConfig(n_log_processors=2))
+        for lp in arch.log_processors:
+            assert lp.buffered_fragments == 0  # everything forced by the end
+
+    def test_data_writes_equal_updates(self):
+        result, txns, _ = run_logging(LoggingConfig())
+        assert result.counter("data_pages_written") == sum(t.n_writes for t in txns)
+
+    def test_log_utilization_reported_per_disk(self):
+        result, _, _ = run_logging(LoggingConfig(n_log_processors=3))
+        assert "log0" in result.utilizations
+        assert "log2" in result.utilizations
+        assert "log_disks" in result.utilizations
+
+    def test_physical_mode_writes_two_log_pages_per_update(self):
+        result, txns, _ = run_logging(LoggingConfig(mode=LogMode.PHYSICAL))
+        assert result.counter("log_pages_written") == 2 * sum(t.n_writes for t in txns)
+
+    def test_through_cache_routing_runs(self):
+        result, txns, _ = run_logging(LoggingConfig(routing=FragmentRouting.CACHE))
+        assert result.counter("log_fragments") == sum(t.n_writes for t in txns)
+        assert "qp_lp_link" not in result.utilizations
+
+    def test_link_utilization_reported_with_link_routing(self):
+        result, _, _ = run_logging(LoggingConfig(routing=FragmentRouting.LINK))
+        assert "qp_lp_link" in result.utilizations
+
+    def test_fragments_spread_across_log_processors(self):
+        _, _, arch = run_logging(
+            LoggingConfig(n_log_processors=3, selection=SelectionPolicy.CYCLIC),
+            n=6,
+            max_pages=100,
+        )
+        received = [lp.fragments_received.count for lp in arch.log_processors]
+        assert all(count > 0 for count in received)
+
+    def test_describe_mentions_configuration(self):
+        arch = ParallelLoggingArchitecture(
+            LoggingConfig(n_log_processors=2, mode=LogMode.PHYSICAL)
+        )
+        assert "physical" in arch.describe()
+        assert "2 lp" in arch.describe()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoggingConfig(n_log_processors=0)
+        with pytest.raises(ValueError):
+            LoggingConfig(fragment_bytes=0)
+
+    def test_fragments_per_log_page(self):
+        assert LoggingConfig(fragment_bytes=600).fragments_per_log_page == 6
+        assert LoggingConfig(fragment_bytes=8192).fragments_per_log_page == 1

@@ -1,0 +1,220 @@
+"""Unit tests for the shadow architectures (thru-PT, version selection,
+overwriting)."""
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import (
+    OverwritingArchitecture,
+    OverwritingMode,
+    PageTableShadowArchitecture,
+    ShadowConfig,
+    VersionSelectionArchitecture,
+)
+from repro.core.shadow import PageTableSubsystem
+from repro.hardware import IBM_3350
+from repro.hardware.placement import ScrambledPlacement
+from repro.sim import Environment, RandomStreams
+from repro.workload import TransactionStatus
+
+
+def make_pt(n_processors=1, buffer_pages=3, entries=100, db_pages=1000):
+    env = Environment()
+    subsystem = PageTableSubsystem(
+        env,
+        n_processors=n_processors,
+        buffer_pages=buffer_pages,
+        entries_per_page=entries,
+        db_pages=db_pages,
+        disk_params=IBM_3350,
+        streams=RandomStreams(5),
+    )
+    return env, subsystem
+
+
+def drive(env, generator):
+    """Run a generator as a process to completion."""
+    return env.run(until=env.process(generator))
+
+
+class TestPageTableSubsystem:
+    def test_pt_page_mapping(self):
+        _, pt = make_pt(entries=100)
+        assert pt.pt_page_of(0) == 0
+        assert pt.pt_page_of(99) == 0
+        assert pt.pt_page_of(100) == 1
+        assert pt.n_pt_pages == 10
+
+    def test_miss_then_hit(self):
+        env, pt = make_pt()
+        drive(env, pt.lookup(5))
+        assert pt.misses.count == 1 and pt.reads.count == 1
+        drive(env, pt.lookup(7))  # same PT page
+        assert pt.hits.count == 1 and pt.reads.count == 1
+
+    def test_lru_eviction(self):
+        env, pt = make_pt(buffer_pages=2)
+        drive(env, pt.lookup(0))      # pt page 0
+        drive(env, pt.lookup(100))    # pt page 1
+        drive(env, pt.lookup(200))    # pt page 2, evicts 0
+        drive(env, pt.lookup(0))      # miss again
+        assert pt.misses.count == 4
+
+    def test_lru_order_updated_on_hit(self):
+        env, pt = make_pt(buffer_pages=2)
+        drive(env, pt.lookup(0))
+        drive(env, pt.lookup(100))
+        drive(env, pt.lookup(0))      # refresh page 0
+        drive(env, pt.lookup(200))    # evicts page 1, not 0
+        drive(env, pt.lookup(0))
+        assert pt.hits.count == 2
+
+    def test_update_entry_rereads_evicted_page(self):
+        env, pt = make_pt(buffer_pages=1)
+        drive(env, pt.lookup(0))
+        drive(env, pt.lookup(100))    # evicts PT page 0
+        drive(env, pt.update_entry(0))
+        assert pt.rereads.count == 1
+
+    def test_flush_writes_only_dirty(self):
+        env, pt = make_pt()
+        drive(env, pt.lookup(0))
+        drive(env, pt.update_entry(0))
+        events = pt.flush([0, 100])  # 100 never updated
+        assert len(events) == 1
+        env.run()
+        assert pt.writes.count == 1
+
+    def test_dirty_eviction_writes_back(self):
+        env, pt = make_pt(buffer_pages=1)
+        drive(env, pt.update_entry(0))   # dirty PT page 0
+        drive(env, pt.lookup(100))       # evicts it -> write
+        assert pt.writes.count == 1
+
+    def test_pt_pages_striped_across_processors(self):
+        _, pt = make_pt(n_processors=2)
+        disk0, _ = pt._locate(0)
+        disk1, _ = pt._locate(1)
+        assert disk0 is not disk1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_pt(n_processors=0)
+        with pytest.raises(ValueError):
+            make_pt(buffer_pages=0)
+
+
+def small_run(arch, sequential=False, parallel=False, n=5, max_pages=50, **over):
+    config = MachineConfig(parallel_data_disks=parallel, **over)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=n, max_pages=max_pages, sequential=sequential),
+        config.db_pages,
+        RandomStreams(11).stream("workload"),
+    )
+    machine = DatabaseMachine(config, arch)
+    return machine.run(txns), txns, machine
+
+
+class TestThruPageTableArchitecture:
+    def test_pt_counters_present(self):
+        result, txns, _ = small_run(PageTableShadowArchitecture(ShadowConfig()))
+        assert result.counter("pt_reads") > 0
+        assert "pt_disks" in result.utilizations
+
+    def test_commit_updates_pt_entries_of_write_set(self):
+        result, txns, _ = small_run(PageTableShadowArchitecture(ShadowConfig()))
+        assert result.counter("pt_writes") > 0
+
+    def test_scrambled_config_replaces_placement(self):
+        _, _, machine = small_run(
+            PageTableShadowArchitecture(ShadowConfig(clustered=False))
+        )
+        assert isinstance(machine.placement, ScrambledPlacement)
+
+    def test_clustered_keeps_default_placement(self):
+        _, _, machine = small_run(
+            PageTableShadowArchitecture(ShadowConfig(clustered=True))
+        )
+        assert not isinstance(machine.placement, ScrambledPlacement)
+
+    def test_describe(self):
+        arch = PageTableShadowArchitecture(
+            ShadowConfig(n_pt_processors=2, pt_buffer_pages=25, clustered=False)
+        )
+        text = arch.describe()
+        assert "2 ptp" in text and "25" in text and "scrambled" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShadowConfig(n_pt_processors=0)
+        with pytest.raises(ValueError):
+            ShadowConfig(pt_buffer_pages=0)
+
+
+class TestVersionSelection:
+    def test_reads_fetch_two_blocks(self):
+        result, txns, machine = small_run(
+            VersionSelectionArchitecture(), db_pages=60_000
+        )
+        # Every logical read transfers two physical blocks from the disks.
+        total_reads = sum(t.n_reads for t in txns)
+        physical = sum(d.pages_read.count for d in machine.data_disks)
+        assert physical == 2 * total_reads
+        assert result.counter("data_pages_read") == total_reads
+
+    def test_pair_blocks_adjacent_same_cylinder(self):
+        config = MachineConfig(db_pages=60_000)
+        machine = DatabaseMachine(config, VersionSelectionArchitecture())
+        arch = machine.arch
+        disk_idx, (first, second) = arch._pairs.pair(123)
+        assert first.cylinder == second.cylinder
+        assert abs(first.linear(IBM_3350) - second.linear(IBM_3350)) == 1
+
+    def test_database_too_large_rejected(self):
+        config = MachineConfig(db_pages=120_000)
+        with pytest.raises(ValueError):
+            DatabaseMachine(config, VersionSelectionArchitecture())
+
+    def test_all_commit(self):
+        result, txns, _ = small_run(VersionSelectionArchitecture(), db_pages=60_000)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+
+
+class TestOverwriting:
+    def test_no_undo_scratch_traffic(self):
+        result, txns, _ = small_run(OverwritingArchitecture(OverwritingMode.NO_UNDO))
+        updates = sum(t.n_writes for t in txns)
+        updaters = sum(1 for t in txns if t.n_writes)
+        # one scratch write per update + one commit-record write per updater
+        assert result.counter("scratch_writes") == updates + updaters
+        assert result.counter("scratch_reads") == updates
+        assert result.counter("data_pages_written") == updates
+
+    def test_no_redo_writes_home_directly(self):
+        result, txns, _ = small_run(OverwritingArchitecture(OverwritingMode.NO_REDO))
+        updates = sum(t.n_writes for t in txns)
+        updaters = sum(1 for t in txns if t.n_writes)
+        assert result.counter("scratch_writes") == updates + updaters
+        assert result.counter("scratch_reads") == 0
+        assert result.counter("data_pages_written") == updates
+
+    def test_no_undo_home_writes_happen_at_commit(self):
+        """Under no-undo, a transaction's home writes all land at/after its
+        commit point, never before."""
+        result, txns, _ = small_run(OverwritingArchitecture(OverwritingMode.NO_UNDO))
+        for txn in txns:
+            if txn.write_pages:
+                assert txn.last_durable_write is not None
+                assert txn.finish_time == txn.last_durable_write
+
+    def test_requires_reserved_cylinders(self):
+        config = MachineConfig(reserved_cylinders=0, db_pages=100_000)
+        with pytest.raises(ValueError):
+            DatabaseMachine(config, OverwritingArchitecture())
+
+    def test_describe(self):
+        assert "no-undo" in OverwritingArchitecture().describe()
+        assert (
+            "no-redo"
+            in OverwritingArchitecture(OverwritingMode.NO_REDO).describe()
+        )

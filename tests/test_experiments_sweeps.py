@@ -1,0 +1,92 @@
+"""Tests for the sweep utilities and the sensitivities they expose."""
+
+import pytest
+
+from repro.experiments import CONFIGURATIONS, ExperimentSettings
+from repro.experiments.sweeps import sweep_machine, sweep_workload
+
+SETTINGS = ExperimentSettings(n_transactions=8)
+
+
+class TestSweepMechanics:
+    def test_one_row_per_value(self):
+        rows = sweep_machine(
+            CONFIGURATIONS["conventional-random"],
+            field="mpl",
+            values=(2, 3),
+            settings=SETTINGS,
+        )
+        assert [row["value"] for row in rows] == [2, 3]
+        for row in rows:
+            assert row["exec_ms_per_page"] > 0
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            sweep_machine(
+                CONFIGURATIONS["conventional-random"],
+                field="not_a_field",
+                values=(1,),
+                settings=SETTINGS,
+            )
+
+    def test_workload_sweep(self):
+        rows = sweep_workload(
+            CONFIGURATIONS["conventional-random"],
+            field="write_fraction",
+            values=(0.0, 0.4),
+            settings=SETTINGS,
+        )
+        assert len(rows) == 2
+
+
+class TestSensitivities:
+    def test_cache_frames_matter_for_parallel_sequential(self):
+        """The paper's anticipatory-reading argument: parallel-access disks
+        need free frames to batch big reads; starving the cache hurts."""
+        rows = sweep_machine(
+            CONFIGURATIONS["parallel-sequential"],
+            field="cache_frames",
+            values=(40, 100),
+            settings=SETTINGS,
+        )
+        starved, ample = rows[0], rows[1]
+        assert starved["exec_ms_per_page"] > 1.2 * ample["exec_ms_per_page"]
+
+    def test_cache_frames_do_not_matter_for_conventional_random(self):
+        """Random loads on conventional disks are seek-bound; frames beyond
+        the working set buy nothing."""
+        rows = sweep_machine(
+            CONFIGURATIONS["conventional-random"],
+            field="cache_frames",
+            values=(40, 150),
+            settings=SETTINGS,
+        )
+        a, b = rows[0]["exec_ms_per_page"], rows[1]["exec_ms_per_page"]
+        assert abs(a - b) / max(a, b) < 0.10
+
+    def test_more_writes_cost_more(self):
+        rows = sweep_workload(
+            CONFIGURATIONS["conventional-random"],
+            field="write_fraction",
+            values=(0.0, 0.5),
+            settings=SETTINGS,
+        )
+        # Completion time grows with the write set (more write-backs),
+        # even though exec/page normalizes by operations.
+        assert rows[1]["completion_ms"] > rows[0]["completion_ms"]
+
+    def test_mpl_stretches_completion_not_throughput(self):
+        """With a 32-deep read-ahead window, even one transaction keeps
+        both disks busy: raising the multiprogramming level leaves
+        machine throughput flat and only stretches per-transaction
+        completion times (the queueing view of the paper's metrics)."""
+        rows = sweep_machine(
+            CONFIGURATIONS["conventional-random"],
+            field="mpl",
+            values=(1, 4),
+            settings=SETTINGS,
+        )
+        solo, crowded = rows[0], rows[1]
+        a, b = solo["exec_ms_per_page"], crowded["exec_ms_per_page"]
+        assert abs(a - b) / max(a, b) < 0.05
+        assert crowded["completion_ms"] > 1.5 * solo["completion_ms"]

@@ -1,0 +1,111 @@
+"""Unit tests (plus hypothesis properties) for page placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    ClusteredPlacement,
+    IBM_3350,
+    RingAllocator,
+    ScrambledPlacement,
+)
+
+
+class TestClusteredPlacement:
+    def test_striping_alternates_disks(self):
+        placement = ClusteredPlacement(IBM_3350, 2, 1000)
+        assert placement.locate(0)[0] == 0
+        assert placement.locate(1)[0] == 1
+        assert placement.locate(2)[0] == 0
+
+    def test_consecutive_pages_adjacent_on_disk(self):
+        placement = ClusteredPlacement(IBM_3350, 2, 1000)
+        _, a0 = placement.locate(0)
+        _, a2 = placement.locate(2)
+        assert a2.linear(IBM_3350) == a0.linear(IBM_3350) + 1
+
+    def test_out_of_range(self):
+        placement = ClusteredPlacement(IBM_3350, 2, 100)
+        with pytest.raises(ValueError):
+            placement.locate(100)
+        with pytest.raises(ValueError):
+            placement.locate(-1)
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            ClusteredPlacement(IBM_3350, 1, IBM_3350.capacity_pages + 1)
+
+    def test_needs_a_disk(self):
+        with pytest.raises(ValueError):
+            ClusteredPlacement(IBM_3350, 0, 10)
+
+
+class TestScrambledPlacement:
+    def test_is_a_bijection(self):
+        placement = ScrambledPlacement(IBM_3350, 1, 5000)
+        seen = set()
+        for page in range(5000):
+            _, addr = placement.locate(page)
+            seen.add(addr.linear(IBM_3350))
+        assert len(seen) == 5000
+
+    def test_scatters_adjacent_pages(self):
+        placement = ScrambledPlacement(IBM_3350, 2, 100_000)
+        _, a0 = placement.locate(0)
+        _, a2 = placement.locate(2)  # same disk, logically adjacent
+        assert abs(a2.cylinder - a0.cylinder) > 1
+
+    def test_stays_within_database_region(self):
+        db_pages = 10_000
+        placement = ScrambledPlacement(IBM_3350, 2, db_pages)
+        limit = placement.pages_per_disk
+        for page in range(0, db_pages, 97):
+            _, addr = placement.locate(page)
+            assert addr.linear(IBM_3350) < limit
+
+    @settings(max_examples=50)
+    @given(
+        db_pages=st.integers(min_value=2, max_value=20_000),
+        n_disks=st.integers(min_value=1, max_value=4),
+    )
+    def test_bijective_for_arbitrary_sizes(self, db_pages, n_disks):
+        placement = ScrambledPlacement(IBM_3350, n_disks, db_pages)
+        seen = set()
+        for page in range(db_pages):
+            disk, addr = placement.locate(page)
+            key = (disk, addr.linear(IBM_3350))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestRingAllocator:
+    def test_consecutive_addresses(self):
+        ring = RingAllocator(IBM_3350, start_cylinder=500, n_cylinders=10)
+        a, b = ring.take(2)
+        assert b.linear(IBM_3350) == a.linear(IBM_3350) + 1
+        assert a.cylinder == 500
+
+    def test_wraps_at_region_end(self):
+        ring = RingAllocator(IBM_3350, start_cylinder=554, n_cylinders=1)
+        first = ring.take(1)[0]
+        ring.take(IBM_3350.pages_per_cylinder - 1)
+        wrapped = ring.take(1)[0]
+        assert wrapped == first
+
+    def test_take_counts_allocations(self):
+        ring = RingAllocator(IBM_3350, 500, 5)
+        ring.take(3)
+        ring.take(2)
+        assert ring.allocated == 5
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            RingAllocator(IBM_3350, 550, 10)  # runs past the last cylinder
+        with pytest.raises(ValueError):
+            RingAllocator(IBM_3350, 0, 0)
+
+    def test_take_requires_positive(self):
+        ring = RingAllocator(IBM_3350, 0, 1)
+        with pytest.raises(ValueError):
+            ring.take(0)

@@ -1,0 +1,98 @@
+"""Unit tests for the disk cache."""
+
+import pytest
+
+from repro.machine import DiskCache
+from repro.sim import Environment, SimulationError
+
+
+class TestDiskCache:
+    def test_initially_all_free(self):
+        cache = DiskCache(Environment(), 10)
+        assert cache.free == 10
+        assert cache.in_use == 0
+
+    def test_acquire_release(self):
+        env = Environment()
+        cache = DiskCache(env, 10)
+
+        def proc(env):
+            yield cache.acquire(3)
+            assert cache.free == 7
+            cache.release(3)
+
+        env.process(proc(env))
+        env.run()
+        assert cache.free == 10
+
+    def test_acquire_blocks_when_exhausted(self):
+        env = Environment()
+        cache = DiskCache(env, 2)
+        times = []
+
+        def hog(env):
+            yield cache.acquire(2)
+            yield env.timeout(5)
+            cache.release(2)
+
+        def needy(env):
+            yield env.timeout(1)
+            yield cache.acquire(1)
+            times.append(env.now)
+
+        env.process(hog(env))
+        env.process(needy(env))
+        env.run()
+        assert times == [5]
+
+    def test_oversized_request_rejected(self):
+        cache = DiskCache(Environment(), 4)
+        with pytest.raises(SimulationError):
+            cache.acquire(5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            DiskCache(Environment(), 0)
+
+    def test_blocked_page_accounting(self):
+        env = Environment()
+        cache = DiskCache(env, 10)
+
+        def proc(env):
+            cache.mark_blocked(2)
+            yield env.timeout(10)
+            cache.unmark_blocked(2)
+            yield env.timeout(10)
+
+        env.process(proc(env))
+        env.run()
+        # 2 blocked for half the run.
+        assert cache.mean_blocked(20) == pytest.approx(1.0)
+
+    def test_mean_free_frames(self):
+        env = Environment()
+        cache = DiskCache(env, 10)
+
+        def proc(env):
+            yield cache.acquire(10)
+            yield env.timeout(10)
+            cache.release(10)
+            yield env.timeout(10)
+
+        env.process(proc(env))
+        env.run()
+        assert cache.mean_free(20) == pytest.approx(5.0)
+
+    def test_allocations_counted(self):
+        env = Environment()
+        cache = DiskCache(env, 10)
+
+        def proc(env):
+            yield cache.acquire(4)
+            cache.release(4)
+            yield cache.acquire(1)
+            cache.release(1)
+
+        env.process(proc(env))
+        env.run()
+        assert cache.allocations.count == 5

@@ -1,0 +1,46 @@
+"""Unit tests for machine configuration validation."""
+
+import pytest
+
+from repro.hardware import IBM_3350
+from repro.machine import MachineConfig
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_baseline(self):
+        config = MachineConfig()
+        assert config.n_query_processors == 25
+        assert config.cache_frames == 100
+        assert config.n_data_disks == 2
+        assert not config.parallel_data_disks
+        assert config.disk is IBM_3350
+
+    def test_database_must_fit_usable_region(self):
+        with pytest.raises(ValueError):
+            MachineConfig(db_pages=10**9)
+
+    def test_reserved_region_geometry(self):
+        config = MachineConfig(reserved_cylinders=50)
+        assert config.reserved_start_cylinder == 505
+        assert config.usable_pages_per_disk == 505 * 120
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_query_processors=0)
+        with pytest.raises(ValueError):
+            MachineConfig(mpl=0)
+        with pytest.raises(ValueError):
+            MachineConfig(prefetch_window=0)
+        with pytest.raises(ValueError):
+            MachineConfig(cache_frames=2, mpl=3)
+
+    def test_with_overrides(self):
+        config = MachineConfig().with_overrides(n_query_processors=75)
+        assert config.n_query_processors == 75
+        assert config.cache_frames == 100
+
+    def test_cost_model_override(self):
+        from repro.hardware import CostModel
+
+        config = MachineConfig(cost=CostModel(scan_page=1000))
+        assert config.cost.scan_page == 1000

@@ -1,0 +1,136 @@
+"""Unit tests for the page-level lock manager."""
+
+import pytest
+
+from repro.machine import DeadlockAbort, LockManager, LockMode
+from repro.sim import Environment
+
+
+@pytest.fixture
+def locks():
+    return LockManager(Environment())
+
+
+class TestBasicLocking:
+    def test_immediate_grant(self, locks):
+        event = locks.acquire(1, 100, LockMode.S)
+        assert event.triggered
+        assert locks.holds(1, 100)
+
+    def test_shared_locks_compatible(self, locks):
+        assert locks.acquire(1, 100, LockMode.S).triggered
+        assert locks.acquire(2, 100, LockMode.S).triggered
+
+    def test_exclusive_blocks_shared(self, locks):
+        assert locks.acquire(1, 100, LockMode.X).triggered
+        assert not locks.acquire(2, 100, LockMode.S).triggered
+
+    def test_shared_blocks_exclusive(self, locks):
+        assert locks.acquire(1, 100, LockMode.S).triggered
+        assert not locks.acquire(2, 100, LockMode.X).triggered
+
+    def test_reentrant_same_mode(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        assert locks.acquire(1, 100, LockMode.X).triggered
+        assert locks.acquire(1, 100, LockMode.S).triggered  # weaker: ok
+
+    def test_release_grants_waiter(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        waiting = locks.acquire(2, 100, LockMode.X)
+        assert not waiting.triggered
+        locks.release_all(1)
+        assert waiting.triggered
+        assert locks.holds(2, 100, LockMode.X)
+
+    def test_fifo_no_barging(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 100, LockMode.X)  # queued
+        late_shared = locks.acquire(3, 100, LockMode.S)
+        assert not late_shared.triggered  # must not jump the queue
+        locks.release_all(1)
+        assert locks.holds(2, 100)
+        assert not late_shared.triggered
+
+    def test_release_all_clears_everything(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(1, 200, LockMode.S)
+        locks.release_all(1)
+        assert not locks.holds(1, 100)
+        assert not locks.holds(1, 200)
+
+    def test_release_drops_queued_requests_of_tid(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        queued = locks.acquire(2, 100, LockMode.X)
+        locks.release_all(2)  # txn 2 gives up while waiting
+        locks.release_all(1)
+        assert not queued.triggered  # its request evaporated
+
+    def test_multiple_shared_waiters_granted_together(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        s2 = locks.acquire(2, 100, LockMode.S)
+        s3 = locks.acquire(3, 100, LockMode.S)
+        locks.release_all(1)
+        assert s2.triggered and s3.triggered
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_instantly(self, locks):
+        locks.acquire(1, 100, LockMode.S)
+        assert locks.acquire(1, 100, LockMode.X).triggered
+        assert locks.holds(1, 100, LockMode.X)
+
+    def test_upgrade_waits_for_other_readers(self, locks):
+        locks.acquire(1, 100, LockMode.S)
+        locks.acquire(2, 100, LockMode.S)
+        upgrade = locks.acquire(1, 100, LockMode.X)
+        assert not upgrade.triggered
+        locks.release_all(2)
+        assert upgrade.triggered
+        assert locks.holds(1, 100, LockMode.X)
+
+
+class TestDeadlock:
+    def test_two_transaction_cycle_detected(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 200, LockMode.X)
+        blocked = locks.acquire(1, 200, LockMode.X)
+        assert not blocked.triggered
+        victim = locks.acquire(2, 100, LockMode.X)
+        assert victim.triggered and not victim.ok
+        assert isinstance(victim.value, DeadlockAbort)
+        assert victim.value.tid == 2
+        victim.defuse()
+
+    def test_three_transaction_cycle_detected(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 200, LockMode.X)
+        locks.acquire(3, 300, LockMode.X)
+        locks.acquire(1, 200, LockMode.X)
+        locks.acquire(2, 300, LockMode.X)
+        victim = locks.acquire(3, 100, LockMode.X)
+        assert victim.triggered and not victim.ok
+        victim.value and victim.defuse()
+        assert locks.deadlocks.count == 1
+
+    def test_no_false_positives_on_chains(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        a = locks.acquire(2, 100, LockMode.X)
+        b = locks.acquire(3, 100, LockMode.X)
+        assert not a.triggered and not b.triggered
+        assert locks.deadlocks.count == 0
+
+    def test_victim_requests_evaporate_and_cycle_breaks(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 200, LockMode.X)
+        locks.acquire(1, 200, LockMode.X)  # 1 waits on 2
+        victim = locks.acquire(2, 100, LockMode.X)  # cycle: 2 aborted
+        victim.defuse()
+        locks.release_all(2)
+        # 1's wait resolves once 2 releases.
+        assert locks.holds(1, 200, LockMode.X)
+
+    def test_counters(self, locks):
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 100, LockMode.X)
+        assert locks.grants.count == 1
+        assert locks.blocks.count == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the indexed processor pool."""
+
+import pytest
+
+from repro.hardware import VAX_11_750
+from repro.machine import ProcessorPool
+from repro.sim import Environment
+
+
+class TestProcessorPool:
+    def test_execute_ms_serializes_on_capacity(self):
+        env = Environment()
+        pool = ProcessorPool(env, 1, VAX_11_750)
+        done = []
+
+        def job(env, n):
+            yield from pool.execute_ms(5)
+            done.append((env.now, n))
+
+        env.process(job(env, 1))
+        env.process(job(env, 2))
+        env.run()
+        assert done == [(5, 1), (10, 2)]
+
+    def test_parallel_when_capacity_allows(self):
+        env = Environment()
+        pool = ProcessorPool(env, 2, VAX_11_750)
+        done = []
+
+        def job(env, n):
+            yield from pool.execute_ms(5)
+            done.append(env.now)
+
+        env.process(job(env, 1))
+        env.process(job(env, 2))
+        env.run()
+        assert done == [5, 5]
+
+    def test_indices_unique_while_held(self):
+        env = Environment()
+        pool = ProcessorPool(env, 3, VAX_11_750)
+        held = []
+
+        def job(env):
+            index, grant = yield from pool.acquire()
+            held.append(index)
+            yield env.timeout(1)
+            pool.release(index, grant)
+
+        for _ in range(3):
+            env.process(job(env))
+        env.run()
+        assert sorted(held) == [0, 1, 2]
+
+    def test_execute_instructions_uses_mips(self):
+        env = Environment()
+        pool = ProcessorPool(env, 1, VAX_11_750)
+
+        def job(env):
+            yield from pool.execute_instructions(650)
+            return env.now
+
+        # 650 instructions at 0.65 MIPS = 1 ms.
+        assert env.run(until=env.process(job(env))) == pytest.approx(1.0)
+
+    def test_utilization(self):
+        env = Environment()
+        pool = ProcessorPool(env, 2, VAX_11_750)
+
+        def job(env):
+            yield from pool.execute_ms(10)
+
+        env.process(job(env))
+        env.run(until=10)
+        # 1 of 2 processors busy the whole time.
+        assert pool.utilization(10) == pytest.approx(0.5)
+
+    def test_jobs_counted(self):
+        env = Environment()
+        pool = ProcessorPool(env, 2, VAX_11_750)
+
+        def job(env):
+            yield from pool.execute_ms(1)
+
+        for _ in range(5):
+            env.process(job(env))
+        env.run()
+        assert pool.jobs.count == 5
+
+    def test_busy_count(self):
+        env = Environment()
+        pool = ProcessorPool(env, 2, VAX_11_750)
+
+        def job(env):
+            yield from pool.execute_ms(10)
+
+        env.process(job(env))
+        env.run(until=5)
+        assert pool.busy_count == 1

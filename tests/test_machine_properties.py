@@ -1,0 +1,97 @@
+"""Property-based tests for the timed machine: invariants that must hold
+for every workload, configuration, and recovery architecture."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import (
+    BareArchitecture,
+    DifferentialFileArchitecture,
+    LoggingConfig,
+    OverwritingArchitecture,
+    PageTableShadowArchitecture,
+    ParallelLoggingArchitecture,
+)
+from repro.sim import RandomStreams
+from repro.workload import TransactionStatus
+
+ARCH_FACTORIES = {
+    "bare": BareArchitecture,
+    "logging": lambda: ParallelLoggingArchitecture(LoggingConfig()),
+    "shadow": PageTableShadowArchitecture,
+    "overwriting": OverwritingArchitecture,
+    "differential": DifferentialFileArchitecture,
+}
+
+
+def run_machine(arch_name, seed, parallel, sequential, n_txns, max_pages):
+    config = MachineConfig(parallel_data_disks=parallel)
+    workload = WorkloadConfig(
+        n_transactions=n_txns, max_pages=max_pages, sequential=sequential
+    )
+    transactions = generate_transactions(
+        workload, config.db_pages, RandomStreams(seed).stream("workload")
+    )
+    machine = DatabaseMachine(config, ARCH_FACTORIES[arch_name]())
+    result = machine.run(transactions)
+    return machine, result, transactions
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arch_name=st.sampled_from(sorted(ARCH_FACTORIES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    parallel=st.booleans(),
+    sequential=st.booleans(),
+    n_txns=st.integers(min_value=1, max_value=4),
+    max_pages=st.integers(min_value=1, max_value=40),
+)
+def test_machine_invariants(arch_name, seed, parallel, sequential, n_txns, max_pages):
+    machine, result, transactions = run_machine(
+        arch_name, seed, parallel, sequential, n_txns, max_pages
+    )
+    # Every transaction commits (no-conflict workloads always terminate).
+    assert all(t.status is TransactionStatus.COMMITTED for t in transactions)
+    # Accounting invariants.
+    assert result.pages_processed == sum(t.pages_processed for t in transactions)
+    assert result.counter("data_pages_read") == sum(t.n_reads for t in transactions)
+    # Time sanity: completion windows sit inside the makespan.
+    for txn in transactions:
+        assert txn.start_time is not None and txn.finish_time is not None
+        assert 0 <= txn.start_time <= txn.finish_time <= result.makespan_ms + 1e-6
+    # Resources fully returned.
+    assert machine.cache.free == machine.config.cache_frames
+    assert machine.locks._table == {}
+    assert machine.qps.busy_count == 0
+    # Utilizations are fractions.
+    for name, value in result.utilizations.items():
+        assert 0.0 <= value <= 1.0 + 1e-9, name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    arch_name=st.sampled_from(sorted(ARCH_FACTORIES)),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_runs_are_reproducible(arch_name, seed):
+    _machine1, first, _ = run_machine(arch_name, seed, False, False, 2, 25)
+    _machine2, second, _ = run_machine(arch_name, seed, False, False, 2, 25)
+    assert first.makespan_ms == second.makespan_ms
+    assert first.mean_completion_ms == second.mean_completion_ms
+    assert first.counters == second.counters
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_write_accounting_for_in_place_architectures(seed):
+    """Bare, logging, and overwriting write exactly one durable home copy
+    per updated page."""
+    for arch_name in ("bare", "logging", "overwriting"):
+        _machine, result, transactions = run_machine(
+            arch_name, seed, False, False, 2, 30
+        )
+        assert result.counter("data_pages_written") == sum(
+            t.n_writes for t in transactions
+        ), arch_name

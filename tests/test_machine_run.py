@@ -1,0 +1,170 @@
+"""Integration tests: full machine runs on small workloads."""
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import (
+    BareArchitecture,
+    DifferentialFileArchitecture,
+    OverwritingArchitecture,
+    PageTableShadowArchitecture,
+    ParallelLoggingArchitecture,
+    VersionSelectionArchitecture,
+)
+from repro.sim import RandomStreams
+from repro.workload import TransactionStatus
+
+
+def small_run(arch=None, parallel=False, sequential=False, n=6, max_pages=60, **over):
+    config = MachineConfig(parallel_data_disks=parallel, **over)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=n, max_pages=max_pages, sequential=sequential),
+        config.db_pages,
+        RandomStreams(11).stream("workload"),
+    )
+    machine = DatabaseMachine(config, arch)
+    return machine.run(txns), txns
+
+
+class TestBareMachineRun:
+    def test_all_transactions_commit(self):
+        result, txns = small_run()
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert result.n_transactions == len(txns)
+
+    def test_pages_processed_matches_workload(self):
+        result, txns = small_run()
+        assert result.pages_processed == sum(t.pages_processed for t in txns)
+
+    def test_every_read_hits_a_disk(self):
+        result, txns = small_run()
+        assert result.counter("data_pages_read") == sum(t.n_reads for t in txns)
+
+    def test_every_update_is_written_back(self):
+        result, txns = small_run()
+        assert result.counter("data_pages_written") == sum(t.n_writes for t in txns)
+
+    def test_completion_times_recorded(self):
+        result, txns = small_run()
+        for txn in txns:
+            assert txn.completion_time is not None
+            assert txn.completion_time > 0
+        assert result.mean_completion_ms > 0
+
+    def test_finish_is_last_durable_write_for_updaters(self):
+        _result, txns = small_run()
+        for txn in txns:
+            if txn.write_pages:
+                assert txn.finish_time == txn.last_durable_write
+
+    def test_deterministic_given_seed(self):
+        r1, _ = small_run()
+        r2, _ = small_run()
+        assert r1.makespan_ms == r2.makespan_ms
+        assert r1.mean_completion_ms == r2.mean_completion_ms
+
+    def test_seed_changes_run(self):
+        r1, _ = small_run()
+        r2, _ = small_run(seed=2024)
+        assert r1.makespan_ms != r2.makespan_ms
+
+    def test_cache_frames_all_returned(self):
+        config = MachineConfig()
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=4, max_pages=50),
+            config.db_pages,
+            RandomStreams(11).stream("workload"),
+        )
+        machine = DatabaseMachine(config, None)
+        machine.run(txns)
+        assert machine.cache.free == config.cache_frames
+
+    def test_locks_all_released(self):
+        config = MachineConfig()
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=4, max_pages=50),
+            config.db_pages,
+            RandomStreams(11).stream("workload"),
+        )
+        machine = DatabaseMachine(config, None)
+        machine.run(txns)
+        assert machine.locks._table == {}
+
+    def test_empty_load_rejected(self):
+        machine = DatabaseMachine(MachineConfig(), None)
+        with pytest.raises(ValueError):
+            machine.run([])
+
+    def test_utilizations_in_range(self):
+        result, _ = small_run()
+        for name, value in result.utilizations.items():
+            assert 0.0 <= value <= 1.0 + 1e-9, name
+
+
+class TestConflictingWorkloads:
+    def test_conflicting_transactions_still_all_commit(self):
+        """Force heavy page contention: everything fits in 200 pages."""
+        config = MachineConfig(mpl=4)
+        rng = RandomStreams(13).stream("workload")
+        from repro.workload import Transaction
+
+        txns = []
+        for tid in range(8):
+            reads = tuple(rng.sample(range(200), 30))
+            writes = frozenset(rng.sample(reads, 6))
+            txns.append(Transaction(tid=tid, read_pages=reads, write_pages=writes))
+        machine = DatabaseMachine(config, None)
+        result = machine.run(txns)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert result.counter("lock_blocks") > 0  # contention actually happened
+
+    def test_deadlock_victims_restart_and_commit(self):
+        """Reverse-order hot pages provoke deadlocks; victims must retry."""
+        config = MachineConfig(mpl=4)
+        from repro.workload import Transaction
+
+        hot = list(range(10))
+        txns = []
+        for tid in range(6):
+            reads = tuple(hot if tid % 2 == 0 else reversed(hot))
+            txns.append(
+                Transaction(tid=tid, read_pages=reads, write_pages=frozenset(reads))
+            )
+        machine = DatabaseMachine(config, None)
+        result = machine.run(txns)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        # With opposite lock orders at mpl 4, at least one abort is expected.
+        assert result.n_restarts >= 1
+
+
+class TestArchitecturesIntegration:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            BareArchitecture,
+            ParallelLoggingArchitecture,
+            PageTableShadowArchitecture,
+            OverwritingArchitecture,
+            DifferentialFileArchitecture,
+        ],
+        ids=["bare", "logging", "shadow", "overwriting", "differential"],
+    )
+    @pytest.mark.parametrize("parallel", [False, True], ids=["conv", "par"])
+    def test_runs_clean_and_commits(self, factory, parallel):
+        result, txns = small_run(factory(), parallel=parallel)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert result.execution_time_per_page > 0
+
+    def test_version_selection_needs_half_database(self):
+        result, txns = small_run(VersionSelectionArchitecture(), db_pages=60_000)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+
+    def test_architecture_name_in_result(self):
+        result, _ = small_run(ParallelLoggingArchitecture())
+        assert "logging" in result.architecture
+
+    def test_run_result_summary_renders(self):
+        result, _ = small_run()
+        text = result.summary()
+        assert "execution time / page" in text
+        assert "bare" in text

@@ -1,0 +1,119 @@
+"""Tests for the run-timeline instrumentation."""
+
+import io
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.metrics import Timeline, TimelineEvent
+from repro.sim import RandomStreams
+
+
+class TestTimelineContainer:
+    def test_records_in_order(self):
+        timeline = Timeline()
+        timeline.record(1.0, "a", x=1)
+        timeline.record(2.0, "b")
+        assert len(timeline) == 2
+        assert timeline.events()[0].category == "a"
+        assert timeline.events()[0]["x"] == 1
+
+    def test_rejects_time_travel(self):
+        timeline = Timeline()
+        timeline.record(5.0, "a")
+        with pytest.raises(ValueError):
+            timeline.record(4.0, "b")
+
+    def test_category_filter(self):
+        timeline = Timeline()
+        timeline.record(1.0, "read")
+        timeline.record(2.0, "write")
+        timeline.record(3.0, "read")
+        assert len(timeline.events("read")) == 2
+
+    def test_between(self):
+        timeline = Timeline()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            timeline.record(t, "tick")
+        assert [e.time for e in timeline.between(2.0, 4.0)] == [2.0, 3.0]
+
+    def test_counts_and_span(self):
+        timeline = Timeline()
+        timeline.record(10.0, "a")
+        timeline.record(30.0, "a")
+        timeline.record(30.0, "b")
+        assert timeline.counts() == {"a": 2, "b": 1}
+        assert timeline.span() == 20.0
+
+    def test_rate_per_second(self):
+        timeline = Timeline()
+        timeline.record(0.0, "tick")
+        timeline.record(1000.0, "tick")  # 2 events over 1 simulated second
+        assert timeline.rate_per_second("tick") == pytest.approx(2.0)
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.span() == 0.0
+        assert timeline.rate_per_second("x") == 0.0
+
+    def test_csv_round_trip_fields(self):
+        timeline = Timeline()
+        timeline.record(1.5, "read", page=7, tid=2)
+        text = timeline.to_csv()
+        assert "1.500,read" in text
+        assert "page=7" in text and "tid=2" in text
+
+    def test_csv_to_file_object(self):
+        timeline = Timeline()
+        timeline.record(1.0, "x")
+        buffer = io.StringIO()
+        assert timeline.to_csv(buffer) is None
+        assert "time_ms" in buffer.getvalue()
+
+
+class TestMachineIntegration:
+    def run_with_timeline(self):
+        timeline = Timeline()
+        config = MachineConfig()
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=4, max_pages=40),
+            config.db_pages,
+            RandomStreams(3).stream("workload"),
+        )
+        DatabaseMachine(config, None, timeline=timeline).run(txns)
+        return timeline, txns
+
+    def test_lifecycle_events_recorded(self):
+        timeline, txns = self.run_with_timeline()
+        counts = timeline.counts()
+        assert counts["txn_begin"] == len(txns)
+        assert counts["txn_commit"] == len(txns)
+        assert counts["page_read"] == sum(t.n_reads for t in txns)
+
+    def test_durable_writes_match_write_sets(self):
+        timeline, txns = self.run_with_timeline()
+        durable = sum(e["pages"] for e in timeline.events("write_durable"))
+        assert durable == sum(t.n_writes for t in txns)
+
+    def test_commit_follows_begin_per_transaction(self):
+        timeline, _ = self.run_with_timeline()
+        begins = {e["tid"]: e.time for e in timeline.events("txn_begin")}
+        for commit in timeline.events("txn_commit"):
+            assert commit.time >= begins[commit["tid"]]
+
+    def test_no_timeline_by_default(self):
+        config = MachineConfig()
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=2, max_pages=30),
+            config.db_pages,
+            RandomStreams(3).stream("workload"),
+        )
+        machine = DatabaseMachine(config, None)
+        machine.run(txns)
+        assert machine.timeline is None
+
+    def test_summary_renders(self):
+        timeline, _ = self.run_with_timeline()
+        text = timeline.summary()
+        assert "events over" in text
+        assert "txn_commit" in text

@@ -1,0 +1,189 @@
+"""Tests for the crash-safe B+tree index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    DistributedWalManager,
+    OverwriteVariant,
+    OverwritingManager,
+    ShadowPageTableManager,
+)
+from repro.storage.btree import BTree, KeyTooLargeError
+
+MANAGERS = {
+    "wal": lambda: DistributedWalManager(n_logs=2),
+    "shadow": ShadowPageTableManager,
+    "no-undo": lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
+}
+
+
+@pytest.fixture(params=sorted(MANAGERS), ids=sorted(MANAGERS))
+def manager(request):
+    return MANAGERS[request.param]()
+
+
+def committed_insert(manager, tree, pairs):
+    tid = manager.begin()
+    for key, value in pairs:
+        tree.insert(tid, key, value)
+    manager.commit(tid)
+
+
+class TestBTreeBasics:
+    def test_empty_tree(self, manager):
+        tree = BTree(manager, file_id=7)
+        assert tree.search(None, b"missing") is None
+        assert list(tree.entries()) == []
+        assert tree.height() == 0
+        assert len(tree) == 0
+
+    def test_insert_and_search(self, manager):
+        tree = BTree(manager, file_id=7)
+        committed_insert(manager, tree, [(b"b", b"2"), (b"a", b"1"), (b"c", b"3")])
+        assert tree.search(None, b"a") == b"1"
+        assert tree.search(None, b"b") == b"2"
+        assert tree.search(None, b"c") == b"3"
+        assert tree.search(None, b"d") is None
+
+    def test_overwrite_existing_key(self, manager):
+        tree = BTree(manager, file_id=7)
+        committed_insert(manager, tree, [(b"k", b"old")])
+        committed_insert(manager, tree, [(b"k", b"new")])
+        assert tree.search(None, b"k") == b"new"
+        assert len(tree) == 1
+
+    def test_entries_sorted(self, manager):
+        tree = BTree(manager, file_id=7)
+        keys = [b"m", b"a", b"z", b"q", b"c"]
+        committed_insert(manager, tree, [(k, k.upper()) for k in keys])
+        assert [k for k, _v in tree.entries()] == sorted(keys)
+
+    def test_range_scan(self, manager):
+        tree = BTree(manager, file_id=7)
+        committed_insert(
+            manager, tree, [(b"%02d" % i, b"v%d" % i) for i in range(20)]
+        )
+        window = [k for k, _v in tree.entries(low=b"05", high=b"10")]
+        assert window == [b"%02d" % i for i in range(5, 10)]
+
+    def test_delete(self, manager):
+        tree = BTree(manager, file_id=7)
+        committed_insert(manager, tree, [(b"a", b"1"), (b"b", b"2")])
+        tid = manager.begin()
+        assert tree.delete(tid, b"a")
+        assert not tree.delete(tid, b"a")
+        manager.commit(tid)
+        assert tree.search(None, b"a") is None
+        assert tree.search(None, b"b") == b"2"
+
+    def test_non_bytes_rejected(self, manager):
+        tree = BTree(manager, file_id=7)
+        tid = manager.begin()
+        with pytest.raises(TypeError):
+            tree.insert(tid, "str-key", b"v")
+
+    def test_giant_pair_rejected(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        tid = manager.begin()
+        with pytest.raises(KeyTooLargeError):
+            tree.insert(tid, b"k" * 300, b"v")
+
+
+class TestSplits:
+    def test_tree_grows_in_height(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(
+            manager, tree, [(b"key-%04d" % i, b"val-%04d" % i) for i in range(100)]
+        )
+        assert tree.height() >= 2
+        assert len(tree) == 100
+        for i in range(0, 100, 11):
+            assert tree.search(None, b"key-%04d" % i) == b"val-%04d" % i
+
+    def test_descending_inserts(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(
+            manager, tree, [(b"%04d" % i, b"x") for i in reversed(range(80))]
+        )
+        assert [k for k, _v in tree.entries()] == [b"%04d" % i for i in range(80)]
+
+    def test_leaf_chain_survives_splits(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(manager, tree, [(b"%03d" % i, b"v") for i in range(60)])
+        # A full scan must visit every key exactly once, in order.
+        scanned = [k for k, _v in tree.entries()]
+        assert scanned == sorted(scanned)
+        assert len(scanned) == 60
+
+
+class TestCrashSafety:
+    def test_committed_index_survives(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(manager, tree, [(b"%03d" % i, b"v") for i in range(50)])
+        manager.crash()
+        manager.recover()
+        assert len(tree) == 50
+        assert tree.search(None, b"025") == b"v"
+
+    def test_uncommitted_inserts_vanish_even_mid_split(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(manager, tree, [(b"%03d" % i, b"v") for i in range(30)])
+        tid = manager.begin()
+        for i in range(30, 60):
+            tree.insert(tid, b"%03d" % i, b"ghost")  # forces splits
+        manager.crash()
+        manager.recover()
+        assert len(tree) == 30
+        assert tree.search(None, b"045") is None
+        # Structure intact after the rollback.
+        assert [k for k, _v in tree.entries()] == [b"%03d" % i for i in range(30)]
+
+    def test_aborted_split_rolls_back(self, manager):
+        tree = BTree(manager, file_id=7, page_size=256)
+        committed_insert(manager, tree, [(b"%03d" % i, b"v") for i in range(30)])
+        height_before = tree.height()
+        tid = manager.begin()
+        for i in range(30, 100):
+            tree.insert(tid, b"%03d" % i, b"x")
+        manager.abort(tid)
+        assert tree.height() == height_before
+        assert len(tree) == 30
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete", "crash"]),
+            st.binary(min_size=1, max_size=8),
+            st.binary(min_size=0, max_size=8),
+        ),
+        max_size=40,
+    )
+)
+def test_btree_matches_sorted_dict_model(ops):
+    """Model-based: committed tree contents equal a dict, in sorted order,
+    through puts, deletes, and crash-after-uncommitted interleavings."""
+    manager = DistributedWalManager(n_logs=2)
+    tree = BTree(manager, file_id=3, page_size=256)
+    model = {}
+    for action, key, value in ops:
+        if action == "put":
+            tid = manager.begin()
+            tree.insert(tid, key, value)
+            manager.commit(tid)
+            model[key] = value
+        elif action == "delete":
+            tid = manager.begin()
+            existed = tree.delete(tid, key)
+            manager.commit(tid)
+            assert existed == (key in model)
+            model.pop(key, None)
+        else:
+            tid = manager.begin()
+            tree.insert(tid, key, b"uncommitted")
+            manager.crash()
+            manager.recover()
+    assert list(tree.entries()) == sorted(model.items())

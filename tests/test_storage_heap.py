@@ -1,0 +1,246 @@
+"""Tests for heap files and the table/database facade, across all
+recovery managers — the layer is manager-agnostic by construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    Database,
+    DistributedWalManager,
+    HeapFile,
+    OverwriteVariant,
+    OverwritingManager,
+    PageFullError,
+    RecordId,
+    ShadowPageTableManager,
+    VersionSelectionManager,
+)
+
+MANAGERS = {
+    "wal": lambda: DistributedWalManager(n_logs=2),
+    "shadow": ShadowPageTableManager,
+    "no-undo": lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
+    "no-redo": lambda: OverwritingManager(OverwriteVariant.NO_REDO),
+    "versions": VersionSelectionManager,
+}
+
+
+@pytest.fixture(params=sorted(MANAGERS), ids=sorted(MANAGERS))
+def manager(request):
+    return MANAGERS[request.param]()
+
+
+class TestHeapFile:
+    def test_insert_fetch(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        tid = manager.begin()
+        rid = heap.insert(tid, b"hello")
+        assert heap.fetch(tid, rid) == b"hello"
+        manager.commit(tid)
+        assert heap.fetch(None, rid) == b"hello"
+
+    def test_grows_pages_when_full(self, manager):
+        heap = HeapFile(manager, file_id=1, page_size=128)
+        tid = manager.begin()
+        rids = [heap.insert(tid, b"x" * 50) for _ in range(6)]
+        manager.commit(tid)
+        assert heap.n_pages() >= 3
+        assert len({rid.page_no for rid in rids}) >= 3
+
+    def test_oversized_record_rejected(self, manager):
+        heap = HeapFile(manager, file_id=1, page_size=128)
+        tid = manager.begin()
+        with pytest.raises(PageFullError):
+            heap.insert(tid, b"x" * 500)
+
+    def test_delete(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        tid = manager.begin()
+        rid = heap.insert(tid, b"doomed")
+        assert heap.delete(tid, rid)
+        assert heap.fetch(tid, rid) is None
+        assert not heap.delete(tid, rid)
+        manager.commit(tid)
+
+    def test_update_in_place(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        tid = manager.begin()
+        rid = heap.insert(tid, b"old")
+        new_rid = heap.update(tid, rid, b"new")
+        assert new_rid == rid
+        assert heap.fetch(tid, rid) == b"new"
+        manager.commit(tid)
+
+    def test_update_relocates_when_grown(self, manager):
+        heap = HeapFile(manager, file_id=1, page_size=128)
+        tid = manager.begin()
+        rid = heap.insert(tid, b"a" * 30)
+        heap.insert(tid, b"b" * 50)
+        new_rid = heap.update(tid, rid, b"c" * 80)  # no longer fits page 0
+        assert new_rid != rid
+        assert heap.fetch(tid, new_rid) == b"c" * 80
+        assert heap.fetch(tid, rid) is None
+        manager.commit(tid)
+
+    def test_update_missing_raises(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        tid = manager.begin()
+        with pytest.raises(KeyError):
+            heap.update(tid, RecordId(0, 0), b"x")
+
+    def test_scan_order_and_len(self, manager):
+        heap = HeapFile(manager, file_id=1, page_size=256)
+        tid = manager.begin()
+        payloads = [b"r%02d" % i for i in range(20)]
+        for payload in payloads:
+            heap.insert(tid, payload)
+        manager.commit(tid)
+        scanned = [record for _rid, record in heap.scan(None)]
+        assert sorted(scanned) == sorted(payloads)
+        assert len(heap) == 20
+
+    def test_files_are_isolated(self, manager):
+        a = HeapFile(manager, file_id=1)
+        b = HeapFile(manager, file_id=2)
+        tid = manager.begin()
+        rid = a.insert(tid, b"only-in-a")
+        manager.commit(tid)
+        assert b.fetch(None, rid) is None
+        assert len(b) == 0
+
+
+class TestHeapCrashSafety:
+    def test_committed_inserts_survive_crash(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        tid = manager.begin()
+        rid = heap.insert(tid, b"durable")
+        manager.commit(tid)
+        manager.crash()
+        manager.recover()
+        assert heap.fetch(None, rid) == b"durable"
+
+    def test_uncommitted_inserts_vanish(self, manager):
+        heap = HeapFile(manager, file_id=1)
+        t1 = manager.begin()
+        first = heap.insert(t1, b"keep")
+        manager.commit(t1)
+        t2 = manager.begin()
+        heap.insert(t2, b"ghost")
+        manager.crash()
+        manager.recover()
+        assert [record for _rid, record in heap.scan(None)] == [b"keep"]
+        assert heap.fetch(None, first) == b"keep"
+
+    def test_page_grow_rolls_back(self, manager):
+        """An aborted transaction that allocated a new page must not leave
+        the catalog pointing at it."""
+        heap = HeapFile(manager, file_id=1, page_size=128)
+        tid = manager.begin()
+        for _ in range(5):
+            heap.insert(tid, b"x" * 60)
+        manager.abort(tid)
+        assert heap.n_pages() == 0
+        assert len(heap) == 0
+
+
+class TestDatabase:
+    def test_create_and_reopen_table(self, manager):
+        db = Database(manager)
+        accounts = db.create_table("accounts")
+        tid = db.begin()
+        rid = accounts.insert(tid, ("alice", 100))
+        db.commit(tid)
+        db.crash()
+        db.recover()
+        table = db.table("accounts")
+        assert table.fetch_row(None, rid) == ("alice", 100)
+
+    def test_duplicate_table_rejected(self, manager):
+        db = Database(manager)
+        db.create_table("t")
+        with pytest.raises(ValueError):
+            db.create_table("t")
+
+    def test_missing_table_rejected(self, manager):
+        with pytest.raises(KeyError):
+            Database(manager).table("nope")
+
+    def test_tables_listed(self, manager):
+        db = Database(manager)
+        db.create_table("a")
+        db.create_table("b")
+        assert db.tables() == ("a", "b")
+
+    def test_select_scans_with_predicate(self, manager):
+        db = Database(manager)
+        people = db.create_table("people")
+        tid = db.begin()
+        for name, age in (("ann", 30), ("bob", 17), ("cy", 45)):
+            people.insert(tid, (name, age))
+        db.commit(tid)
+        adults = [row for _rid, row in people.select(lambda r: r[1] >= 18)]
+        assert sorted(adults) == [("ann", 30), ("cy", 45)]
+
+    def test_bank_transfer_is_atomic_under_crash(self, manager):
+        db = Database(manager)
+        accounts = db.create_table("accounts")
+        tid = db.begin()
+        alice = accounts.insert(tid, ("alice", 100))
+        bob = accounts.insert(tid, ("bob", 100))
+        db.commit(tid)
+        transfer = db.begin()
+        accounts.update(transfer, alice, ("alice", 40))
+        # crash before bob is credited
+        db.crash()
+        db.recover()
+        table = db.table("accounts")
+        balances = {name: amount for _rid, (name, amount) in table.rows()}
+        assert balances == {"alice": 100, "bob": 100}
+
+
+class RowModel:
+    """Reference model for the heap property test."""
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "crash_commit", "crash_drop"]),
+            st.binary(min_size=0, max_size=40),
+        ),
+        max_size=25,
+    )
+)
+def test_heap_matches_model_under_crashes(ops):
+    """Model-based: committed heap contents equal a dict model through
+    inserts, deletes, commits, and crash-after-uncommitted sequences."""
+    manager = DistributedWalManager(n_logs=2)
+    heap = HeapFile(manager, file_id=1, page_size=512)
+    model = {}
+    for action, payload in ops:
+        if action == "insert":
+            tid = manager.begin()
+            rid = heap.insert(tid, payload)
+            manager.commit(tid)
+            model[rid] = payload
+        elif action == "delete" and model:
+            victim = sorted(model)[0]
+            tid = manager.begin()
+            heap.delete(tid, victim)
+            manager.commit(tid)
+            del model[victim]
+        elif action == "crash_commit":
+            tid = manager.begin()
+            rid = heap.insert(tid, payload)
+            manager.commit(tid)
+            model[rid] = payload
+            manager.crash()
+            manager.recover()
+        elif action == "crash_drop":
+            tid = manager.begin()
+            heap.insert(tid, payload)
+            manager.crash()  # uncommitted: must vanish
+            manager.recover()
+    assert dict(heap.scan(None)) == model

@@ -1,0 +1,124 @@
+"""Tests for indexed tables (heap + B+tree secondary indexes)."""
+
+import pytest
+
+from repro.storage import (
+    DistributedWalManager,
+    ShadowPageTableManager,
+)
+from repro.storage.indexed import IndexedDatabase, _index_key
+
+MANAGERS = {
+    "wal": lambda: DistributedWalManager(n_logs=2),
+    "shadow": ShadowPageTableManager,
+}
+
+
+@pytest.fixture(params=sorted(MANAGERS), ids=sorted(MANAGERS))
+def db(request):
+    return IndexedDatabase(MANAGERS[request.param]())
+
+
+def seed_people(db):
+    people = db.create_table("people", indexes={"by_name": 0, "by_age": 1})
+    tid = db.begin()
+    rids = {}
+    for name, age in (("carol", 45), ("alice", 30), ("bob", 17), ("dave", 30)):
+        rids[name] = people.insert(tid, (name, age))
+    db.commit(tid)
+    return people, rids
+
+
+class TestIndexKeyEncoding:
+    def test_strings_order_lexicographically(self):
+        assert _index_key("apple") < _index_key("banana")
+
+    def test_ints_order_numerically(self):
+        assert _index_key(9) < _index_key(10) < _index_key(100)
+
+    def test_unindexable_types_rejected(self):
+        with pytest.raises(TypeError):
+            _index_key(None)
+        with pytest.raises(TypeError):
+            _index_key(True)
+        with pytest.raises(TypeError):
+            _index_key(-1)
+
+
+class TestIndexedTable:
+    def test_lookup_by_index(self, db):
+        people, rids = seed_people(db)
+        hits = people.lookup(None, "by_name", "alice")
+        assert len(hits) == 1
+        assert hits[0][1] == ("alice", 30)
+
+    def test_lookup_duplicate_values(self, db):
+        people, _ = seed_people(db)
+        hits = people.lookup(None, "by_age", 30)
+        assert sorted(row[0] for _rid, row in hits) == ["alice", "dave"]
+
+    def test_lookup_miss(self, db):
+        people, _ = seed_people(db)
+        assert people.lookup(None, "by_name", "nobody") == []
+
+    def test_range_scan_in_order(self, db):
+        people, _ = seed_people(db)
+        ages = [row[1] for _rid, row in people.scan_range(None, "by_age", 18, 46)]
+        assert ages == [30, 30, 45]
+
+    def test_delete_maintains_index(self, db):
+        people, rids = seed_people(db)
+        tid = db.begin()
+        assert people.delete(tid, rids["alice"])
+        db.commit(tid)
+        assert people.lookup(None, "by_name", "alice") == []
+        assert len(people.lookup(None, "by_age", 30)) == 1  # dave remains
+
+    def test_update_maintains_index(self, db):
+        people, rids = seed_people(db)
+        tid = db.begin()
+        people.update(tid, rids["bob"], ("bob", 18))
+        db.commit(tid)
+        assert people.lookup(None, "by_age", 17) == []
+        assert len(people.lookup(None, "by_age", 18)) == 1
+
+    def test_index_names(self, db):
+        people, _ = seed_people(db)
+        assert people.index_names() == ("by_age", "by_name")
+
+    def test_uncommitted_index_entries_invisible(self, db):
+        people, _ = seed_people(db)
+        tid = db.begin()
+        people.insert(tid, ("eve", 99))
+        assert people.lookup(tid, "by_name", "eve")  # read-your-writes
+        assert people.lookup(None, "by_name", "eve") == []
+        db.abort(tid)
+        assert people.lookup(None, "by_name", "eve") == []
+
+
+class TestCrashConsistency:
+    def test_index_and_heap_stay_consistent_across_crash(self, db):
+        people, rids = seed_people(db)
+        tid = db.begin()
+        people.insert(tid, ("ghost", 1))
+        people.delete(tid, rids["carol"])
+        db.crash()
+        db.recover()
+        table = db.table("people")
+        assert table.lookup(None, "by_name", "ghost") == []
+        assert len(table.lookup(None, "by_name", "carol")) == 1
+        # Every heap row is reachable through the index and vice versa.
+        heap_names = sorted(row[0] for _rid, row in table.rows())
+        index_names = sorted(
+            row[0]
+            for _rid, row in table.scan_range(None, "by_name", None, None)
+        )
+        assert heap_names == index_names
+
+    def test_reopened_database_rebuilds_index_handles(self, db):
+        people, _ = seed_people(db)
+        db.crash()
+        db.recover()
+        table = db.table("people")
+        assert table.index_names() == ("by_age", "by_name")
+        assert len(table.lookup(None, "by_age", 30)) == 2

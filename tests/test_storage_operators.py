@@ -1,0 +1,130 @@
+"""Tests for relational operators over differential-file views."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DifferentialFileManager
+from repro.storage.operators import (
+    difference,
+    intersection,
+    join,
+    parallel_join,
+    partition,
+    project,
+    select,
+    union,
+)
+
+
+@pytest.fixture
+def manager():
+    m = DifferentialFileManager()
+    tid = m.begin()
+    for row in (("alice", 1, "eng"), ("bob", 2, "eng"), ("carol", 3, "ops")):
+        m.insert(tid, "emp", row)
+    for row in (("eng", "building-1"), ("ops", "building-2")):
+        m.insert(tid, "dept", row)
+    m.commit(tid)
+    return m
+
+
+class TestUnaryOperators:
+    def test_select(self, manager):
+        rows = select(manager, "emp", lambda r: r[2] == "eng")
+        assert rows == {("alice", 1, "eng"), ("bob", 2, "eng")}
+
+    def test_select_sees_deletions(self, manager):
+        tid = manager.begin()
+        manager.delete(tid, "emp", ("bob", 2, "eng"))
+        manager.commit(tid)
+        rows = select(manager, "emp", lambda r: r[2] == "eng")
+        assert rows == {("alice", 1, "eng")}
+
+    def test_select_read_your_writes(self, manager):
+        tid = manager.begin()
+        manager.insert(tid, "emp", ("dave", 4, "eng"))
+        with_txn = select(manager, "emp", lambda r: r[2] == "eng", tid=tid)
+        committed = select(manager, "emp", lambda r: r[2] == "eng")
+        assert ("dave", 4, "eng") in with_txn
+        assert ("dave", 4, "eng") not in committed
+        manager.abort(tid)
+
+    def test_project(self, manager):
+        names = project(manager, "emp", (0,))
+        assert names == {("alice",), ("bob",), ("carol",)}
+
+    def test_project_deduplicates(self, manager):
+        depts = project(manager, "emp", (2,))
+        assert depts == {("eng",), ("ops",)}
+
+
+class TestBinaryOperators:
+    def test_union_difference_intersection(self, manager):
+        tid = manager.begin()
+        manager.insert(tid, "a", (1,))
+        manager.insert(tid, "a", (2,))
+        manager.insert(tid, "b", (2,))
+        manager.insert(tid, "b", (3,))
+        manager.commit(tid)
+        assert union(manager, "a", "b") == {(1,), (2,), (3,)}
+        assert difference(manager, "a", "b") == {(1,)}
+        assert intersection(manager, "a", "b") == {(2,)}
+
+    def test_join(self, manager):
+        rows = join(manager, "emp", "dept", left_col=2, right_col=0)
+        assert ("alice", 1, "eng", "eng", "building-1") in rows
+        assert ("carol", 3, "ops", "ops", "building-2") in rows
+        assert len(rows) == 3
+
+    def test_join_respects_view_semantics(self, manager):
+        tid = manager.begin()
+        manager.delete(tid, "dept", ("eng", "building-1"))
+        manager.commit(tid)
+        rows = join(manager, "emp", "dept", left_col=2, right_col=0)
+        assert len(rows) == 1  # only the ops row joins
+
+
+class TestParallelStructure:
+    def test_partition_is_a_partition(self, manager):
+        buckets = partition(manager, "emp", column=2, n_partitions=3)
+        all_rows = frozenset().union(*buckets)
+        assert all_rows == manager.read_relation("emp")
+        assert sum(len(bucket) for bucket in buckets) == 3  # disjoint
+
+    def test_same_key_same_bucket(self, manager):
+        buckets = partition(manager, "emp", column=2, n_partitions=4)
+        for bucket in buckets:
+            depts = {row[2] for row in bucket}
+            # All "eng" rows land together.
+            if "eng" in depts:
+                assert sum(1 for row in bucket if row[2] == "eng") == 2
+
+    def test_partition_validation(self, manager):
+        with pytest.raises(ValueError):
+            partition(manager, "emp", 0, 0)
+
+    def test_parallel_join_equals_join(self, manager):
+        serial = join(manager, "emp", "dept", 2, 0)
+        parallel = parallel_join(manager, "emp", "dept", 2, 0, n_partitions=3)
+        assert parallel == serial
+
+    @settings(max_examples=30)
+    @given(
+        left_keys=st.lists(st.integers(min_value=0, max_value=5), max_size=12),
+        right_keys=st.lists(st.integers(min_value=0, max_value=5), max_size=12),
+        n_partitions=st.integers(min_value=1, max_value=6),
+    )
+    def test_parallel_join_equivalence_property(
+        self, left_keys, right_keys, n_partitions
+    ):
+        manager = DifferentialFileManager()
+        tid = manager.begin()
+        for i, key in enumerate(left_keys):
+            manager.insert(tid, "l", ("l", i, key))
+        for i, key in enumerate(right_keys):
+            manager.insert(tid, "r", ("r", i, key))
+        manager.commit(tid)
+        serial = join(manager, "l", "r", 2, 2)
+        parallel = parallel_join(manager, "l", "r", 2, 2, n_partitions)
+        assert parallel == serial

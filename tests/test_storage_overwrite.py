@@ -1,0 +1,135 @@
+"""Unit tests for the functional overwriting managers (no-undo / no-redo)."""
+
+import pytest
+
+from repro.storage import OverwriteVariant, OverwritingManager
+
+
+@pytest.fixture(params=[OverwriteVariant.NO_UNDO, OverwriteVariant.NO_REDO],
+                ids=["no-undo", "no-redo"])
+def manager(request):
+    return OverwritingManager(request.param)
+
+
+class TestCommonBehaviour:
+    def test_read_your_writes(self, manager):
+        tid = manager.begin()
+        manager.write(tid, 1, b"x")
+        assert manager.read(tid, 1) == b"x"
+
+    def test_commit_durable(self, manager):
+        tid = manager.begin()
+        manager.write(tid, 1, b"x")
+        manager.commit(tid)
+        assert manager.read_committed(1) == b"x"
+
+    def test_abort_restores(self, manager):
+        t1 = manager.begin()
+        manager.write(t1, 1, b"old")
+        manager.commit(t1)
+        t2 = manager.begin()
+        manager.write(t2, 1, b"new")
+        manager.abort(t2)
+        assert manager.read_committed(1) == b"old"
+
+    def test_crash_mid_transaction(self, manager):
+        t1 = manager.begin()
+        manager.write(t1, 1, b"keep")
+        manager.commit(t1)
+        t2 = manager.begin()
+        manager.write(t2, 1, b"lose")
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(1) == b"keep"
+
+    def test_crash_after_commit(self, manager):
+        tid = manager.begin()
+        manager.write(tid, 1, b"safe")
+        manager.commit(tid)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(1) == b"safe"
+
+    def test_scratch_cleaned_after_commit_cycle(self, manager):
+        tid = manager.begin()
+        manager.write(tid, 1, b"x")
+        manager.commit(tid)
+        manager.recover()
+        assert manager.scratch_length() == 0
+
+    def test_read_only_commit(self, manager):
+        tid = manager.begin()
+        manager.read(tid, 1)
+        manager.commit(tid)
+        assert manager.read_committed(1) == b""
+
+
+class TestNoUndoSpecifics:
+    def test_home_untouched_until_commit(self):
+        manager = OverwritingManager(OverwriteVariant.NO_UNDO)
+        t1 = manager.begin()
+        manager.write(t1, 1, b"old")
+        manager.commit(t1)
+        t2 = manager.begin()
+        manager.write(t2, 1, b"pending")
+        # The home page still holds the shadow.
+        assert manager.stable.read_page(1) == b"old"
+
+    def test_crash_between_commit_point_and_overwrite_redoes(self):
+        """Simulate dying right after the committed-list append: recovery
+        must finish the overwrite from the scratch ring."""
+        manager = OverwritingManager(OverwriteVariant.NO_UNDO)
+        tid = manager.begin()
+        manager.write(tid, 1, b"redo-me")
+        # Manually reproduce the first half of commit: the commit point.
+        manager.stable.append("committed_txns", tid)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(1) == b"redo-me"
+
+    def test_last_write_of_page_wins(self):
+        manager = OverwritingManager(OverwriteVariant.NO_UNDO)
+        tid = manager.begin()
+        manager.write(tid, 1, b"first")
+        manager.write(tid, 1, b"second")
+        manager.commit(tid)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(1) == b"second"
+
+
+class TestNoRedoSpecifics:
+    def test_home_overwritten_immediately(self):
+        manager = OverwritingManager(OverwriteVariant.NO_REDO)
+        tid = manager.begin()
+        manager.write(tid, 1, b"eager")
+        assert manager.stable.read_page(1) == b"eager"
+
+    def test_read_committed_sees_shadow_while_active(self):
+        manager = OverwritingManager(OverwriteVariant.NO_REDO)
+        t1 = manager.begin()
+        manager.write(t1, 1, b"old")
+        manager.commit(t1)
+        t2 = manager.begin()
+        manager.write(t2, 1, b"dirty")
+        assert manager.read_committed(1) == b"old"
+
+    def test_shadow_saved_once_per_page(self):
+        manager = OverwritingManager(OverwriteVariant.NO_REDO)
+        tid = manager.begin()
+        manager.write(tid, 1, b"a")
+        manager.write(tid, 1, b"b")
+        assert manager.scratch_length() == 1  # one shadow record only
+
+    def test_crash_restores_shadow_from_scratch(self):
+        manager = OverwritingManager(OverwriteVariant.NO_REDO)
+        t1 = manager.begin()
+        manager.write(t1, 1, b"original")
+        manager.commit(t1)
+        t2 = manager.begin()
+        manager.write(t2, 1, b"overwrote-home")
+        assert manager.stable.read_page(1) == b"overwrote-home"
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(1) == b"original"
+        assert manager.stable.read_page(1) == b"original"

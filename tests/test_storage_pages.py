@@ -1,0 +1,159 @@
+"""Unit + property tests for the slotted-page codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import PageFullError, SlottedPage
+
+
+class TestSlottedPageBasics:
+    def test_insert_and_get(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.get(slot) == b"hello"
+        assert len(page) == 1
+
+    def test_multiple_records_get_distinct_slots(self):
+        page = SlottedPage()
+        slots = [page.insert(b"r%d" % i) for i in range(5)]
+        assert len(set(slots)) == 5
+        for i, slot in enumerate(slots):
+            assert page.get(slot) == b"r%d" % i
+
+    def test_get_out_of_range(self):
+        page = SlottedPage()
+        assert page.get(0) is None
+        assert page.get(-1) is None
+
+    def test_delete(self):
+        page = SlottedPage()
+        slot = page.insert(b"x")
+        assert page.delete(slot)
+        assert page.get(slot) is None
+        assert not page.delete(slot)  # double delete
+
+    def test_delete_keeps_other_slots_stable(self):
+        page = SlottedPage()
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        assert page.get(b) == b"b"
+
+    def test_dead_slot_reused(self):
+        page = SlottedPage()
+        a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(a)
+        c = page.insert(b"c")
+        assert c == a  # directory entry reused
+        assert page.n_slots == 2
+
+    def test_update_in_place(self):
+        page = SlottedPage()
+        slot = page.insert(b"old")
+        page.update(slot, b"newer-bytes")
+        assert page.get(slot) == b"newer-bytes"
+
+    def test_update_empty_slot_raises(self):
+        page = SlottedPage()
+        with pytest.raises(KeyError):
+            page.update(0, b"x")
+
+    def test_records_iterates_live_only(self):
+        page = SlottedPage()
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        assert list(page.records()) == [(b, b"b")]
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            SlottedPage().insert("text")
+
+
+class TestSpaceManagement:
+    def test_page_full(self):
+        page = SlottedPage(page_size=64)
+        page.insert(b"x" * 40)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 40)
+
+    def test_fits_matches_insert(self):
+        page = SlottedPage(page_size=128)
+        record = b"z" * 50
+        while page.fits(record):
+            page.insert(record)
+        with pytest.raises(PageFullError):
+            page.insert(record)
+
+    def test_free_space_shrinks(self):
+        page = SlottedPage()
+        before = page.free_space()
+        page.insert(b"x" * 100)
+        assert page.free_space() < before - 100
+
+    def test_delete_reclaims_space(self):
+        page = SlottedPage(page_size=64)
+        slot = page.insert(b"x" * 40)
+        page.delete(slot)
+        page.insert(b"y" * 40)  # fits again
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage(page_size=4)
+
+    def test_oversized_page_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage(page_size=2**17)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        page = SlottedPage()
+        slots = [page.insert(b"record-%d" % i) for i in range(10)]
+        page.delete(slots[3])
+        raw = page.encode()
+        assert len(raw) == 4096
+        again = SlottedPage.decode(raw)
+        assert list(again.records()) == list(page.records())
+
+    def test_empty_bytes_is_fresh_page(self):
+        page = SlottedPage.decode(b"")
+        assert len(page) == 0
+        assert page.n_slots == 0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedPage.decode(b"abc", page_size=4096)
+
+    def test_slots_stay_stable_across_round_trips(self):
+        page = SlottedPage()
+        a = page.insert(b"a")
+        b = page.insert(b"bb")
+        page.delete(a)
+        again = SlottedPage.decode(page.encode())
+        assert again.get(a) is None
+        assert again.get(b) == b"bb"
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.binary(min_size=0, max_size=60)),
+            max_size=30,
+        )
+    )
+    def test_round_trip_after_arbitrary_ops(self, ops):
+        """Model-based: page contents == dict model, across round trips."""
+        page = SlottedPage(page_size=4096)
+        model = {}
+        for is_delete, payload in ops:
+            if is_delete and model:
+                victim = sorted(model)[0]
+                page.delete(victim)
+                del model[victim]
+            elif page.fits(payload):
+                slot = page.insert(payload)
+                model[slot] = payload
+        again = SlottedPage.decode(page.encode())
+        assert dict(again.records()) == model

@@ -1,0 +1,72 @@
+"""Unit + property tests for the record codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import RecordCodecError, decode_record, encode_record
+
+
+class TestCodecBasics:
+    @pytest.mark.parametrize(
+        "row",
+        [
+            (),
+            (1,),
+            ("alice", 100),
+            (None, True, False),
+            (3.14, -2.5e300),
+            (b"\x00\xff", "unicode ✓", 0),
+            (-(2**62), 2**62),
+            (2**100, -(2**100)),  # bigints beyond 64 bits
+        ],
+    )
+    def test_round_trip(self, row):
+        assert decode_record(encode_record(row)) == row
+
+    def test_bool_is_not_int_after_round_trip(self):
+        decoded = decode_record(encode_record((True, 1)))
+        assert decoded[0] is True
+        assert decoded[1] == 1 and decoded[1] is not True
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(RecordCodecError):
+            encode_record(([1, 2],))
+
+    def test_corrupt_bytes_rejected(self):
+        raw = encode_record(("ok", 1))
+        with pytest.raises(RecordCodecError):
+            decode_record(raw[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        raw = encode_record((1,))
+        with pytest.raises(RecordCodecError):
+            decode_record(raw + b"junk")
+
+    def test_unknown_tag_rejected(self):
+        raw = bytearray(encode_record((1,)))
+        raw[2] = ord("?")
+        with pytest.raises(RecordCodecError):
+            decode_record(bytes(raw))
+
+
+FIELD = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+
+class TestCodecProperties:
+    @settings(max_examples=100)
+    @given(st.lists(FIELD, max_size=10).map(tuple))
+    def test_round_trip_any_row(self, row):
+        assert decode_record(encode_record(row)) == row
+
+    @settings(max_examples=50)
+    @given(st.lists(FIELD, max_size=10).map(tuple))
+    def test_encoding_is_deterministic(self, row):
+        assert encode_record(row) == encode_record(row)

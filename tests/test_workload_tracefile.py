@@ -1,0 +1,86 @@
+"""Tests for workload trace files."""
+
+import io
+import random
+
+import pytest
+
+from repro.workload import WorkloadConfig, generate_transactions
+from repro.workload.tracefile import load_trace, save_trace
+
+
+def sample_load(sequential=False, n=10):
+    return generate_transactions(
+        WorkloadConfig(n_transactions=n, max_pages=60, sequential=sequential),
+        5_000,
+        random.Random(4),
+    )
+
+
+class TestTraceRoundTrip:
+    def test_round_trip_random(self):
+        original = sample_load()
+        buffer = io.StringIO()
+        save_trace(original, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert len(loaded) == len(original)
+        for before, after in zip(original, loaded):
+            assert after.tid == before.tid
+            assert after.read_pages == before.read_pages
+            assert after.write_pages == before.write_pages
+            assert after.sequential == before.sequential
+
+    def test_round_trip_sequential_flag(self):
+        original = sample_load(sequential=True)
+        buffer = io.StringIO()
+        save_trace(original, buffer)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert all(t.sequential for t in loaded)
+
+    def test_file_path_round_trip(self, tmp_path):
+        original = sample_load(n=3)
+        path = tmp_path / "load.trace"
+        save_trace(original, str(path))
+        loaded = load_trace(str(path))
+        assert [t.read_pages for t in loaded] == [t.read_pages for t in original]
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n1|r|5,6,7|6\n"
+        loaded = load_trace(io.StringIO(text))
+        assert len(loaded) == 1
+        assert loaded[0].read_pages == (5, 6, 7)
+        assert loaded[0].write_pages == frozenset({6})
+
+    def test_loaded_trace_runs_on_the_machine(self):
+        from repro import DatabaseMachine, MachineConfig
+
+        buffer = io.StringIO()
+        save_trace(sample_load(n=3), buffer)
+        buffer.seek(0)
+        transactions = load_trace(buffer)
+        result = DatabaseMachine(MachineConfig(), None).run(transactions)
+        assert result.n_transactions == 3
+
+
+class TestTraceValidation:
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError, match="expected 4 fields"):
+            load_trace(io.StringIO("1|r|2,3\n"))
+
+    def test_unknown_flags(self):
+        with pytest.raises(ValueError, match="unknown flags"):
+            load_trace(io.StringIO("1|x|2,3|3\n"))
+
+    def test_non_numeric_pages(self):
+        with pytest.raises(ValueError, match="line 1"):
+            load_trace(io.StringIO("1|r|2,three|2\n"))
+
+    def test_empty_read_set(self):
+        with pytest.raises(ValueError, match="reads no pages"):
+            load_trace(io.StringIO("1|r||"))
+
+    def test_write_not_subset_rejected_by_transaction(self):
+        with pytest.raises(ValueError):
+            load_trace(io.StringIO("1|r|2,3|9\n"))
