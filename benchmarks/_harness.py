@@ -19,8 +19,12 @@ from typing import Callable, Dict, Optional
 from repro.experiments import ExperimentSettings
 from repro.experiments.tables import render
 
+#: Master seed for the benchmark harness: every table draws the same
+#: transaction streams, so numbers are comparable across runs and machines.
+BENCH_SEED = 1985
+
 #: Load size for benchmark runs; large enough for stable shapes.
-BENCH_SETTINGS = ExperimentSettings(n_transactions=30)
+BENCH_SETTINGS = ExperimentSettings(n_transactions=30, seed=BENCH_SEED)
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
@@ -31,8 +35,11 @@ def run_table(
     table_func: Callable[..., Dict],
     paper_text: Optional[str] = None,
     settings: ExperimentSettings = BENCH_SETTINGS,
+    seed: Optional[int] = None,
 ) -> Dict:
     """Run ``table_func`` once under the benchmark fixture and report it."""
+    if seed is not None:
+        settings = settings.with_overrides(seed=seed)
     result = benchmark.pedantic(
         lambda: table_func(settings), rounds=1, iterations=1
     )

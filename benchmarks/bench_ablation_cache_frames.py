@@ -10,10 +10,13 @@ parallel-sequential machine collapses when frames are scarce (its cylinder
 batches shrink), while conventional-random barely notices.
 """
 
-from benchmarks._harness import BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
 from repro.experiments import CONFIGURATIONS
 from repro.experiments.sweeps import sweep_machine
 from repro.metrics import format_table
+
+SEED = BENCH_SEED
+SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
 
 FRAME_COUNTS = (40, 70, 100, 150)
 
@@ -27,7 +30,7 @@ def test_ablation_cache_frames(benchmark):
                 CONFIGURATIONS[name],
                 field="cache_frames",
                 values=FRAME_COUNTS,
-                settings=BENCH_SETTINGS,
+                settings=SETTINGS,
             )
         return rows_by_config
 

@@ -9,8 +9,10 @@ one forced partial log page plus one checkpoint page per log disk, fully
 overlapped with data-page processing.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_checkpointing
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper (Section 3.1, details in ref [13]):",
@@ -24,7 +26,7 @@ PAPER_TEXT = paper_block(
 
 def test_ablation_checkpointing(benchmark):
     result = run_table(
-        benchmark, "ablation_checkpointing", ablation_checkpointing, PAPER_TEXT
+        benchmark, "ablation_checkpointing", ablation_checkpointing, PAPER_TEXT, seed=SEED
     )
     for row in result["rows"]:
         assert row["every_500ms"] <= 1.06 * row["no_checkpoints"], row

@@ -8,8 +8,10 @@ ones — but the gain is modest because the multiprogramming level keeps
 queues short.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_disk_scheduling
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper:",
@@ -19,7 +21,7 @@ PAPER_TEXT = paper_block(
 
 def test_ablation_disk_scheduling(benchmark):
     result = run_table(
-        benchmark, "ablation_disk_scheduling", ablation_disk_scheduling, PAPER_TEXT
+        benchmark, "ablation_disk_scheduling", ablation_disk_scheduling, PAPER_TEXT, seed=SEED
     )
     for row in result["rows"]:
         assert row["sstf"] <= 1.03 * row["fcfs"], row

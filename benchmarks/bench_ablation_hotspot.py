@@ -7,8 +7,10 @@ unchanged (the machine is I/O-pattern-bound, not contention-bound); only a
 pathologically small hot set drives up lock conflicts and restarts.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_hotspot
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper:",
@@ -17,7 +19,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_hotspot(benchmark):
-    result = run_table(benchmark, "ablation_hotspot", ablation_hotspot, PAPER_TEXT)
+    result = run_table(benchmark, "ablation_hotspot", ablation_hotspot, PAPER_TEXT, seed=SEED)
     rows = {row["workload"]: row for row in result["rows"]}
     # A pathologically small hot set (0.5 % of the database) drives up
     # conflicts and restarts...

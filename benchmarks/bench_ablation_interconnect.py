@@ -8,8 +8,10 @@ frames are the binding constraint.  Expected shape: all columns within a
 few percent of each other.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_interconnect
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper (Section 4.1.3, no table given):",
@@ -21,7 +23,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_interconnect(benchmark):
-    result = run_table(benchmark, "ablation_interconnect", ablation_interconnect, PAPER_TEXT)
+    result = run_table(benchmark, "ablation_interconnect", ablation_interconnect, PAPER_TEXT, seed=SEED)
     for row in result["rows"]:
         values = [v for k, v in row.items() if k != "configuration"]
         assert max(values) <= 1.12 * min(values), row

@@ -12,7 +12,7 @@ with the paper's decision that per-run merge effects were ignorable, while
 confirming its warning that letting the files grow past ~10 % is ruinous.
 """
 
-from benchmarks._harness import BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
 from repro.analysis.merge_policy import (
     merge_cost_ms,
     optimal_merge_interval,
@@ -23,6 +23,9 @@ from repro.experiments import CONFIGURATIONS, run_configuration
 from repro.machine import MachineConfig
 from repro.metrics import format_table
 
+SEED = BENCH_SEED
+SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
+
 
 def test_ablation_merge_policy(benchmark):
     config = MachineConfig()
@@ -32,12 +35,12 @@ def test_ablation_merge_policy(benchmark):
         small = run_configuration(
             CONFIGURATIONS["conventional-random"],
             lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.10)),
-            BENCH_SETTINGS,
+            SETTINGS,
         )
         large = run_configuration(
             CONFIGURATIONS["conventional-random"],
             lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.20)),
-            BENCH_SETTINGS,
+            SETTINGS,
         )
         appends_per_txn = large.counter("pages_appended") / large.n_transactions
         slope = overhead_slope_ms_per_txn(

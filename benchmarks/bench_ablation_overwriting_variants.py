@@ -10,8 +10,10 @@ transaction's lifetime, no-undo 3 concentrated at commit but batchable on
 parallel-access drives).
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_overwriting_variants
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper (Section 3.2.2.2 describes both; Tables 7-8 evaluate no-undo):",
@@ -28,6 +30,7 @@ def test_ablation_overwriting_variants(benchmark):
         "ablation_overwriting_variants",
         ablation_overwriting_variants,
         PAPER_TEXT,
+        seed=SEED,
     )
     for row in result["rows"]:
         assert row["no_undo"] > 0 and row["no_redo"] > 0

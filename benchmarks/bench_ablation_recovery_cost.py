@@ -29,6 +29,8 @@ from repro.storage import (
     VersionSelectionManager,
 )
 
+SEED = 3
+
 MANAGERS = {
     "wal-3-logs": lambda: DistributedWalManager(n_logs=3),
     "shadow-pt": lambda: ShadowPageTableManager(),
@@ -39,7 +41,7 @@ MANAGERS = {
 }
 
 
-def run_history(manager, n_txns=40, pages=32, seed=3):
+def run_history(manager, n_txns=40, pages=32, seed=SEED):
     """Committed transfers plus an in-flight loser, then a crash."""
     rng = random.Random(seed)
     for _ in range(n_txns):

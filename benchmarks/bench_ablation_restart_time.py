@@ -9,7 +9,7 @@ parallel logging, the normal-case winner, pays the largest restart bill;
 shadow paging and version selection restart essentially for free.
 """
 
-from benchmarks._harness import BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
 from repro.analysis import estimate_restart
 from repro.core import (
     BareArchitecture,
@@ -24,6 +24,9 @@ from repro.core import (
 from repro.experiments import CONFIGURATIONS, run_configuration
 from repro.machine import MachineConfig
 from repro.metrics import format_table
+
+SEED = BENCH_SEED
+SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
 
 ARCHITECTURES = {
     "logging (1 log disk)": (
@@ -55,7 +58,7 @@ def test_ablation_restart_time(benchmark):
     def run_all():
         for label, (factory, kwargs) in ARCHITECTURES.items():
             result = run_configuration(
-                CONFIGURATIONS["conventional-random"], factory, BENCH_SETTINGS
+                CONFIGURATIONS["conventional-random"], factory, SETTINGS
             )
             estimates[label] = estimate_restart(result, config, **kwargs)
         return estimates

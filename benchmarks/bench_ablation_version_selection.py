@@ -11,8 +11,10 @@ Disk space doubling is honoured: the database is halved so both versions
 of every page fit the same two drives.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import ablation_version_selection
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper (Section 4.2.5, no table given):",
@@ -26,7 +28,7 @@ PAPER_TEXT = paper_block(
 
 def test_ablation_version_selection(benchmark):
     result = run_table(
-        benchmark, "ablation_version_selection", ablation_version_selection, PAPER_TEXT
+        benchmark, "ablation_version_selection", ablation_version_selection, PAPER_TEXT, seed=SEED
     )
     for row in result["rows"]:
         if "random" in row["configuration"]:

@@ -6,9 +6,11 @@ Expected shape: logging leaves throughput essentially unchanged (collection
 of recovery data overlaps data processing) and nudges completion times.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table1_logging_impact
 from repro.metrics import format_table
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 1 (exec ms/page without -> with log):",
@@ -21,7 +23,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table1_logging_impact(benchmark):
-    result = run_table(benchmark, "table01", table1_logging_impact, PAPER_TEXT)
+    result = run_table(benchmark, "table01", table1_logging_impact, PAPER_TEXT, seed=SEED)
     for row in result["rows"]:
         # Logging must not degrade throughput by more than ~10 %.
         assert row["exec_with_log"] <= 1.10 * row["exec_without_log"], row

@@ -6,8 +6,10 @@ cannot keep a log disk busy, the paper's argument that one log disk
 suffices.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table2_log_utilization
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 2 (log-disk utilization):",
@@ -16,7 +18,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table2_log_utilization(benchmark):
-    result = run_table(benchmark, "table02", table2_log_utilization, PAPER_TEXT)
+    result = run_table(benchmark, "table02", table2_log_utilization, PAPER_TEXT, seed=SEED)
     by_config = {row["configuration"]: row for row in result["rows"]}
     assert by_config["conventional-random"]["log_disk_utilization"] < 0.08
     assert (

@@ -7,8 +7,10 @@ time; adding log disks restores performance toward the no-logging floor;
 cyclic / random / qp-mod selection are comparable, txn-mod is the loser.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table3_parallel_logging
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 3 (exec ms/page, cyclic column):",
@@ -21,7 +23,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table3_parallel_logging(benchmark):
-    result = run_table(benchmark, "table03", table3_parallel_logging, PAPER_TEXT)
+    result = run_table(benchmark, "table03", table3_parallel_logging, PAPER_TEXT, seed=SEED)
     rows = {row["n_log_disks"]: row for row in result["rows"]}
     # One log disk is the bottleneck; three make it much better.
     assert rows[1]["exec_cyclic"] > 1.8 * rows["w/o logging"]["exec_cyclic"]

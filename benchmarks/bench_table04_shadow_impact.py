@@ -6,8 +6,10 @@ degradation; sequential loads touch at most two PT pages per transaction
 and barely notice the mechanism.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table4_shadow_impact
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 4 (exec ms/page bare / 1 PT proc / 2 PT procs):",
@@ -21,7 +23,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table4_shadow_impact(benchmark):
-    result = run_table(benchmark, "table04", table4_shadow_impact, PAPER_TEXT)
+    result = run_table(benchmark, "table04", table4_shadow_impact, PAPER_TEXT, seed=SEED)
     rows = {row["configuration"]: row for row in result["rows"]}
     rand = rows["conventional-random"]
     assert rand["exec_1ptp"] > 1.04 * rand["exec_bare"]

@@ -6,8 +6,10 @@ a random load the PT disk saturates (1.00) while the data disks starve
 sequential loads the PT disk is nearly idle (0.06).
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table5_shadow_utilization
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 5 (1 PT proc: data util / PT util):",
@@ -20,7 +22,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table5_shadow_utilization(benchmark):
-    result = run_table(benchmark, "table05", table5_shadow_utilization, PAPER_TEXT)
+    result = run_table(benchmark, "table05", table5_shadow_utilization, PAPER_TEXT, seed=SEED)
     rows = {row["configuration"]: row for row in result["rows"]}
     rand = rows["conventional-random"]
     assert rand["1ptp_pt"] > 0.9          # PT disk saturated

@@ -5,8 +5,10 @@ degrade; 25- and 50-page buffers progressively annul the degradation by
 turning PT-disk reads into buffer hits (and avoiding commit-time rereads).
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table6_pt_buffer
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 6 (exec ms/page, bare / buf 10 / 25 / 50):",
@@ -18,7 +20,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table6_pt_buffer(benchmark):
-    result = run_table(benchmark, "table06", table6_pt_buffer, PAPER_TEXT)
+    result = run_table(benchmark, "table06", table6_pt_buffer, PAPER_TEXT, seed=SEED)
     for row in result["rows"]:
         assert row["buffer_10"] > row["bare"]          # small buffer hurts
         assert row["buffer_50"] < row["buffer_10"]     # big buffer recovers

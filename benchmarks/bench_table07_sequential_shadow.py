@@ -7,8 +7,10 @@ expensive on conventional disks but stays close to bare on parallel-access
 disks (its scratch reads and overwrites batch into few accesses).
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table7_sequential_shadow
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 7 (bare / clustered / scrambled / overwriting):",
@@ -21,7 +23,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table7_sequential_shadow(benchmark):
-    result = run_table(benchmark, "table07", table7_sequential_shadow, PAPER_TEXT)
+    result = run_table(benchmark, "table07", table7_sequential_shadow, PAPER_TEXT, seed=SEED)
     rows = {row["configuration"]: row for row in result["rows"]}
     conv = rows["conventional-sequential"]
     par = rows["parallel-sequential"]

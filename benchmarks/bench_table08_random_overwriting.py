@@ -6,8 +6,10 @@ the thru-page-table shadow whose PT accesses pipeline with data-page
 processing.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table8_random_overwriting
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 8 (bare / thru page-table / overwriting):",
@@ -19,7 +21,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table8_random_overwriting(benchmark):
-    result = run_table(benchmark, "table08", table8_random_overwriting, PAPER_TEXT)
+    result = run_table(benchmark, "table08", table8_random_overwriting, PAPER_TEXT, seed=SEED)
     for row in result["rows"]:
         assert row["overwriting"] > row["bare"]
     conv = next(

@@ -7,8 +7,10 @@ recovers the random configurations to near disk-bound but still hurts
 sequential loads badly.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table9_differential_impact
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 9 (exec ms/page bare / basic / optimal):",
@@ -22,7 +24,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table9_differential_impact(benchmark):
-    result = run_table(benchmark, "table09", table9_differential_impact, PAPER_TEXT)
+    result = run_table(benchmark, "table09", table9_differential_impact, PAPER_TEXT, seed=SEED)
     basics = [row["exec_basic"] for row in result["rows"]]
     # CPU-bound flattening: all four basic numbers within 25 % of each other.
     assert max(basics) < 1.25 * min(basics)

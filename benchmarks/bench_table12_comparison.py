@@ -8,8 +8,10 @@ collapse on sequential loads; overwriting hurts everywhere except
 parallel-access + sequential.
 """
 
-from benchmarks._harness import paper_block, run_table
+from benchmarks._harness import BENCH_SEED, paper_block, run_table
 from repro.experiments import PAPER, table12_comparison
+
+SEED = BENCH_SEED
 
 PAPER_TEXT = paper_block(
     "Paper Table 12 (bare/logging/shadow b10/b50/2ptp/scrambled/overwrite/diff):",
@@ -27,7 +29,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table12_comparison(benchmark):
-    result = run_table(benchmark, "table12", table12_comparison, PAPER_TEXT)
+    result = run_table(benchmark, "table12", table12_comparison, PAPER_TEXT, seed=SEED)
     rows = {row["configuration"]: row for row in result["rows"]}
     for name, row in rows.items():
         # The headline: logging within 15 % of bare everywhere.

@@ -18,6 +18,7 @@ from repro.hardware.params import DiskParams
 from repro.machine.config import MachineConfig
 
 __all__ = [
+    "BottleneckReport",
     "cpu_bound_ms_per_page",
     "disk_bound_ms_per_page",
     "expected_random_access_ms",

@@ -126,6 +126,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
                     disk,
                     fragments_per_page=cfg.fragments_per_log_page,
                     name=f"lp{i}",
+                    monitor=machine.wal_monitor,
                 )
             )
         if cfg.routing is FragmentRouting.LINK:
@@ -178,6 +179,8 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             self._rng,
         )
         self._fragments_of(txn)[page] = fragment
+        if machine.wal_monitor is not None:
+            machine.wal_monitor.note_recovery_data(page, fragment)
         txn.recovery_state.setdefault("log_processors", set()).add(lp_index)
         machine.env.process(
             self._ship(fragment, lp_index),
@@ -240,6 +243,8 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             yield fragment.durable
             machine.cache.unmark_blocked(1)
         disk_idx, addr = self.write_address(txn, page)
+        if machine.wal_monitor is not None:
+            machine.wal_monitor.note_flush(page)
         request = machine.data_disks[disk_idx].write([addr], tag="writeback")
         yield request.done
         machine.note_page_written(txn)
@@ -259,7 +264,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         ]
         if in_flight:
             yield self.machine.env.all_of(in_flight)
-        for lp_index in txn.recovery_state.get("log_processors", ()):
+        for lp_index in sorted(txn.recovery_state.get("log_processors", ())):
             if self.config_log.group_commit_window_ms is None:
                 self.log_processors[lp_index].force()
             else:
@@ -304,7 +309,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         ]
         if in_flight:
             yield self.machine.env.all_of(in_flight)
-        for lp_index in txn.recovery_state.get("log_processors", ()):
+        for lp_index in sorted(txn.recovery_state.get("log_processors", ())):
             self.log_processors[lp_index].force()
 
     # -- reporting -----------------------------------------------------------------

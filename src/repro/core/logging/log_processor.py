@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.hardware.disk import Disk
 from repro.hardware.placement import RingAllocator
 from repro.sim.core import Environment, Event
-from repro.sim.monitor import CounterStat, SampleStat
+from repro.sim.monitor import CounterStat, SampleStat, WALInvariantMonitor
 
 __all__ = ["LogFragment", "LogProcessor"]
 
@@ -51,6 +51,7 @@ class LogProcessor:
         disk: Disk,
         fragments_per_page: int,
         name: str = "lp",
+        monitor: Optional[WALInvariantMonitor] = None,
     ):
         if fragments_per_page < 1:
             raise ValueError("a log page must hold at least one fragment")
@@ -59,6 +60,7 @@ class LogProcessor:
         self.disk = disk
         self.fragments_per_page = fragments_per_page
         self.name = name
+        self.monitor = monitor
         self._ring = RingAllocator(disk.params, 0, disk.params.cylinders)
         self._buffer: List[LogFragment] = []
         self.log_pages_written = CounterStat(f"{name}.log_pages")
@@ -122,6 +124,8 @@ class LogProcessor:
             now = self.env.now
             for fragment in fragments:
                 self.fragment_wait_ms.add(now - fragment.created_at)
+                if self.monitor is not None:
+                    self.monitor.note_force(fragment)
                 if not fragment.durable.triggered:
                     fragment.durable.succeed(now)
 

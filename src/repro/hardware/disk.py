@@ -26,6 +26,7 @@ from typing import Deque, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 from repro.hardware.params import DiskParams
 from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.monitor import CounterStat, TimeWeightedStat, UtilizationTracker
+from repro.sim.rng import RandomStreams
 
 __all__ = [
     "ConventionalDisk",
@@ -107,7 +108,9 @@ class Disk:
         self.env = env
         self.params = params
         self.name = name
-        self.rng = rng or random.Random(0)
+        # Latency samples come from a named stream even when the caller does
+        # not wire one up, so stand-alone disks stay reproducible too.
+        self.rng = rng if rng is not None else RandomStreams(0).stream(f"disk.{name}")
         self._queue: Deque[DiskRequest] = deque()
         self._wakeup: Optional[Event] = None
         self._head_cylinder = 0

@@ -1,0 +1,28 @@
+"""reprolint — determinism & recovery-discipline static analysis.
+
+The paper's evaluation rests on *paired, low-variance* simulation runs:
+common random numbers across architecture variants (``sim/rng.py``) and a
+fully deterministic event calendar (``sim/core.py``).  Recovery
+correctness likewise rests on disciplines — write-ahead logging, shadow
+installation before overwrite — that are easy to break silently in a
+refactor.  This package makes both machine-checkable: an AST pass with a
+pluggable rule registry, run as ``python -m repro.lint src tests
+benchmarks`` (or the ``repro-lint`` console script).
+
+See ``docs/LINT.md`` for the rule catalogue and the paper rationale of
+each rule.
+"""
+
+from repro.lint.engine import LintEngine, ModuleContext, Project, all_rules
+from repro.lint.findings import Finding
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "ModuleContext",
+    "Project",
+    "all_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,106 @@
+"""Small AST helpers shared by the rules: import resolution, name chains,
+source-ordered walks, and an edit distance for typo detection."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ImportMap",
+    "attribute_chain",
+    "edit_distance",
+    "functions_in",
+    "keyword_value",
+    "ordered_walk",
+]
+
+
+class ImportMap:
+    """Resolve local names back to the dotted origin they were imported as.
+
+    ``import random``             -> {"random": "random"}
+    ``import numpy as np``        -> {"np": "numpy"}
+    ``from time import monotonic``-> {"monotonic": "time.monotonic"}
+    ``from datetime import datetime as dt`` -> {"dt": "datetime.datetime"}
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.origins: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.origins[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.origins[local] = f"{node.module}.{alias.name}"
+
+    def origin(self, expr: ast.AST) -> Optional[str]:
+        """Dotted origin of an expression, e.g. ``rnd.Random`` -> ``random.Random``."""
+        chain = attribute_chain(expr)
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        base = self.origins.get(head)
+        if base is None:
+            return None
+        return ".".join([base] + rest)
+
+
+def attribute_chain(expr: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None when the base is not a plain name."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def keyword_value(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def functions_in(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (sync) function/method definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def ordered_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first walk in source order, not descending into nested
+    function/class definitions."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield child
+        yield from ordered_walk(child)
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Plain Levenshtein distance (small strings only)."""
+    if a == b:
+        return 0
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            current.append(
+                min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (ca != cb),
+                )
+            )
+        previous = current
+    return previous[-1]

@@ -1,0 +1,86 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Examples::
+
+    python -m repro.lint src tests benchmarks
+    python -m repro.lint --format json src
+    python -m repro.lint --list-rules
+    python -m repro.lint --rules DET01,API01 src
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import LintEngine, all_rules
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "reprolint: determinism & recovery-discipline static analysis "
+            "for the repro tree (see docs/LINT.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=[], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, rule_cls in sorted(all_rules().items()):
+            print(f"{code}: {rule_cls.summary}")
+        return 0
+
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.lint src tests benchmarks)")
+        return 2
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        # A typo'd path must not read as a clean lint run (CI would go green).
+        print(f"error: no such path(s): {', '.join(missing)}")
+        return 2
+
+    selected = None
+    if args.rules:
+        selected = [code.strip() for code in args.rules.split(",") if code.strip()]
+    try:
+        engine = LintEngine(rules=selected)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    project = engine.load(args.paths)
+    findings = engine.run_project(project)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(findings, checked_files=len(project.modules)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

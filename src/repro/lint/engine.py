@@ -1,0 +1,251 @@
+"""The lint engine: file discovery, parsing, suppressions, rule registry.
+
+A rule is a class with a ``code``, a ``summary``, and a
+``check(module, project)`` generator of :class:`Finding` objects.  Rules
+register themselves with :func:`register`; importing
+:mod:`repro.lint.rules` populates the registry.  The engine parses every
+``.py`` file under the given paths into a :class:`ModuleContext`, bundles
+them into a :class:`Project` (rules that need cross-module facts — the
+``RecoveryArchitecture`` surface, the class-inheritance graph — read it
+from there), runs each rule over each module, and filters the findings
+through ``# reprolint: disable=RULE`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "LintEngine",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "all_rules",
+    "register",
+]
+
+#: File-wide suppression: ``# reprolint: disable=DET01,API01`` anywhere in
+#: the file (conventionally in the module header, with a reason).
+_FILE_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9_,\s]+)")
+#: Single-line suppression: ``# reprolint: disable-line=DET01``.
+_LINE_DIRECTIVE = re.compile(r"#\s*reprolint:\s*disable-line=([A-Z0-9_,\s]+)")
+
+
+def _parse_codes(blob: str) -> List[str]:
+    return [code.strip() for code in blob.split(",") if code.strip()]
+
+
+class ModuleContext:
+    """One parsed source file plus the metadata rules need."""
+
+    def __init__(self, path: str, display_path: str, source: str):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.syntax_error = exc
+        self.package = self._derive_package(display_path)
+        self.file_suppressions, self.line_suppressions = self._scan_directives()
+
+    @staticmethod
+    def _derive_package(display_path: str) -> str:
+        """Dotted module name: ``src/repro/sim/core.py`` -> ``repro.sim.core``."""
+        parts = display_path.replace(os.sep, "/").split("/")
+        if parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(part for part in parts if part)
+
+    def _scan_directives(self) -> Tuple[set, Dict[int, set]]:
+        file_level: set = set()
+        per_line: Dict[int, set] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _LINE_DIRECTIVE.search(line)
+            if match:
+                per_line.setdefault(lineno, set()).update(_parse_codes(match.group(1)))
+                continue
+            match = _FILE_DIRECTIVE.search(line)
+            if match:
+                file_level.update(_parse_codes(match.group(1)))
+        return file_level, per_line
+
+    # -- helpers rules use -------------------------------------------------
+    @property
+    def basename(self) -> str:
+        return os.path.basename(self.display_path)
+
+    def in_package(self, prefix: str) -> bool:
+        return self.package == prefix or self.package.startswith(prefix + ".")
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.file_suppressions or rule in self.line_suppressions.get(
+            line, ()
+        )
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+class Project:
+    """All modules of one lint run, with lazily computed cross-module facts."""
+
+    def __init__(self, modules: Sequence[ModuleContext]):
+        self.modules = list(modules)
+        self._by_package = {m.package: m for m in self.modules if m.package}
+        self._class_bases: Optional[Dict[str, set]] = None
+
+    def module(self, package: str) -> Optional[ModuleContext]:
+        return self._by_package.get(package)
+
+    def class_bases(self) -> Dict[str, set]:
+        """Class name -> set of base-class names, across every module."""
+        if self._class_bases is None:
+            graph: Dict[str, set] = {}
+            for module in self.modules:
+                if module.tree is None:
+                    continue
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.ClassDef):
+                        bases = set()
+                        for base in node.bases:
+                            if isinstance(base, ast.Name):
+                                bases.add(base.id)
+                            elif isinstance(base, ast.Attribute):
+                                bases.add(base.attr)
+                        graph.setdefault(node.name, set()).update(bases)
+            self._class_bases = graph
+        return self._class_bases
+
+    def descendants_of(self, root: str) -> set:
+        """Every class name transitively inheriting from ``root``."""
+        graph = self.class_bases()
+        found: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in graph.items():
+                if name in found:
+                    continue
+                if root in bases or bases & found:
+                    found.add(name)
+                    changed = True
+        return found
+
+
+class Rule:
+    """Base rule; subclasses override :meth:`check`."""
+
+    code = "RULE"
+    summary = ""
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not rule_cls.code or rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate or empty rule code {rule_cls.code!r}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The registry, populating it on first use."""
+    import repro.lint.rules  # noqa: F401 - registration side effect
+
+    return dict(_REGISTRY)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+class LintEngine:
+    """Run a set of rules over a set of paths."""
+
+    def __init__(self, rules: Optional[Iterable[str]] = None, root: Optional[str] = None):
+        registry = all_rules()
+        if rules is None:
+            selected = sorted(registry)
+        else:
+            unknown = sorted(set(rules) - set(registry))
+            if unknown:
+                raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
+            selected = sorted(set(rules))
+        self.rules = [registry[code]() for code in selected]
+        self.root = root
+
+    def _display_path(self, path: str) -> str:
+        if self.root:
+            try:
+                return os.path.relpath(path, self.root)
+            except ValueError:  # pragma: no cover - windows drive mismatch
+                return path
+        return path
+
+    def load(self, paths: Sequence[str]) -> Project:
+        modules = []
+        for path in _iter_python_files(paths):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            modules.append(ModuleContext(path, self._display_path(path), source))
+        return Project(modules)
+
+    def run(self, paths: Sequence[str]) -> List[Finding]:
+        return self.run_project(self.load(paths))
+
+    def run_project(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.syntax_error is not None:
+                err = module.syntax_error
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=err.lineno or 1,
+                        col=(err.offset or 0) + 1,
+                        rule="PARSE",
+                        message=f"syntax error: {err.msg}",
+                    )
+                )
+                continue
+            for rule in self.rules:
+                for finding in rule.check(module, project):
+                    if not module.is_suppressed(finding.rule, finding.line):
+                        findings.append(finding)
+        return sorted(findings)

@@ -1,0 +1,30 @@
+"""The unit of lint output: one rule violation at one source position."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation; sorts by position so reports are stable."""
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,33 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+
+#: Bumped whenever the JSON shape changes; consumers should check it.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    lines = [
+        f"{finding.location()}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} in {checked_files} files")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": checked_files,
+        "count": len(findings),
+        "findings": [finding.as_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

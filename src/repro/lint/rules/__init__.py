@@ -1,0 +1,9 @@
+"""Rule modules; importing this package registers every built-in rule.
+
+To add a rule: subclass :class:`repro.lint.engine.Rule`, decorate it with
+:func:`repro.lint.engine.register`, and import its module here.
+"""
+
+from repro.lint.rules import api, architecture, bench, determinism
+
+__all__ = ["api", "architecture", "bench", "determinism"]

@@ -1,0 +1,189 @@
+"""Public-API hygiene rules.
+
+API01: every module under ``repro`` declares ``__all__`` and keeps it
+consistent — every listed name exists at module top level, and every
+public top-level class/function is listed (or renamed with a leading
+underscore).  A drifting ``__all__`` makes ``from repro.x import *`` and
+the docs lie about the API.
+
+API02: imports respect the package layering.  The simulation kernel sits
+at the bottom; hardware above it; the functional storage engine, metrics,
+and workload are independent mid-layers; the machine binds them; the
+architectures plug into the machine; analysis/experiments drive it; the
+CLI sits on top.  An upward or sideways import (``experiments`` reaching
+into ``sim`` internals is fine — reaching *up* from ``sim`` into
+``machine`` is not) tangles layers and breaks the ability to test each in
+isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Api01DunderAll", "Api02Layering"]
+
+
+def _literal_all(tree: ast.Module) -> Optional[Tuple]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                        isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                        for elt in node.value.elts
+                    ):
+                        return node, [elt.value for elt in node.value.elts]
+                    return node, None
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (descending into if/try blocks)."""
+    names: Set[str] = set()
+
+    def scan(body) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            names.add(leaf.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                scan(node.body)
+                scan(node.orelse)
+            elif isinstance(node, ast.Try):
+                scan(node.body)
+                scan(node.orelse)
+                for handler in node.handlers:
+                    scan(handler.body)
+                scan(node.finalbody)
+
+    scan(tree.body)
+    return names
+
+
+@register
+class Api01DunderAll(Rule):
+    code = "API01"
+    summary = "__all__ present and consistent with the module's public names"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not module.in_package("repro"):
+            return
+        if module.basename == "__main__.py":
+            return  # scripts, not APIs
+        found = _literal_all(module.tree)
+        if found is None:
+            yield module.finding(
+                self.code, module.tree, "module has no __all__ declaration"
+            )
+            return
+        node, exported = found
+        if exported is None:
+            yield module.finding(
+                self.code, node, "__all__ must be a literal list/tuple of strings"
+            )
+            return
+        bound = _top_level_bindings(module.tree)
+        for name in exported:
+            if name not in bound:
+                yield module.finding(
+                    self.code, node, f"__all__ lists {name!r} which is not defined"
+                )
+        listed = set(exported)
+        for item in module.tree.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not item.name.startswith("_")
+                and item.name not in listed
+            ):
+                yield module.finding(
+                    self.code,
+                    item,
+                    f"public {item.name!r} missing from __all__ "
+                    "(export it or rename with a leading underscore)",
+                )
+
+
+#: Subpackage -> layer.  A module may import repro.<x> only when <x> is its
+#: own subpackage or a strictly lower layer.
+_LAYERS = {
+    "sim": 0,
+    "lint": 0,
+    "hardware": 1,
+    "metrics": 1,
+    "storage": 1,
+    "workload": 1,
+    "core": 2,
+    "machine": 3,
+    "analysis": 4,
+    "experiments": 4,
+    "cli": 5,
+}
+
+
+def _subpackage(package: str) -> Optional[str]:
+    parts = package.split(".")
+    if not parts or parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _type_checking_linenos(tree: ast.Module) -> Set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks (hint-only imports)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            test = node.test
+            is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+                isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+            )
+            if is_tc:
+                for child in node.body:
+                    for sub in ast.walk(child):
+                        if hasattr(sub, "lineno"):
+                            lines.add(sub.lineno)
+    return lines
+
+
+@register
+class Api02Layering(Rule):
+    code = "API02"
+    summary = "imports must not reach upward (or sideways) across repro layers"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        own = _subpackage(module.package)
+        if own is None or own not in _LAYERS:
+            return
+        own_level = _LAYERS[own]
+        hint_only = _type_checking_linenos(module.tree)
+        for node in ast.walk(module.tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                targets = [node.module]
+            for target in targets:
+                sub = _subpackage(target) if target.startswith("repro") else None
+                if sub is None or sub == own or sub not in _LAYERS:
+                    continue
+                if _LAYERS[sub] >= own_level and node.lineno not in hint_only:
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"layer violation: repro.{own} (layer {own_level}) "
+                        f"imports repro.{sub} (layer {_LAYERS[sub]})",
+                    )

@@ -1,0 +1,232 @@
+"""Recovery-discipline rules over the architecture layer (``repro.core``).
+
+ARCH01 keeps every architecture an honest implementation of the
+``RecoveryArchitecture`` hook surface declared in ``core/base.py``: hook
+overrides must keep the base signature (the machine calls them
+positionally), near-miss public method names are flagged as probable hook
+typos (a misspelled ``on_commit`` silently never runs — the transaction
+simply loses its recovery work), ``attach`` overrides must chain to
+``super().attach``, and every architecture must name itself.
+
+ARCH02 is the write-ahead/shadow discipline: inside the architecture
+layer, a cache frame may reach its stable home (``tag="writeback"``) only
+after the code path has secured the recovery data — forced a log, waited
+on a fragment's ``durable`` event, written the scratch/shadow copy, or
+installed a page-table entry.  The walk is per code path (function body in
+statement order, one module at a time); see docs/LINT.md for limits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.astutil import edit_distance, keyword_value, ordered_walk
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Arch01HookSurface", "Arch02WalDiscipline"]
+
+_BASE_MODULE = "repro.core.base"
+_BASE_CLASS = "RecoveryArchitecture"
+
+
+def _base_surface(project: Project) -> Optional[Dict[str, List[str]]]:
+    """Public method name -> positional parameter names, from core/base.py."""
+    base = project.module(_BASE_MODULE)
+    if base is None or base.tree is None:
+        return None
+    for node in base.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == _BASE_CLASS:
+            surface = {}
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and not item.name.startswith("_"):
+                    surface[item.name] = [arg.arg for arg in item.args.args]
+            return surface
+    return None
+
+
+def _architecture_classes(module: ModuleContext, project: Project) -> List[ast.ClassDef]:
+    descendants = project.descendants_of(_BASE_CLASS)
+    return [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef) and node.name in descendants
+    ]
+
+
+def _in_scope(module: ModuleContext) -> bool:
+    return module.in_package("repro.core") and module.package != _BASE_MODULE
+
+
+def _defines_name_attr(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "name" for t in item.targets):
+                return True
+        if isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == "name":
+                return True
+    return False
+
+
+def _project_ancestors(project: Project, cls_name: str) -> List[str]:
+    """Ancestors of ``cls_name`` in the scanned class graph (minus the base)."""
+    graph = project.class_bases()
+    out, frontier = [], list(graph.get(cls_name, ()))
+    while frontier:
+        name = frontier.pop()
+        if name == _BASE_CLASS or name in out or name not in graph:
+            continue
+        out.append(name)
+        frontier.extend(graph[name])
+    return out
+
+
+@register
+class Arch01HookSurface(Rule):
+    code = "ARCH01"
+    summary = (
+        "architecture classes must implement the RecoveryArchitecture surface "
+        "faithfully (signatures, name, super().attach, no hook typos)"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not _in_scope(module):
+            return
+        surface = _base_surface(project)
+        if surface is None:
+            return
+        for cls in _architecture_classes(module, project):
+            yield from self._check_class(module, project, cls, surface)
+
+    def _check_class(self, module, project, cls, surface) -> Iterator:
+        if not _defines_name_attr(cls) and not any(
+            self._class_defines_name(project, ancestor)
+            for ancestor in _project_ancestors(project, cls.name)
+        ):
+            yield module.finding(
+                self.code,
+                cls,
+                f"{cls.name} does not set the 'name' class attribute "
+                "(reports would all read 'bare')",
+            )
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name in surface:
+                expected = surface[item.name]
+                actual = [arg.arg for arg in item.args.args]
+                if item.args.vararg is None and actual != expected:
+                    yield module.finding(
+                        self.code,
+                        item,
+                        f"{cls.name}.{item.name} signature ({', '.join(actual)}) "
+                        f"drifts from the base hook ({', '.join(expected)})",
+                    )
+                if item.name == "attach" and not self._calls_super_attach(item):
+                    yield module.finding(
+                        self.code,
+                        item,
+                        f"{cls.name}.attach must call super().attach(machine) "
+                        "to bind the machine",
+                    )
+            elif not item.name.startswith("_"):
+                close = [
+                    hook
+                    for hook in surface
+                    if edit_distance(item.name, hook) <= 2
+                ]
+                if close:
+                    yield module.finding(
+                        self.code,
+                        item,
+                        f"{cls.name}.{item.name} looks like a typo of hook "
+                        f"{close[0]!r} and would never be called",
+                    )
+
+    @staticmethod
+    def _class_defines_name(project: Project, cls_name: str) -> bool:
+        for mod in project.modules:
+            if mod.tree is None:
+                continue
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                    return _defines_name_attr(node)
+        return False
+
+    @staticmethod
+    def _calls_super_attach(func: ast.FunctionDef) -> bool:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "attach"
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "super"
+            ):
+                return True
+        return False
+
+
+#: Calls that secure recovery data before a home write.
+_PROTECTIVE_CALLS = {"force", "update_entry", "install"}
+
+
+def _is_protection(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        tag = keyword_value(node, "tag")
+        if (
+            tag is not None
+            and isinstance(tag, ast.Constant)
+            and tag.value == "scratch"
+        ):
+            return True  # shadow/scratch copy written (or read back)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PROTECTIVE_CALLS
+        ):
+            return True
+    if isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr == "durable":
+            return True  # waiting out the WAL barrier
+    return False
+
+
+def _is_home_write(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    tag = keyword_value(node, "tag")
+    return isinstance(tag, ast.Constant) and tag.value == "writeback"
+
+
+@register
+class Arch02WalDiscipline(Rule):
+    code = "ARCH02"
+    summary = (
+        "in repro.core, a tag='writeback' stable write must be preceded by a "
+        "log force / durable wait / scratch or page-table install on the same path"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not _in_scope(module):
+            return
+        for func in (
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.FunctionDef)
+        ):
+            protected = False
+            for node in ordered_walk(func):
+                if _is_protection(node):
+                    protected = True
+                elif _is_home_write(node) and not protected:
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"{func.name}() writes a frame home (tag='writeback') "
+                        "with no preceding log-force/durable-wait/shadow-install "
+                        "on this path",
+                    )
+                    protected = True  # one finding per path is enough

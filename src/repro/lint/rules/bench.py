@@ -1,0 +1,41 @@
+"""Benchmark reproducibility: every benchmark must pin its randomness.
+
+The paper's tables are paired comparisons; a benchmark whose seed floats
+produces numbers that cannot be compared across commits.  BENCH01 requires
+every ``benchmarks/bench_*.py`` to declare its seed explicitly — a
+module-level ``SEED`` constant or a ``seed=`` keyword in some call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Bench01DeclaredSeed"]
+
+
+@register
+class Bench01DeclaredSeed(Rule):
+    code = "BENCH01"
+    summary = "every benchmarks/bench_*.py declares a seed"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        name = module.basename
+        if not (name.startswith("bench_") and name.endswith(".py")):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and "seed" in target.id.lower():
+                        return
+            elif isinstance(node, ast.Call):
+                if any(kw.arg == "seed" for kw in node.keywords):
+                    return
+        yield module.finding(
+            self.code,
+            module.tree,
+            "benchmark declares no seed (add a SEED constant or pass seed=...); "
+            "unseeded runs cannot be compared across commits",
+        )

@@ -1,0 +1,278 @@
+"""Determinism rules: the paper's paired-run methodology in lint form.
+
+The reproduction compares architecture variants with *common random
+numbers* (``sim/rng.py``) over a deterministic event calendar
+(``sim/core.py``).  Anything that injects ambient entropy — the global
+``random`` module, wall-clock time, ``uuid`` — or iterates a ``set`` into
+a scheduling decision silently breaks pairing between runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.astutil import ImportMap, attribute_chain, functions_in, ordered_walk
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Det01AmbientEntropy", "Det02SetIteration", "Det03ProcessYields"]
+
+#: Calling *anything* from these modules is ambient entropy or identity.
+_FORBIDDEN_MODULES = {"random", "uuid"}
+#: ``time`` also has benign members (``sleep`` is still banned in a
+#: simulator, struct helpers are fine); ban the clock readers explicitly.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock",
+    "sleep",
+}
+#: Wall-clock constructors on ``datetime.datetime`` / ``datetime.date``.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+@register
+class Det01AmbientEntropy(Rule):
+    code = "DET01"
+    summary = (
+        "no direct random/time/datetime/uuid use in src/repro — go through "
+        "RandomStreams and Environment.now"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not module.in_package("repro"):
+            return
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.origin(node.func)
+            if origin is None:
+                continue
+            parts = origin.split(".")
+            message = None
+            if parts[0] in _FORBIDDEN_MODULES:
+                message = (
+                    f"call into the {parts[0]!r} module; draw from a named "
+                    "RandomStreams stream instead"
+                )
+            elif parts[0] == "time" and len(parts) > 1 and parts[1] in _TIME_FUNCS:
+                message = (
+                    f"wall-clock call time.{parts[1]}(); simulation time is "
+                    "Environment.now"
+                )
+            elif (
+                parts[0] == "datetime"
+                and parts[-1] in _DATETIME_FUNCS
+                and (len(parts) == 2 or parts[1] in ("datetime", "date"))
+            ):
+                message = (
+                    f"wall-clock call {origin}(); simulation time is "
+                    "Environment.now"
+                )
+            if message is not None:
+                yield module.finding(self.code, node, message)
+
+
+def _is_set_like(expr: ast.AST, set_names: Set[str]) -> bool:
+    """Locally-inferable 'this expression is a set' check."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in set_names
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_like(expr.left, set_names) or _is_set_like(expr.right, set_names)
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Name) and expr.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(expr.func, ast.Attribute):
+            attr = expr.func.attr
+            if attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+                "copy",
+            ) and _is_set_like(expr.func.value, set_names):
+                return True
+            # dict.setdefault(key, set()) / dict.get(key, set()) return the set
+            if attr in ("setdefault", "get") and len(expr.args) >= 2:
+                return _is_set_like(expr.args[1], set_names)
+    return False
+
+
+@register
+class Det02SetIteration(Rule):
+    code = "DET02"
+    summary = "no iteration over set values — set order is nondeterministic"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not (module.in_package("repro") or module.in_package("benchmarks")):
+            return
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(functions_in(module.tree))
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module: ModuleContext, scope: ast.AST) -> Iterator:
+        set_names: Set[str] = set()
+        for node in ordered_walk(scope):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if _is_set_like(value, set_names):
+                            set_names.add(target.id)
+                        else:
+                            set_names.discard(target.id)
+        for node in ordered_walk(scope):
+            iters: List[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_like(it, set_names):
+                    yield module.finding(
+                        self.code,
+                        it,
+                        "iterating a set: order varies between runs/interpreters; "
+                        "wrap in sorted(...)",
+                    )
+
+
+#: yield of one of these is clearly not an Event.
+_BAD_BUILTINS = {
+    "len",
+    "sorted",
+    "sum",
+    "min",
+    "max",
+    "list",
+    "tuple",
+    "dict",
+    "set",
+    "frozenset",
+    "str",
+    "int",
+    "float",
+    "bool",
+    "range",
+    "enumerate",
+    "zip",
+    "abs",
+    "round",
+}
+
+
+@register
+class Det03ProcessYields(Rule):
+    code = "DET03"
+    summary = (
+        "generators handed to Environment.process must yield Event objects only"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not module.in_package("repro"):
+            return
+        targets = self._process_targets(module.tree)
+        if not targets:
+            return
+        for func in functions_in(module.tree):
+            if func.name not in targets:
+                continue
+            yields = [
+                node
+                for node in ordered_walk(func)
+                if isinstance(node, (ast.Yield, ast.YieldFrom))
+            ]
+            if not yields:
+                yield module.finding(
+                    self.code,
+                    func,
+                    f"{func.name}() is passed to Environment.process but is "
+                    "not a generator",
+                )
+                continue
+            for node in yields:
+                if isinstance(node, ast.YieldFrom):
+                    continue
+                value = node.value
+                if value is None:
+                    continue  # bare yield (unreachable-generator idiom)
+                if self._clearly_not_event(value):
+                    yield module.finding(
+                        self.code,
+                        node,
+                        f"process {func.name}() yields a non-Event value; "
+                        "yield timeouts, requests, or other Event objects",
+                    )
+
+    @staticmethod
+    def _process_targets(tree: ast.Module) -> Dict[str, bool]:
+        """Names of local functions whose calls are passed to ``*.process``."""
+        targets: Dict[str, bool] = {}
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Call):
+                continue
+            name: Optional[str] = None
+            if isinstance(arg.func, ast.Name):
+                name = arg.func.id
+            elif isinstance(arg.func, ast.Attribute):
+                name = arg.func.attr
+            if name:
+                targets[name] = True
+        return targets
+
+    @staticmethod
+    def _clearly_not_event(value: ast.AST) -> bool:
+        if isinstance(value, ast.Constant):
+            return value.value is not None
+        if isinstance(
+            value,
+            (
+                ast.JoinedStr,
+                ast.List,
+                ast.Tuple,
+                ast.Dict,
+                ast.Set,
+                ast.ListComp,
+                ast.DictComp,
+                ast.SetComp,
+                ast.GeneratorExp,
+                ast.BinOp,
+                ast.BoolOp,
+                ast.UnaryOp,
+                ast.Compare,
+                ast.Lambda,
+            ),
+        ):
+            return True
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _BAD_BUILTINS
+        ):
+            return True
+        if isinstance(value, ast.Attribute) and value.attr == "now":
+            return True  # env.now is a float, not an Event
+        return False

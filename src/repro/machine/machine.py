@@ -31,7 +31,7 @@ from repro.machine.processors import ProcessorPool
 from repro.metrics.collectors import RunResult
 from repro.metrics.timeline import Timeline
 from repro.sim.core import Environment, Event, Process
-from repro.sim.monitor import CounterStat, SampleStat
+from repro.sim.monitor import CounterStat, SampleStat, WALInvariantMonitor
 from repro.sim.resources import Container, Resource
 from repro.sim.rng import RandomStreams
 from repro.workload.transaction import Transaction, TransactionStatus
@@ -65,9 +65,13 @@ class DatabaseMachine:
         architecture: Optional[RecoveryArchitecture] = None,
         placement: Optional[Placement] = None,
         timeline: Optional[Timeline] = None,
+        wal_monitor: Optional[WALInvariantMonitor] = None,
     ):
         self.config = config
         self.timeline = timeline
+        #: Optional runtime WAL checker; architectures that gate write-backs
+        #: on recovery data report to it (see sim.monitor.WALInvariantMonitor).
+        self.wal_monitor = wal_monitor
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
         self.placement = placement or ClusteredPlacement(

@@ -35,6 +35,8 @@ from repro.sim.monitor import (
     SampleStat,
     TimeWeightedStat,
     UtilizationTracker,
+    WALInvariantMonitor,
+    WALViolation,
 )
 from repro.sim.resources import (
     Container,
@@ -62,4 +64,6 @@ __all__ = [
     "TimeWeightedStat",
     "Timeout",
     "UtilizationTracker",
+    "WALInvariantMonitor",
+    "WALViolation",
 ]

@@ -21,6 +21,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ConditionEvent",
     "Environment",
     "Event",
     "Interrupt",
@@ -162,7 +163,7 @@ class Timeout(Event):
         env._schedule(self, NORMAL, delay)
 
 
-class Initialize(Event):
+class _Initialize(Event):
     """Internal event that starts a process at its creation time."""
 
     __slots__ = ()
@@ -193,7 +194,7 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process currently waits for (None when running).
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        _Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:

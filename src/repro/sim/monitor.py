@@ -8,9 +8,16 @@ usable from unit tests without a running simulation.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, Hashable, List, Optional, Set
 
-__all__ = ["CounterStat", "SampleStat", "TimeWeightedStat", "UtilizationTracker"]
+__all__ = [
+    "CounterStat",
+    "SampleStat",
+    "TimeWeightedStat",
+    "UtilizationTracker",
+    "WALInvariantMonitor",
+    "WALViolation",
+]
 
 
 class CounterStat:
@@ -190,3 +197,82 @@ class UtilizationTracker:
 
     def __repr__(self) -> str:
         return f"<UtilizationTracker {self.name} busy={self._busy}>"
+
+
+class WALViolation(AssertionError):
+    """A dirty page reached stable storage before its recovery data."""
+
+
+class WALInvariantMonitor:
+    """Runtime checker of the write-ahead-log rule.
+
+    The invariant (paper Section 3.1, and every WAL system since): a dirty
+    page may be written to its home location only after every piece of
+    recovery data describing its updates is on stable storage.  The static
+    analyser (rule ARCH02) checks the *code paths*; this monitor checks the
+    *executions* — producers report recovery data as it is created and
+    forced, and the flush path asks permission just before a page goes home.
+
+    Protocol:
+
+    * ``note_recovery_data(page, token)`` — recovery data for ``page``
+      exists but is still volatile.  ``token`` is any hashable handle
+      (a log fragment, a ``(log, lsn)`` pair) unique to that datum.
+    * ``note_force(token)`` — the datum reached stable storage.
+    * ``note_flush(page)`` — ``page`` is about to be written home; raises
+      :class:`WALViolation` (``strict=True``) or counts a violation if any
+      of the page's recovery data is still volatile.
+    * ``reset()`` — a crash: volatile recovery data is gone, so pending
+      tokens are meaningless.
+
+    Tokens shared by several pages are supported by registering the token
+    once per page; a force retires it everywhere.
+    """
+
+    def __init__(self, strict: bool = True, name: str = "wal-monitor"):
+        self.strict = strict
+        self.name = name
+        self.checks = 0
+        self.forces = 0
+        self.violations = 0
+        self._pending: Dict[int, Set[Hashable]] = {}
+        self._pages_of: Dict[Hashable, Set[int]] = {}
+
+    def note_recovery_data(self, page: int, token: Hashable) -> None:
+        self._pending.setdefault(page, set()).add(token)
+        self._pages_of.setdefault(token, set()).add(page)
+
+    def note_force(self, token: Hashable) -> None:
+        self.forces += 1
+        for page in self._pages_of.pop(token, ()):
+            tokens = self._pending.get(page)
+            if tokens is not None:
+                tokens.discard(token)
+                if not tokens:
+                    del self._pending[page]
+
+    def note_flush(self, page: int) -> None:
+        self.checks += 1
+        pending = self._pending.get(page)
+        if pending:
+            self.violations += 1
+            if self.strict:
+                raise WALViolation(
+                    f"{self.name}: page {page} flushed with "
+                    f"{len(pending)} unforced recovery datum(s)"
+                )
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._pages_of.clear()
+
+    @property
+    def pending_pages(self) -> int:
+        """Pages currently protected by volatile recovery data."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WALInvariantMonitor {self.name} checks={self.checks} "
+            f"violations={self.violations} pending={self.pending_pages}>"
+        )

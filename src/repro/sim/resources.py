@@ -25,7 +25,18 @@ from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.sim.core import Environment, Event, SimulationError
 
-__all__ = ["Container", "PriorityResource", "Resource", "Store"]
+__all__ = [
+    "Container",
+    "ContainerGet",
+    "ContainerPut",
+    "PriorityRequest",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+    "StoreGet",
+    "StorePut",
+]
 
 
 class Request(Event):

@@ -6,6 +6,11 @@ numbers* across experiment variants: changing, say, the number of log
 processors does not perturb the transaction reference strings, so paired
 comparisons between architectures are low-variance — the standard variance
 reduction technique for simulation studies like the paper's.
+
+This module is the one sanctioned constructor of ``random.Random``
+instances; everything else must draw from a named stream.
+
+# reprolint: disable=DET01  (the wrapper the rule points everyone at)
 """
 
 from __future__ import annotations

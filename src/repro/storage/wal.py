@@ -32,6 +32,8 @@ from __future__ import annotations
 import random
 from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
+from repro.sim.monitor import WALInvariantMonitor
+from repro.sim.rng import RandomStreams
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -82,14 +84,23 @@ class DistributedWalManager(RecoveryManager):
         stable: Optional[StableStorage] = None,
         enforce_locks: bool = True,
         selection_seed: Optional[int] = None,
+        monitor: Optional[WALInvariantMonitor] = None,
     ):
         super().__init__(stable, enforce_locks)
         if n_logs < 1:
             raise ValueError("need at least one log")
         self.n_logs = n_logs
         self._logs = [_Log(self.stable, f"log{i}") for i in range(n_logs)]
-        self._rng = random.Random(selection_seed) if selection_seed is not None else None
+        self._rng: Optional[random.Random] = (
+            RandomStreams(selection_seed).stream("wal.log-selection")
+            if selection_seed is not None
+            else None
+        )
         self._round_robin = 0
+        self._monitor = monitor
+        #: log index -> tokens of still-buffered records (monitor bookkeeping).
+        self._log_tokens: Dict[int, List[Tuple[int, int]]] = {}
+        self._token_counter = 0
         # -- volatile state --
         self._pool: Dict[int, Tuple[bytes, int]] = {}
         self._page_seq: Dict[int, int] = {}
@@ -100,6 +111,13 @@ class DistributedWalManager(RecoveryManager):
         self._page_logs: Dict[int, Set[int]] = {}
 
     # -- selection -----------------------------------------------------------
+    def _force_log(self, index: int) -> None:
+        """Force one log and retire its buffered records with the monitor."""
+        self._logs[index].force()
+        if self._monitor is not None:
+            for token in self._log_tokens.pop(index, ()):
+                self._monitor.note_force(token)
+
     def _select_log(self) -> int:
         if self._rng is not None:
             return self._rng.randrange(self.n_logs)
@@ -138,6 +156,11 @@ class DistributedWalManager(RecoveryManager):
         self._txn_first_before.setdefault(tid, {}).setdefault(page, before)
         self._txn_logs.setdefault(tid, set()).add(log_index)
         self._page_logs.setdefault(page, set()).add(log_index)
+        if self._monitor is not None:
+            token = (log_index, self._token_counter)
+            self._token_counter += 1
+            self._monitor.note_recovery_data(page, token)
+            self._log_tokens.setdefault(log_index, []).append(token)
 
     # -- buffer management (steal / no-force) -----------------------------------------
     def flush_page(self, page: int) -> None:
@@ -145,8 +168,10 @@ class DistributedWalManager(RecoveryManager):
         entry = self._pool.get(page)
         if entry is None:
             return
-        for log_index in self._page_logs.get(page, ()):
-            self._logs[log_index].force()
+        for log_index in sorted(self._page_logs.get(page, ())):
+            self._force_log(log_index)
+        if self._monitor is not None:
+            self._monitor.note_flush(page)
         data, seq = entry
         self.stable.write_page(page, data, seq)
 
@@ -164,11 +189,11 @@ class DistributedWalManager(RecoveryManager):
 
     # -- commit / abort ------------------------------------------------------------------
     def _do_commit(self, tid: int) -> None:
-        for log_index in self._txn_logs.get(tid, ()):
-            self._logs[log_index].force()
-        home = self._logs[tid % self.n_logs]
-        home.append(("commit", tid))
-        home.force()
+        for log_index in sorted(self._txn_logs.get(tid, ())):
+            self._force_log(log_index)
+        home_index = tid % self.n_logs
+        self._logs[home_index].append(("commit", tid))
+        self._force_log(home_index)
         self._txn_first_before.pop(tid, None)
         self._txn_logs.pop(tid, None)
 
@@ -187,6 +212,9 @@ class DistributedWalManager(RecoveryManager):
         self._txn_first_before.clear()
         self._txn_logs.clear()
         self._page_logs.clear()
+        self._log_tokens.clear()
+        if self._monitor is not None:
+            self._monitor.reset()
         for log in self._logs:
             log.lose_volatile()
 
@@ -245,8 +273,8 @@ class DistributedWalManager(RecoveryManager):
         ``flush=True``, dirty pages are flushed first, maximizing truncation.
         Returns per-log retained record counts.
         """
-        for log in self._logs:
-            log.force()
+        for index in range(self.n_logs):
+            self._force_log(index)
         if flush:
             self.flush_all()
         committed, _ = self._scan_logs()
@@ -291,8 +319,8 @@ class DistributedWalManager(RecoveryManager):
         restore time by the archived records, exactly as in restart.
         """
         self.flush_all()
-        for log in self._logs:
-            log.force()
+        for index in range(self.n_logs):
+            self._force_log(index)
         snapshot = [
             (page, data, self.stable.page_seq(page))
             for page, data in sorted(self.stable.pages.items())

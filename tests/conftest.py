@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.monitor import WALInvariantMonitor
+
+
+@pytest.fixture
+def wal_monitor():
+    """A strict runtime WAL checker.
+
+    Attach it with ``DatabaseMachine(..., wal_monitor=wal_monitor)`` or
+    ``DistributedWalManager(monitor=wal_monitor)``; any dirty page flushed
+    before its recovery data is forced raises inside the run.  Teardown
+    re-asserts that no violation was recorded, so even a non-strict user
+    of the fixture cannot pass while breaking the WAL rule.
+    """
+    monitor = WALInvariantMonitor(strict=True)
+    yield monitor
+    assert monitor.violations == 0, monitor

@@ -1,0 +1,25 @@
+"""Gate: the repository's own tree must be reprolint-clean.
+
+This is the test CI leans on — a rule violation anywhere in ``src``,
+``tests``, or ``benchmarks`` fails the suite with the same report the CLI
+prints, so the determinism and recovery-discipline invariants cannot rot.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintEngine, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_repository_is_lint_clean():
+    paths = [
+        str(REPO_ROOT / name)
+        for name in ("src", "tests", "benchmarks")
+        if (REPO_ROOT / name).is_dir()
+    ]
+    assert paths, f"no lintable directories under {REPO_ROOT}"
+    engine = LintEngine(root=str(REPO_ROOT))
+    project = engine.load(paths)
+    findings = engine.run_project(project)
+    assert not findings, "\n" + render_text(findings, checked_files=len(project.modules))
