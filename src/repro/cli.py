@@ -12,10 +12,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import predict_bottleneck
+from repro.faults import ARCHITECTURES, FaultPlan, run_crashtest, run_scenario
 from repro.experiments import (
     ExperimentSettings,
     ablation_checkpointing,
@@ -121,6 +123,41 @@ def _build_parser() -> argparse.ArgumentParser:
     fidelity.add_argument("-n", "--transactions", type=int, default=30)
     fidelity.add_argument("--seed", type=int, default=1985)
 
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="crash-recovery correctness sweep (see docs/FAULTS.md)",
+    )
+    crashtest.add_argument("--seed", type=int, default=1985, help="workload seed")
+    crashtest.add_argument(
+        "--arch",
+        default="all",
+        choices=sorted(ARCHITECTURES) + ["all"],
+        help="recovery architecture to crash (default: all five)",
+    )
+    crashtest.add_argument(
+        "-n",
+        "--transactions",
+        type=int,
+        default=10,
+        help="transactions in the seeded workload (default 10)",
+    )
+    crashtest.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="crash points per architecture (seeded sample; default: all)",
+    )
+    crashtest.add_argument(
+        "--json",
+        dest="json_path",
+        help="write the full report(s) to this JSON file",
+    )
+    crashtest.add_argument(
+        "--plan",
+        dest="plan_path",
+        help="replay one failing fault-plan JSON instead of sweeping",
+    )
+
     predict = sub.add_parser(
         "predict", help="analytic bottleneck prediction for a configuration"
     )
@@ -134,6 +171,53 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _settings(args) -> ExperimentSettings:
     return ExperimentSettings(n_transactions=args.transactions, seed=args.seed)
+
+
+def _run_crashtest(args) -> int:
+    if args.plan_path:
+        if args.arch == "all":
+            print("replay needs a single --arch", file=sys.stderr)
+            return 2
+        with open(args.plan_path) as handle:
+            plan = FaultPlan.from_json(handle.read())
+        result = run_scenario(
+            args.arch, args.seed, plan, n_transactions=args.transactions
+        )
+        print(f"{args.arch}: crashed_at={result.crashed_at} outcome={result.outcome}")
+        for violation in result.violations:
+            print(f"  {violation['kind']}: {violation['detail']}")
+        return 1 if result.violations else 0
+
+    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    reports = {}
+    failed = False
+    for arch in archs:
+        report = run_crashtest(
+            arch,
+            args.seed,
+            n_transactions=args.transactions,
+            budget=args.budget,
+        )
+        reports[arch] = json.loads(report.to_json())
+        outcomes = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.outcomes.items())
+        )
+        status = "ok" if report.ok else f"{len(report.violations)} VIOLATIONS"
+        print(
+            f"{arch:>12}: {len(report.points_tested)}/{report.total_crossings} "
+            f"crash points [{outcomes}] hash={report.state_hash[:12]} {status}"
+        )
+        for violation in report.violations[:5]:
+            print(
+                f"    {violation['kind']} at {violation['hook']} "
+                f"(crossing {violation['crossing']}): {violation['detail']}"
+            )
+        failed = failed or not report.ok
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(reports, handle, sort_keys=True, indent=2)
+        print(f"wrote {args.json_path}")
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -175,6 +259,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fidelity":
         print(fidelity_summary(_settings(args)).render())
         return 0
+
+    if args.command == "crashtest":
+        return _run_crashtest(args)
 
     if args.command == "predict":
         config = MachineConfig(

@@ -122,7 +122,7 @@ class RecoveryArchitecture:
         disk_idx, addr = self.write_address(txn, page)
         request = machine.data_disks[disk_idx].write([addr], tag="writeback")
         yield request.done
-        machine.note_page_written(txn)
+        machine.note_page_written(txn, page=page)
         machine.cache.release(1)
 
     def on_commit(self, txn: "Transaction"):

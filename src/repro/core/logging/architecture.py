@@ -22,15 +22,24 @@ from typing import Dict, List, Optional
 from repro.core.base import RecoveryArchitecture
 from repro.core.logging.log_processor import LogFragment, LogProcessor
 from repro.core.logging.selection import (
+    NoLiveLogProcessor,
     SelectionPolicy,
     SelectorState,
     select_log_processor,
 )
 from repro.hardware.disk import ConventionalDisk
-from repro.hardware.interconnect import Interconnect
+from repro.hardware.interconnect import Interconnect, MessageLost
 from repro.hardware.params import IBM_3350, DiskParams
+from repro.sim.monitor import CounterStat
 
 __all__ = ["FragmentRouting", "LogMode", "LoggingConfig", "ParallelLoggingArchitecture"]
+
+#: Delivery attempts per fragment (each attempt re-selects a live log
+#: processor; each link attempt itself retransmits with backoff).
+MAX_SHIP_ATTEMPTS = 4
+
+#: Linear backoff between shipping attempts, in ms.
+SHIP_RETRY_BACKOFF_MS = 2.0
 
 
 class LogMode(enum.Enum):
@@ -105,6 +114,8 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         self._link: Optional[Interconnect] = None
         self._selector_state = SelectorState()
         self._rng = None
+        self.ship_retries = CounterStat("logging.ship_retries")
+        self.fragments_reshipped = CounterStat("logging.reshipped")
 
     # -- wiring -----------------------------------------------------------------
     def attach(self, machine) -> None:
@@ -129,6 +140,10 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
                     monitor=machine.wal_monitor,
                 )
             )
+        faults = getattr(machine, "faults", None)
+        for lp in self.log_processors:
+            lp.on_orphan = self._reship_orphan
+            lp.disk.faults = faults
         if cfg.routing is FragmentRouting.LINK:
             # Dedicated connections: one lane per query processor, so a slow
             # link delays fragments without congesting its neighbours.
@@ -138,11 +153,45 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
                 channels=machine.config.n_query_processors,
                 name="qp-lp-link",
             )
+            self._link.faults = faults
         self.checkpoints_taken = 0
         if cfg.checkpoint_interval_ms is not None:
             machine.env.process(self._checkpointer(), name="checkpointer")
         #: Per-LP pending group-commit event (None = no window open).
         self._group_pending: Dict[int, Optional[object]] = {}
+
+    # -- log-processor failure (graceful degradation) ------------------------------
+    def alive_mask(self) -> List[bool]:
+        return [lp.alive for lp in self.log_processors]
+
+    def fail_log_processor(self, index: int) -> List[LogFragment]:
+        """Kill log processor ``index``; its buffered fragments re-ship to
+        surviving peers via :meth:`_reship_orphan`.  Returns the orphans."""
+        return self.log_processors[index].fail()
+
+    def _pick_alive(self, tid: int) -> int:
+        """Deterministic fallback selection among surviving log processors."""
+        candidates = [lp.index for lp in self.log_processors if lp.alive]
+        if not candidates:
+            raise NoLiveLogProcessor("all log processors are dead")
+        return candidates[tid % len(candidates)]
+
+    def _reship_orphan(self, fragment: LogFragment) -> None:
+        """Route an orphaned fragment to a surviving log processor.
+
+        The owning transaction may already be inside commit processing,
+        waiting on ``fragment.durable`` — so after re-delivery the new log
+        processor is forced immediately, bounding the extra commit latency
+        to one shipping hop plus one forced log write.
+        """
+        self.fragments_reshipped.increment()
+        self.machine.env.process(
+            self._reship(fragment), name=f"reship.t{fragment.tid}.p{fragment.page}"
+        )
+
+    def _reship(self, fragment: LogFragment):
+        yield from self._ship_attempts(fragment, self._pick_alive(fragment.tid))
+        self.log_processors[fragment.lp_index].force()
 
     # -- CPU overhead -------------------------------------------------------------
     def page_cpu_ms(self, txn, page, is_update: bool) -> float:
@@ -177,43 +226,80 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             txn,
             self._selector_state,
             self._rng,
+            alive=self.alive_mask(),
         )
         self._fragments_of(txn)[page] = fragment
         if machine.wal_monitor is not None:
             machine.wal_monitor.note_recovery_data(page, fragment)
-        txn.recovery_state.setdefault("log_processors", set()).add(lp_index)
         machine.env.process(
-            self._ship(fragment, lp_index),
+            self._ship(txn, fragment, lp_index),
             name=f"frag.t{txn.tid}.p{page}",
         )
         return
         yield  # pragma: no cover - hook stays a generator
 
-    def _ship(self, fragment: LogFragment, lp_index: int):
+    def _ship(self, txn, fragment: LogFragment, lp_index: int):
+        yield from self._ship_attempts(fragment, lp_index)
+        # Record the processor that actually took delivery (it can differ
+        # from the selected one if that one died mid-flight): commit and
+        # abort force exactly the processors holding this transaction's
+        # fragments.
+        txn.recovery_state.setdefault("log_processors", set()).add(fragment.lp_index)
+
+    def _ship_attempts(self, fragment: LogFragment, lp_index: int):
+        """Deliver ``fragment``, retrying with bounded backoff.
+
+        Each attempt re-checks that the target log processor is still alive
+        (it may die while the fragment is on the wire) and re-selects among
+        the survivors; link loss is absorbed by the interconnect's own
+        bounded retransmission.  After :data:`MAX_SHIP_ATTEMPTS` the
+        machine gives up and the failure surfaces from ``run()``.
+        """
         cfg = self.config_log
         machine = self.machine
-        lp = self.log_processors[lp_index]
         payload = (
             cfg.fragment_bytes
             if cfg.mode is LogMode.LOGICAL
             else 2 * cfg.log_disk.page_size
         )
-        if cfg.routing is FragmentRouting.LINK:
-            yield self._link.transfer(payload)
-        else:
-            # Through the disk cache: a frame holds the in-transit fragment
-            # for the duration of the two cache operations.
-            yield machine.cache.acquire(1)
-            yield machine.env.timeout(
-                machine.config.cpu.ms(cfg.cache_route_cpu_instructions)
-            )
-            machine.cache.release(1)
-        if cfg.mode is LogMode.LOGICAL:
-            lp.deliver(fragment)
-        else:
-            lp.deliver_physical(fragment)
-        if not fragment.delivered.triggered:
-            fragment.delivered.succeed()
+        last_error: Optional[Exception] = None
+        for attempt in range(MAX_SHIP_ATTEMPTS):
+            if attempt:
+                self.ship_retries.increment()
+                yield machine.env.timeout(SHIP_RETRY_BACKOFF_MS * attempt)
+                lp_index = self._pick_alive(fragment.tid)
+            lp = self.log_processors[lp_index]
+            if not lp.alive:
+                continue
+            if cfg.routing is FragmentRouting.LINK:
+                try:
+                    yield self._link.reliable_transfer(payload)
+                except MessageLost as lost:
+                    last_error = lost
+                    continue
+            else:
+                # Through the disk cache: a frame holds the in-transit
+                # fragment for the duration of the two cache operations.
+                yield machine.cache.acquire(1)
+                yield machine.env.timeout(
+                    machine.config.cpu.ms(cfg.cache_route_cpu_instructions)
+                )
+                machine.cache.release(1)
+            if not lp.alive:
+                # Died while the fragment was in transit; next attempt
+                # re-selects a survivor.
+                continue
+            if cfg.mode is LogMode.LOGICAL:
+                lp.deliver(fragment)
+            else:
+                lp.deliver_physical(fragment)
+            if not fragment.delivered.triggered:
+                fragment.delivered.succeed()
+            return
+        raise last_error or NoLiveLogProcessor(
+            f"fragment t{fragment.tid}.p{fragment.page} undeliverable "
+            f"after {MAX_SHIP_ATTEMPTS} attempts"
+        )
 
     def _fragments_of(self, txn) -> Dict[int, LogFragment]:
         return self.machine.runtime(txn).scratch.setdefault("fragments", {})
@@ -228,6 +314,8 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             yield env.timeout(interval)
             writes = []
             for lp in self.log_processors:
+                if not lp.alive:
+                    continue
                 lp.force()
                 writes.append(lp.write_checkpoint_page())
             yield env.all_of(writes)
@@ -247,7 +335,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             machine.wal_monitor.note_flush(page)
         request = machine.data_disks[disk_idx].write([addr], tag="writeback")
         yield request.done
-        machine.note_page_written(txn)
+        machine.note_page_written(txn, page=page)
         machine.cache.release(1)
 
     def on_commit(self, txn):
@@ -265,6 +353,11 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         if in_flight:
             yield self.machine.env.all_of(in_flight)
         for lp_index in sorted(txn.recovery_state.get("log_processors", ())):
+            if not self.log_processors[lp_index].alive:
+                # A dead processor has nothing left to force: its buffered
+                # fragments were orphaned and re-shipped (and re-forced) on
+                # a survivor, whose durable event gates us below.
+                continue
             if self.config_log.group_commit_window_ms is None:
                 self.log_processors[lp_index].force()
             else:
@@ -310,7 +403,8 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         if in_flight:
             yield self.machine.env.all_of(in_flight)
         for lp_index in sorted(txn.recovery_state.get("log_processors", ())):
-            self.log_processors[lp_index].force()
+            if self.log_processors[lp_index].alive:
+                self.log_processors[lp_index].force()
 
     # -- reporting -----------------------------------------------------------------
     def extra_utilizations(self, t_end: float) -> Dict[str, float]:
@@ -334,6 +428,11 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
                 lp.fragments_received.count for lp in self.log_processors
             ),
             "log_forces": sum(lp.forced_writes.count for lp in self.log_processors),
+            "log_fragments_orphaned": sum(
+                lp.fragments_orphaned.count for lp in self.log_processors
+            ),
+            "log_fragments_reshipped": self.fragments_reshipped.count,
+            "log_ship_retries": self.ship_retries.count,
         }
 
     def extra_averages(self, t_end: float) -> Dict[str, float]:

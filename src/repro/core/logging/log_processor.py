@@ -12,7 +12,7 @@ as one two-page sequential request.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.hardware.disk import Disk
 from repro.hardware.placement import RingAllocator
@@ -63,14 +63,41 @@ class LogProcessor:
         self.monitor = monitor
         self._ring = RingAllocator(disk.params, 0, disk.params.cylinders)
         self._buffer: List[LogFragment] = []
+        self.alive = True
+        #: Called with each fragment this processor can no longer make
+        #: durable (it died with the fragment buffered, or its log write
+        #: failed); the architecture re-ships orphans to a surviving peer.
+        self.on_orphan: Optional[Callable[[LogFragment], None]] = None
         self.log_pages_written = CounterStat(f"{name}.log_pages")
         self.fragments_received = CounterStat(f"{name}.fragments")
         self.forced_writes = CounterStat(f"{name}.forces")
+        self.fragments_orphaned = CounterStat(f"{name}.orphans")
         self.fragment_wait_ms = SampleStat(f"{name}.fragment_wait")
+
+    # -- failure ---------------------------------------------------------------
+    def fail(self) -> List[LogFragment]:
+        """The log processor dies: its disk fails and buffered fragments
+        orphan.  Returns the orphans (also routed via ``on_orphan``)."""
+        if not self.alive:
+            return []
+        self.alive = False
+        self.disk.fail()
+        orphans, self._buffer = self._buffer, []
+        for fragment in orphans:
+            self._orphan(fragment)
+        return orphans
+
+    def _orphan(self, fragment: LogFragment) -> None:
+        self.fragments_orphaned.increment()
+        if self.on_orphan is not None:
+            self.on_orphan(fragment)
 
     # -- logical logging -----------------------------------------------------
     def deliver(self, fragment: LogFragment) -> None:
         """Add a fragment to the current log page; flush when full."""
+        if not self.alive:
+            self._orphan(fragment)
+            return
         fragment.lp_index = self.index
         self.fragments_received.increment()
         self._buffer.append(fragment)
@@ -87,7 +114,7 @@ class LogProcessor:
         fragments, self._buffer = self._buffer, []
         addresses = self._ring.take(1)
         request = self.disk.write(addresses, tag="log")
-        request.done.callbacks.append(self._make_durable(fragments))
+        request.done.callbacks.append(self._make_durable(fragments, [request]))
         self.log_pages_written.increment()
 
     def write_checkpoint_page(self) -> Event:
@@ -110,18 +137,27 @@ class LogProcessor:
         and the other contains the after image", paper Section 4.1.2); the
         fragment is durable when the *second* completes.
         """
+        if not self.alive:
+            self._orphan(fragment)
+            return
         fragment.lp_index = self.index
         self.fragments_received.increment()
         before = self.disk.write(self._ring.take(1), tag="log")
         after = self.disk.write(self._ring.take(1), tag="log")
         done = before.done & after.done
-        done.callbacks.append(self._make_durable([fragment]))
+        done.callbacks.append(self._make_durable([fragment], [before, after]))
         self.log_pages_written.increment(2)
 
     # -- internals ----------------------------------------------------------------
-    def _make_durable(self, fragments: List[LogFragment]):
+    def _make_durable(self, fragments: List[LogFragment], requests) -> object:
         def callback(_event) -> None:
             now = self.env.now
+            if not all(request.ok for request in requests):
+                # The log write never made it (disk died / torn page):
+                # nothing became durable; orphan the fragments for re-ship.
+                for fragment in fragments:
+                    self._orphan(fragment)
+                return
             for fragment in fragments:
                 self.fragment_wait_ms.add(now - fragment.created_at)
                 if self.monitor is not None:

@@ -17,11 +17,20 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 from repro.workload.transaction import Transaction
 
-__all__ = ["SelectionPolicy", "SelectorState", "select_log_processor"]
+__all__ = [
+    "NoLiveLogProcessor",
+    "SelectionPolicy",
+    "SelectorState",
+    "select_log_processor",
+]
+
+
+class NoLiveLogProcessor(RuntimeError):
+    """Every log processor is dead; fragments cannot be logged anywhere."""
 
 
 class SelectionPolicy(enum.Enum):
@@ -45,20 +54,34 @@ def select_log_processor(
     txn: Transaction,
     state: SelectorState,
     rng: random.Random,
+    alive: Optional[Sequence[bool]] = None,
 ) -> int:
-    """Index of the log processor that receives this fragment."""
+    """Index of the log processor that receives this fragment.
+
+    ``alive`` (one flag per log processor) restricts every policy to the
+    surviving processors: the policy's arithmetic runs over the live
+    candidate list, so a dead processor's share redistributes evenly and
+    behavior with all processors alive is unchanged.
+    """
     if n_log_processors < 1:
         raise ValueError("need at least one log processor")
-    if n_log_processors == 1:
-        return 0
+    if alive is None:
+        candidates = list(range(n_log_processors))
+    else:
+        candidates = [i for i in range(n_log_processors) if alive[i]]
+        if not candidates:
+            raise NoLiveLogProcessor("all log processors are dead")
+    m = len(candidates)
+    if m == 1:
+        return candidates[0]
     if policy is SelectionPolicy.CYCLIC:
         count = state.qp_counters.get(qp_index, 0)
         state.qp_counters[qp_index] = count + 1
-        return count % n_log_processors
+        return candidates[count % m]
     if policy is SelectionPolicy.RANDOM:
-        return rng.randrange(n_log_processors)
+        return candidates[rng.randrange(m)]
     if policy is SelectionPolicy.QP_MOD:
-        return qp_index % n_log_processors
+        return candidates[qp_index % m]
     if policy is SelectionPolicy.TXN_MOD:
-        return txn.tid % n_log_processors
+        return candidates[txn.tid % m]
     raise ValueError(f"unknown policy {policy!r}")

@@ -98,7 +98,10 @@ class PageTableShadowArchitecture(RecoveryArchitecture):
         """New copies are already on disk; install them in the page table."""
         yield from self.machine.wait_writebacks(txn)
         if txn.write_pages:
+            monitor = self.machine.shadow_monitor
             for page in sorted(txn.write_pages):
+                if monitor is not None:
+                    monitor.note_install(page)
                 yield from self.page_table.update_entry(page)
             events = self.page_table.flush(txn.write_pages)
             if events:

@@ -1,0 +1,432 @@
+"""Crash-recovery correctness harness: crash everywhere, verify recovery.
+
+The harness drives each functional recovery manager through a seeded
+workload and injects a whole-machine crash at **every** hook crossing the
+run reaches (or a seeded sample under a budget), then runs recovery and
+diffs the post-recovery database against a committed-prefix oracle:
+
+* **atomicity** — no effect of an uncommitted transaction survives;
+* **durability** — every effect of a committed transaction survives;
+* **in-flight commits** — a crash *inside* ``commit`` may land on either
+  side of the commit point, so both outcomes are accepted (but nothing in
+  between: the transaction's writes appear all-or-nothing);
+* **idempotence** — ``crash(); recover()`` again changes nothing;
+* **re-crash during recovery** — a second crash at the first recovery
+  hook crossing followed by a clean restart converges to the same state.
+
+Every failure is reported with the ``(seed, plan)`` pair that reproduces
+it: replay with :func:`run_scenario` or ``repro crashtest --plan``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.rng import RandomStreams
+from repro.faults.injector import FaultInjector, InjectedCrash
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.storage.differential import DifferentialFileManager
+from repro.storage.interface import RecoveryManager
+from repro.storage.overwrite import OverwriteVariant, OverwritingManager
+from repro.storage.shadow import ShadowPageTableManager
+from repro.storage.versions import VersionSelectionManager
+from repro.storage.wal import DistributedWalManager
+
+__all__ = [
+    "ARCHITECTURES",
+    "CrashTestReport",
+    "ScenarioResult",
+    "generate_ops",
+    "make_manager",
+    "run_crashtest",
+    "run_scenario",
+    "state_dump",
+]
+
+#: name -> factory for the five recovery architectures under test.
+ARCHITECTURES: Dict[str, Callable[[], RecoveryManager]] = {
+    "wal": lambda: DistributedWalManager(n_logs=3),
+    "shadow": ShadowPageTableManager,
+    "versions": VersionSelectionManager,
+    "overwrite": lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
+    "differential": DifferentialFileManager,
+}
+
+DEFAULT_TRANSACTIONS = 10
+DEFAULT_PAGES = 6
+MAX_CONCURRENT = 3
+
+
+def make_manager(arch: str) -> RecoveryManager:
+    try:
+        return ARCHITECTURES[arch]()
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {arch!r}; pick one of {sorted(ARCHITECTURES)}"
+        ) from None
+
+
+# -- workload generation ------------------------------------------------------
+def generate_ops(
+    seed: int,
+    n_transactions: int = DEFAULT_TRANSACTIONS,
+    n_pages: int = DEFAULT_PAGES,
+    max_concurrent: int = MAX_CONCURRENT,
+) -> List[Tuple]:
+    """A deterministic operation script (same seed -> same script).
+
+    Ops are ``("begin", slot)``, ``("write", slot, page, value)``,
+    ``("flush", page)`` (steal; no-op for managers without a buffer pool),
+    ``("commit", slot)`` and ``("abort", slot)``.  Lock discipline is
+    respected: no page is written by two concurrently active slots.
+    """
+    rng = RandomStreams(seed).stream("crashtest.workload")
+    ops: List[Tuple] = []
+    locked: Dict[int, List[int]] = {}  # active slot -> pages it locked
+    next_slot = 0
+    started = 0
+    value = 0
+    while started < n_transactions or locked:
+        choices = []
+        if started < n_transactions and len(locked) < max_concurrent:
+            choices.extend(["begin", "begin"])
+        if locked:
+            choices.extend(["write", "write", "write", "commit", "commit",
+                            "abort", "flush"])
+        action = rng.choice(choices)
+        if action == "begin":
+            locked[next_slot] = []
+            ops.append(("begin", next_slot))
+            started += 1
+            next_slot += 1
+        elif action == "write":
+            slot = rng.choice(sorted(locked))
+            held_elsewhere = [
+                p for s in sorted(locked) if s != slot for p in locked[s]
+            ]
+            free = [p for p in range(n_pages) if p not in held_elsewhere]
+            if not free:
+                continue
+            page = rng.choice(free)
+            value += 1
+            ops.append(("write", slot, page, b"v%d" % value))
+            if page not in locked[slot]:
+                locked[slot].append(page)
+        elif action == "flush":
+            slot = rng.choice(sorted(locked))
+            if not locked[slot]:
+                continue
+            ops.append(("flush", rng.choice(sorted(locked[slot]))))
+        else:  # commit / abort
+            slot = rng.choice(sorted(locked))
+            ops.append((action, slot))
+            del locked[slot]
+    return ops
+
+
+# -- state inspection ---------------------------------------------------------
+def state_dump(manager: RecoveryManager) -> str:
+    """A canonical text rendering of everything on stable storage.
+
+    Byte-identical across runs with the same seed and plan (the
+    determinism acceptance check hashes these).
+    """
+    stable = manager.stable
+    lines = []
+    for page, data in sorted(stable.pages.items()):
+        lines.append(f"page {page} seq={stable.page_seq(page)} data={data!r}")
+    for file in stable.files():
+        lines.append(f"file {file}: {stable.read_file(file)!r}")
+    return "\n".join(lines)
+
+
+# -- one scenario -------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Outcome of one (seed, plan) crash scenario against one manager."""
+
+    architecture: str
+    plan: FaultPlan
+    crashed_at: Optional[Tuple[str, int]]  # (hook, crossing) or None
+    outcome: str  # "no-crash" | "rolled-back" | "committed" | "violation"
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    dump: str = ""
+    crossings: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _apply_op(manager, op, tids, committed, pending) -> None:
+    kind = op[0]
+    if kind == "begin":
+        slot = op[1]
+        tids[slot] = manager.begin()
+        pending[slot] = {}
+    elif kind == "write":
+        _kind, slot, page, data = op
+        manager.write(tids[slot], page, data)
+        pending[slot][page] = data
+    elif kind == "flush":
+        flush = getattr(manager, "flush_page", None)
+        if flush is not None:
+            flush(op[1])
+    elif kind == "commit":
+        slot = op[1]
+        manager.commit(tids[slot])
+        committed.update(pending.pop(slot))
+        del tids[slot]
+    elif kind == "abort":
+        slot = op[1]
+        manager.abort(tids[slot])
+        pending.pop(slot)
+        del tids[slot]
+    else:
+        raise ValueError(f"unknown op {op!r}")
+
+
+def _verify(
+    arch: str,
+    plan: FaultPlan,
+    manager: RecoveryManager,
+    n_pages: int,
+    committed: Dict[int, bytes],
+    in_flight: Optional[Dict[int, bytes]],
+    pending: Dict[int, Dict[int, bytes]],
+    crashed_at: Optional[Tuple[str, int]],
+) -> Tuple[str, List[Dict[str, Any]]]:
+    """Diff post-recovery state against the committed-prefix oracle."""
+    actual = {page: manager.read_committed(page) for page in range(n_pages)}
+    base = {page: committed.get(page, b"") for page in range(n_pages)}
+    if actual == base:
+        return ("rolled-back" if in_flight is not None else
+                ("no-crash" if crashed_at is None else "rolled-back")), []
+    if in_flight is not None:
+        with_txn = dict(base)
+        with_txn.update(in_flight)
+        if actual == with_txn:
+            return "committed", []
+    violations = []
+    uncommitted_values = [
+        v for slot in sorted(pending) for v in pending[slot].values()
+    ]
+    for page in range(n_pages):
+        want = base[page]
+        got = actual[page]
+        if got == want:
+            continue
+        if in_flight is not None and actual.get(page) == in_flight.get(page):
+            # Page-level match with the in-flight transaction is only OK if
+            # the *whole* state matched (atomicity); reaching here means the
+            # transaction's effects were torn apart.
+            kind = "atomicity"
+            detail = f"in-flight commit applied partially on page {page}"
+        elif got in uncommitted_values:
+            kind = "atomicity"
+            detail = f"uncommitted value {got!r} survived on page {page}"
+        else:
+            kind = "durability"
+            detail = f"page {page}: expected {want!r}, found {got!r}"
+        violations.append(
+            {
+                "kind": kind,
+                "architecture": arch,
+                "seed": plan.seed,
+                "hook": crashed_at[0] if crashed_at else None,
+                "crossing": crashed_at[1] if crashed_at else None,
+                "detail": detail,
+                "plan": plan.to_json(),
+            }
+        )
+    return "violation", violations
+
+
+def _run_once(
+    arch: str,
+    ops: List[Tuple],
+    plan: FaultPlan,
+    n_pages: int,
+    recrash_during_recovery: bool,
+) -> ScenarioResult:
+    manager = make_manager(arch)
+    injector = FaultInjector(plan)
+    manager.set_fault_callback(injector.reached)
+    tids: Dict[int, int] = {}
+    committed: Dict[int, bytes] = {}
+    pending: Dict[int, Dict[int, bytes]] = {}
+    crashed_at = None
+    in_flight: Optional[Dict[int, bytes]] = None
+    try:
+        for op in ops:
+            injector.reached("op-boundary")
+            _apply_op(manager, op, tids, committed, pending)
+    except InjectedCrash as crash:
+        crashed_at = (crash.hook, crash.crossing)
+        if op[0] == "commit" and crash.hook != "op-boundary":
+            # The crash landed inside commit(): either side of the commit
+            # point is legal, so record the transaction's writes.
+            in_flight = dict(pending[op[1]])
+    manager.set_fault_callback(None)
+    manager.crash()
+    if recrash_during_recovery:
+        # Crash again at the first recovery hook crossing, then restart
+        # cleanly: recovery must be re-runnable from any prefix.
+        recrash = FaultInjector(
+            FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="*"), seed=plan.seed)
+        )
+        manager.set_fault_callback(recrash.reached)
+        try:
+            manager.recover()
+        except InjectedCrash:
+            manager.set_fault_callback(None)
+            manager.crash()
+            manager.recover()
+        manager.set_fault_callback(None)
+    else:
+        manager.recover()
+    outcome, violations = _verify(
+        arch, plan, manager, n_pages, committed, in_flight, pending, crashed_at
+    )
+    dump = state_dump(manager)
+    # Idempotence: another crash/recover round must be a no-op.
+    manager.crash()
+    manager.recover()
+    if state_dump(manager) != dump:
+        violations.append(
+            {
+                "kind": "recovery-not-idempotent",
+                "architecture": arch,
+                "seed": plan.seed,
+                "hook": crashed_at[0] if crashed_at else None,
+                "crossing": crashed_at[1] if crashed_at else None,
+                "detail": "second crash/recover round changed stable state",
+                "plan": plan.to_json(),
+            }
+        )
+        outcome = "violation"
+    return ScenarioResult(
+        architecture=arch,
+        plan=plan,
+        crashed_at=crashed_at,
+        outcome=outcome,
+        violations=violations,
+        dump=dump,
+        crossings=injector.crossings,
+    )
+
+
+def run_scenario(
+    arch: str,
+    seed: int,
+    plan: FaultPlan,
+    n_transactions: int = DEFAULT_TRANSACTIONS,
+    n_pages: int = DEFAULT_PAGES,
+) -> ScenarioResult:
+    """Run one (seed, plan) scenario: plain recovery, then a re-crash pass.
+
+    The re-crash pass replays the same scenario but injects a second crash
+    at the first recovery hook crossing; both passes must converge to the
+    same stable state.
+    """
+    ops = generate_ops(seed, n_transactions, n_pages)
+    plain = _run_once(arch, ops, plan, n_pages, recrash_during_recovery=False)
+    recrash = _run_once(arch, ops, plan, n_pages, recrash_during_recovery=True)
+    if recrash.dump != plain.dump:
+        plain.violations.append(
+            {
+                "kind": "recrash-divergence",
+                "architecture": arch,
+                "seed": seed,
+                "hook": plain.crashed_at[0] if plain.crashed_at else None,
+                "crossing": plain.crashed_at[1] if plain.crashed_at else None,
+                "detail": "re-crash during recovery converged to a different state",
+                "plan": plan.to_json(),
+            }
+        )
+        plain.outcome = "violation"
+    plain.violations.extend(recrash.violations)
+    return plain
+
+
+# -- the full sweep -----------------------------------------------------------
+@dataclass
+class CrashTestReport:
+    """Result of crashing one architecture at every sampled hook crossing."""
+
+    architecture: str
+    seed: int
+    n_transactions: int
+    total_crossings: int
+    points_tested: List[int]
+    outcomes: Dict[str, int]
+    violations: List[Dict[str, Any]]
+    state_hash: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "architecture": self.architecture,
+                "seed": self.seed,
+                "n_transactions": self.n_transactions,
+                "total_crossings": self.total_crossings,
+                "points_tested": self.points_tested,
+                "outcomes": self.outcomes,
+                "violations": self.violations,
+                "state_hash": self.state_hash,
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+
+def run_crashtest(
+    arch: str,
+    seed: int,
+    n_transactions: int = DEFAULT_TRANSACTIONS,
+    n_pages: int = DEFAULT_PAGES,
+    budget: Optional[int] = None,
+) -> CrashTestReport:
+    """Crash ``arch`` at every hook crossing of a seeded workload.
+
+    A first fault-free pass counts the hook crossings the workload
+    reaches; then one scenario per crossing (all of them, or a seeded
+    sample of ``budget``) injects a crash exactly there.
+    """
+    ops = generate_ops(seed, n_transactions, n_pages)
+    baseline = _run_once(
+        arch, ops, FaultPlan.of(seed=seed), n_pages, recrash_during_recovery=False
+    )
+    total = baseline.crossings
+    points = list(range(1, total + 1))
+    if budget is not None and budget < len(points):
+        sampler = RandomStreams(seed).stream("crashtest.points")
+        points = sorted(sampler.sample(points, budget))
+    outcomes: Dict[str, int] = {}
+    violations: List[Dict[str, Any]] = list(baseline.violations)
+    hasher = hashlib.sha256(baseline.dump.encode())
+    for point in points:
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="*", occurrence=point), seed=seed
+        )
+        result = run_scenario(arch, seed, plan, n_transactions, n_pages)
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+        violations.extend(result.violations)
+        hasher.update(result.dump.encode())
+    return CrashTestReport(
+        architecture=arch,
+        seed=seed,
+        n_transactions=n_transactions,
+        total_crossings=total,
+        points_tested=points,
+        outcomes=outcomes,
+        violations=violations,
+        state_hash=hasher.hexdigest(),
+    )

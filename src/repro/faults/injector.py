@@ -1,0 +1,140 @@
+"""The runtime half of fault injection: counts crossings, fires faults.
+
+One :class:`FaultInjector` serves both layers of the reproduction:
+
+* the **functional** storage managers call :meth:`reached` from their
+  ``_fault_point`` hooks — a matching CRASH spec *raises*
+  :class:`InjectedCrash`, modeling the machine dying exactly there;
+* the **simulation** layer (machine, disks, interconnect, log
+  processors) calls the non-raising predicates (:meth:`poll`,
+  :meth:`torn_write`, :meth:`drop_message`, ...) and reacts in-model —
+  a dropped message is retransmitted, a dead log processor is skipped.
+
+Every random decision draws from a ``RandomStreams``-derived stream, so a
+``(seed, plan)`` pair replays bit-for-bit (DET01).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.rng import RandomStreams
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "InjectedCrash"]
+
+
+class InjectedCrash(Exception):
+    """Raised at the exact hook crossing where a planned crash fires."""
+
+    def __init__(self, hook: str, crossing: int):
+        super().__init__(f"injected crash at hook {hook!r} (crossing #{crossing})")
+        self.hook = hook
+        self.crossing = crossing
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against a running system."""
+
+    def __init__(self, plan: FaultPlan, streams: Optional[RandomStreams] = None):
+        self.plan = plan
+        streams = streams if streams is not None else RandomStreams(plan.seed)
+        self._rng = streams.stream("faults")
+        #: total hook crossings so far (the clock "*"-specs count against).
+        self.crossings = 0
+        #: per-spec count of matching crossings seen.
+        self._spec_hits: Dict[int, int] = {}
+        #: record of fired faults: (kind, hook-or-target, crossing).
+        self.fired: List[Tuple[str, str, int]] = []
+
+    # -- hook crossings -------------------------------------------------------
+    def _matching(self, kind: FaultKind, name: str) -> Optional[FaultSpec]:
+        """Advance per-spec counters; return a spec that fires now."""
+        due = None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind is not kind or not spec.matches_hook(name):
+                continue
+            hits = self._spec_hits.get(index, 0) + 1
+            self._spec_hits[index] = hits
+            if hits == spec.occurrence:
+                due = spec
+        return due
+
+    def reached(self, name: str) -> None:
+        """A functional-layer hook crossing: raises on a due CRASH spec."""
+        self.crossings += 1
+        if self._matching(FaultKind.CRASH, name) is not None:
+            self.fired.append(("crash", name, self.crossings))
+            raise InjectedCrash(name, self.crossings)
+
+    def poll(self, name: str) -> bool:
+        """A simulation-layer hook crossing: True if a CRASH spec is due.
+
+        Non-raising: the simulation reacts by scheduling its crash event
+        rather than unwinding the current process with an exception.
+        """
+        self.crossings += 1
+        if self._matching(FaultKind.CRASH, name) is not None:
+            self.fired.append(("crash", name, self.crossings))
+            return True
+        return False
+
+    # -- media / component predicates ----------------------------------------
+    def _probabilistic(self, kind: FaultKind, target: Optional[int]) -> bool:
+        for spec in self.plan.specs:
+            if spec.kind is not kind:
+                continue
+            if spec.target is not None and target is not None and spec.target != target:
+                continue
+            if spec.probability >= 1.0 or self._rng.random() < spec.probability:
+                return True
+        return False
+
+    def torn_write(self, target: Optional[int] = None) -> bool:
+        """Should this page write tear (reach the platter partially)?"""
+        if self._probabilistic(FaultKind.TORN_WRITE, target):
+            self.fired.append(("torn-write", str(target), self.crossings))
+            return True
+        return False
+
+    def drop_message(self, target: Optional[int] = None) -> bool:
+        """Should the interconnect drop this message?"""
+        if self._probabilistic(FaultKind.MSG_LOSS, target):
+            self.fired.append(("msg-loss", str(target), self.crossings))
+            return True
+        return False
+
+    def timed_faults(self, kind: FaultKind) -> List[FaultSpec]:
+        """Specs of ``kind`` scheduled at absolute simulation times."""
+        return [
+            s for s in self.plan.specs if s.kind is kind and s.at_time is not None
+        ]
+
+    # -- machine integration --------------------------------------------------
+    def arm(self, machine) -> None:
+        """Schedule this plan's timed faults on a ``DatabaseMachine``.
+
+        * timed CRASH specs trigger the machine's crash event;
+        * timed LP_FAIL / DISK_FAIL specs call the architecture's
+          ``fail_log_processor`` / the target disk's ``fail``.
+        """
+        env = machine.env
+
+        def fire(spec: FaultSpec):
+            yield env.timeout(spec.at_time)
+            if spec.kind is FaultKind.CRASH:
+                self.fired.append(("crash", f"t={spec.at_time}", self.crossings))
+                machine.trigger_crash(f"timed@{spec.at_time}")
+            elif spec.kind is FaultKind.LP_FAIL:
+                self.fired.append(("lp-fail", str(spec.target), self.crossings))
+                machine.arch.fail_log_processor(spec.target or 0)
+            elif spec.kind is FaultKind.DISK_FAIL:
+                self.fired.append(("disk-fail", str(spec.target), self.crossings))
+                machine.data_disks[spec.target or 0].fail()
+
+        for spec in self.timed_faults(FaultKind.CRASH):
+            env.process(fire(spec))
+        for spec in self.timed_faults(FaultKind.LP_FAIL):
+            env.process(fire(spec))
+        for spec in self.timed_faults(FaultKind.DISK_FAIL):
+            env.process(fire(spec))

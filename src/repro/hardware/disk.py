@@ -32,11 +32,16 @@ __all__ = [
     "ConventionalDisk",
     "Disk",
     "DiskAddress",
+    "DiskFailure",
     "DiskRequest",
     "ParallelAccessDisk",
     "make_disk",
     "split_by_cylinder",
 ]
+
+
+class DiskFailure(SimulationError):
+    """A request completed with an error (the disk died)."""
 
 
 class DiskAddress(NamedTuple):
@@ -69,7 +74,7 @@ class DiskAddress(NamedTuple):
 class DiskRequest:
     """One queued I/O: a kind, a set of page addresses, a completion event."""
 
-    __slots__ = ("kind", "addresses", "done", "tag", "submitted_at")
+    __slots__ = ("kind", "addresses", "done", "tag", "submitted_at", "error", "torn")
 
     def __init__(
         self,
@@ -87,10 +92,19 @@ class DiskRequest:
         self.done: Event = env.event()
         self.tag = tag
         self.submitted_at = env.now
+        #: set when the request failed (disk death) instead of completing.
+        self.error: Optional[str] = None
+        #: set when a write reached the platter only partially (media fault);
+        #: the caller must treat the page as not durably written.
+        self.torn = False
 
     @property
     def n_pages(self) -> int:
         return len(self.addresses)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.torn
 
 
 class Disk:
@@ -115,11 +129,17 @@ class Disk:
         self._wakeup: Optional[Event] = None
         self._head_cylinder = 0
         self._head_linear = -2  # "nowhere": first access never streams
+        #: duck-typed fault injector (``torn_write(target)`` predicate);
+        #: assigned by whoever arms fault injection.  ``None`` = no faults.
+        self.faults = None
+        self.failed = False
         self.busy = UtilizationTracker(env.now, name=name)
         self.queue_length = TimeWeightedStat(env.now, 0, name=f"{name}.queue")
         self.accesses = CounterStat(f"{name}.accesses")
         self.pages_read = CounterStat(f"{name}.pages_read")
         self.pages_written = CounterStat(f"{name}.pages_written")
+        self.torn_writes = CounterStat(f"{name}.torn_writes")
+        self.failed_requests = CounterStat(f"{name}.failed_requests")
         env.process(self._server(), name=f"{name}.server")
 
     # -- client API ---------------------------------------------------------
@@ -128,11 +148,32 @@ class Disk:
     ) -> DiskRequest:
         """Enqueue an I/O; ``request.done`` fires when it finishes."""
         req = DiskRequest(self.env, kind, addresses, tag)
+        if self.failed:
+            req.error = "disk-failed"
+            self.failed_requests.increment()
+            req.done.succeed(self.env.now)
+            return req
         self._queue.append(req)
         self.queue_length.update(self.env.now, len(self._queue))
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return req
+
+    def fail(self) -> None:
+        """The disk dies: queued and future requests complete with an error.
+
+        A request already in service also errors out when its (wasted)
+        service time elapses — the head crashed mid-transfer.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        while self._queue:
+            req = self._queue.popleft()
+            req.error = "disk-failed"
+            self.failed_requests.increment()
+            req.done.succeed(self.env.now)
+        self.queue_length.update(self.env.now, 0)
 
     def read(self, addresses: Sequence[DiskAddress], tag: str = "") -> DiskRequest:
         return self.submit("read", addresses, tag)
@@ -152,7 +193,9 @@ class Disk:
     def _server(self):
         env = self.env
         while True:
-            if not self._queue:
+            # ``while``, not ``if``: a disk failure can drain the queue
+            # between the wakeup firing and the server resuming.
+            while not self._queue:
                 self._wakeup = env.event()
                 yield self._wakeup
                 self._wakeup = None
@@ -164,6 +207,13 @@ class Disk:
             self.busy.stop(env.now)
             self.accesses.increment()
             for req in batch:
+                if self.failed:
+                    req.error = "disk-failed"
+                    self.failed_requests.increment()
+                elif req.kind == "write" and self.faults is not None:
+                    if self.faults.torn_write():
+                        req.torn = True
+                        self.torn_writes.increment()
                 counter = self.pages_read if req.kind == "read" else self.pages_written
                 counter.increment(req.n_pages)
                 req.done.succeed(env.now)

@@ -8,11 +8,15 @@ them; our reproduction of that ablation uses this model.
 
 from __future__ import annotations
 
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, SimulationError
 from repro.sim.monitor import CounterStat, UtilizationTracker
 from repro.sim.resources import Resource
 
-__all__ = ["Interconnect"]
+__all__ = ["Interconnect", "MessageLost"]
+
+
+class MessageLost(SimulationError):
+    """A transfer was dropped and every retransmission failed too."""
 
 
 class Interconnect:
@@ -43,15 +47,26 @@ class Interconnect:
         self.latency_ms = latency_ms
         self.channels = channels
         self._channel = Resource(env, capacity=channels)
+        #: duck-typed fault injector (``drop_message()`` predicate);
+        #: assigned by whoever arms fault injection.  ``None`` = no faults.
+        self.faults = None
         self.busy = UtilizationTracker(env.now, name=name)
         self.bytes_moved = CounterStat(f"{name}.bytes")
+        self.messages_lost = CounterStat(f"{name}.lost")
+        self.retransmissions = CounterStat(f"{name}.retransmissions")
 
     def transfer_ms(self, n_bytes: int) -> float:
         """Wire time for ``n_bytes``."""
         return self.latency_ms + n_bytes / (self.bandwidth_mb_per_s * 1000.0)
 
     def transfer(self, n_bytes: int) -> Event:
-        """Start a transfer; the returned process-event fires on completion."""
+        """Start a transfer; the returned process-event fires on completion.
+
+        The event's value is ``True`` if the message arrived, ``False`` if
+        the interconnect dropped it (wire time is spent either way).
+        Callers that just ``yield`` the event keep working unchanged; loss-
+        aware callers use :meth:`reliable_transfer`.
+        """
         return self.env.process(self._transfer(n_bytes), name=f"{self.name}.xfer")
 
     def _transfer(self, n_bytes: int):
@@ -60,4 +75,34 @@ class Interconnect:
             self.busy.start(self.env.now)
             yield self.env.timeout(self.transfer_ms(n_bytes))
             self.busy.stop(self.env.now)
+            if self.faults is not None and self.faults.drop_message():
+                self.messages_lost.increment()
+                return False
             self.bytes_moved.increment(n_bytes)
+            return True
+
+    def reliable_transfer(
+        self, n_bytes: int, max_retries: int = 4, backoff_ms: float = 1.0
+    ) -> Event:
+        """A transfer with bounded retransmission and linear backoff.
+
+        The returned process-event fires when the message finally arrives;
+        it *fails* with :class:`MessageLost` after ``max_retries``
+        retransmissions all get dropped.
+        """
+        return self.env.process(
+            self._reliable(n_bytes, max_retries, backoff_ms),
+            name=f"{self.name}.rxfer",
+        )
+
+    def _reliable(self, n_bytes: int, max_retries: int, backoff_ms: float):
+        for attempt in range(max_retries + 1):
+            if attempt:
+                self.retransmissions.increment()
+                yield self.env.timeout(backoff_ms * attempt)
+            delivered = yield self.transfer(n_bytes)
+            if delivered:
+                return True
+        raise MessageLost(
+            f"{self.name}: message lost after {max_retries} retransmissions"
+        )

@@ -128,6 +128,7 @@ _LAYERS = {
     "storage": 1,
     "workload": 1,
     "core": 2,
+    "faults": 2,
     "machine": 3,
     "analysis": 4,
     "experiments": 4,

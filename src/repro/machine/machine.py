@@ -31,7 +31,12 @@ from repro.machine.processors import ProcessorPool
 from repro.metrics.collectors import RunResult
 from repro.metrics.timeline import Timeline
 from repro.sim.core import Environment, Event, Process
-from repro.sim.monitor import CounterStat, SampleStat, WALInvariantMonitor
+from repro.sim.monitor import (
+    CounterStat,
+    SampleStat,
+    ShadowInstallMonitor,
+    WALInvariantMonitor,
+)
 from repro.sim.resources import Container, Resource
 from repro.sim.rng import RandomStreams
 from repro.workload.transaction import Transaction, TransactionStatus
@@ -66,12 +71,22 @@ class DatabaseMachine:
         placement: Optional[Placement] = None,
         timeline: Optional[Timeline] = None,
         wal_monitor: Optional[WALInvariantMonitor] = None,
+        shadow_monitor: Optional[ShadowInstallMonitor] = None,
+        faults=None,
     ):
         self.config = config
         self.timeline = timeline
         #: Optional runtime WAL checker; architectures that gate write-backs
         #: on recovery data report to it (see sim.monitor.WALInvariantMonitor).
         self.wal_monitor = wal_monitor
+        #: Optional runtime checker of the shadow install rule (a page-table
+        #: entry may only flip to a version already on stable storage).
+        self.shadow_monitor = shadow_monitor
+        #: Optional :class:`repro.faults.FaultInjector` (duck-typed: the
+        #: machine only calls ``poll``; disks/links use their own
+        #: predicates).  Wired into the data disks here and into the
+        #: architecture's private hardware during ``attach``.
+        self.faults = faults
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
         self.placement = placement or ClusteredPlacement(
@@ -98,6 +113,13 @@ class DatabaseMachine:
         self.completions = SampleStat("completion_ms", keep=True)
         self._runtimes: Dict[int, _TxnRuntime] = {}
         self._restarts = 0
+        #: Fires when an injected whole-machine crash halts the run.
+        self._crash_event: Event = self.env.event()
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        if faults is not None:
+            for disk in self.data_disks:
+                disk.faults = faults
         self.arch = architecture if architecture is not None else RecoveryArchitecture()
         self.arch.attach(self)
 
@@ -110,11 +132,20 @@ class DatabaseMachine:
         """The per-attempt runtime record for ``txn``."""
         return self._runtimes[txn.tid]
 
-    def note_page_written(self, txn: Transaction, n: int = 1) -> None:
-        """Record that ``n`` updated pages of ``txn`` reached the disk."""
+    def note_page_written(
+        self, txn: Transaction, n: int = 1, page: Optional[int] = None
+    ) -> None:
+        """Record that ``n`` updated pages of ``txn`` reached the disk.
+
+        Architectures that install versions (shadow paging) pass ``page``
+        so the install monitor learns the version became durable.
+        """
         self.pages_written.increment(n)
         txn.last_durable_write = self.env.now
+        if page is not None and self.shadow_monitor is not None:
+            self.shadow_monitor.note_version_durable((txn.tid, page))
         self._trace("write_durable", tid=txn.tid, pages=n)
+        self.fault_hook("machine.writeback")
 
     def wait_writebacks(self, txn: Transaction):
         """Generator: wait for every outstanding write-back of ``txn``."""
@@ -124,6 +155,8 @@ class DatabaseMachine:
 
     def spawn_writeback(self, txn: Transaction, page: int) -> Process:
         """Start the architecture's durability path for an updated page."""
+        if self.shadow_monitor is not None:
+            self.shadow_monitor.note_version_written(page, (txn.tid, page))
         proc = self.env.process(
             self.arch.writeback(txn, page), name=f"wb.t{txn.tid}.p{page}"
         )
@@ -148,13 +181,46 @@ class DatabaseMachine:
         requests = [disk.submit(kind, group, tag) for group in groups]
         yield self.env.all_of([r.done for r in requests])
 
+    # ------------------------------------------------------------------ faults
+    def trigger_crash(self, reason: str) -> None:
+        """A whole-machine crash: the run loop stops at the current instant.
+
+        Volatile state (cache contents, unforced log pages, monitor
+        bookkeeping) is gone; what survives is whatever already reached
+        the disks — exactly the state a recovery pass starts from.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_reason = reason
+        if self.wal_monitor is not None:
+            self.wal_monitor.reset()
+        if self.shadow_monitor is not None:
+            self.shadow_monitor.reset()
+        self._trace("machine_crash", reason=reason)
+        if not self._crash_event.triggered:
+            self._crash_event.succeed(reason)
+
+    def fault_hook(self, name: str) -> None:
+        """A simulation-layer fault point: crash here if the plan says so."""
+        if self.faults is not None and not self.crashed and self.faults.poll(name):
+            self.trigger_crash(name)
+
     # ------------------------------------------------------------------ running
     def run(self, transactions: Sequence[Transaction]) -> RunResult:
-        """Execute the load to completion and collect the paper's metrics."""
+        """Execute the load to completion and collect the paper's metrics.
+
+        With a fault injector armed the run also ends at an injected
+        whole-machine crash; the result then carries ``crashed_at`` in its
+        ``extras`` and reflects only the work finished before the crash.
+        """
         if not transactions:
             raise ValueError("empty transaction load")
         done = self.env.process(self._driver(transactions), name="driver")
-        self.env.run(until=done)
+        if self.faults is not None:
+            self.env.run(until=self.env.any_of([done, self._crash_event]))
+        else:
+            self.env.run(until=done)
         return self._collect(transactions)
 
     def _driver(self, transactions: Sequence[Transaction]):
@@ -221,6 +287,7 @@ class DatabaseMachine:
             txn.reset_runtime()
             return False
 
+        self.fault_hook("machine.commit")
         yield from self.arch.on_commit(txn)
         self.locks.release_all(txn.tid)
         txn.status = TransactionStatus.COMMITTED
@@ -269,6 +336,7 @@ class DatabaseMachine:
         yield request.done
         self.pages_read.increment()
         self._trace("page_read", tid=txn.tid, page=page)
+        self.fault_hook("machine.page-read")
         if runtime.aborted:
             self.cache.release(1)
             return
@@ -325,6 +393,9 @@ class DatabaseMachine:
         utilizations.update(self.arch.extra_utilizations(t_end))
         counters.update(self.arch.extra_counters())
         averages.update(self.arch.extra_averages(t_end))
+        extras: Dict[str, float] = {}
+        if self.crashed:
+            extras["crashed_at"] = t_end
         return RunResult(
             architecture=self.arch.describe(),
             makespan_ms=t_end,
@@ -336,4 +407,5 @@ class DatabaseMachine:
             utilizations=utilizations,
             counters=counters,
             averages=averages,
+            extras=extras,
         )

@@ -33,6 +33,8 @@ from repro.sim.core import (
 from repro.sim.monitor import (
     CounterStat,
     SampleStat,
+    ShadowInstallMonitor,
+    ShadowInstallViolation,
     TimeWeightedStat,
     UtilizationTracker,
     WALInvariantMonitor,
@@ -59,6 +61,8 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "SampleStat",
+    "ShadowInstallMonitor",
+    "ShadowInstallViolation",
     "SimulationError",
     "Store",
     "TimeWeightedStat",

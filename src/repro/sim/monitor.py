@@ -13,6 +13,8 @@ from typing import Dict, Hashable, List, Optional, Set
 __all__ = [
     "CounterStat",
     "SampleStat",
+    "ShadowInstallMonitor",
+    "ShadowInstallViolation",
     "TimeWeightedStat",
     "UtilizationTracker",
     "WALInvariantMonitor",
@@ -274,5 +276,82 @@ class WALInvariantMonitor:
     def __repr__(self) -> str:
         return (
             f"<WALInvariantMonitor {self.name} checks={self.checks} "
+            f"violations={self.violations} pending={self.pending_pages}>"
+        )
+
+
+class ShadowInstallViolation(AssertionError):
+    """A page-table install pointed at a version not yet on stable storage."""
+
+
+class ShadowInstallMonitor:
+    """Runtime checker of the shadow-paging install rule.
+
+    The dual of the WAL invariant (paper Section 3.2): a shadow
+    architecture may *install* a page's new version — flip the page-table
+    entry (or the version timestamp) to point at it — only after that
+    version is entirely on stable storage.  Installing first would leave
+    the table referencing garbage if the machine crashed before the
+    version landed.
+
+    Protocol (mirrors :class:`WALInvariantMonitor`):
+
+    * ``note_version_written(page, token)`` — a new version of ``page``
+      exists but is still volatile (its write-back just started);
+      ``token`` is any hashable handle unique to that version, e.g. a
+      ``(tid, page)`` pair.
+    * ``note_version_durable(token)`` — the version reached stable
+      storage.
+    * ``note_install(page)`` — the page-table entry for ``page`` is about
+      to flip; raises :class:`ShadowInstallViolation` (``strict=True``) or
+      counts a violation if any version of the page is still volatile.
+    * ``reset()`` — a crash: in-flight versions are gone with the cache.
+    """
+
+    def __init__(self, strict: bool = True, name: str = "shadow-monitor"):
+        self.strict = strict
+        self.name = name
+        self.installs = 0
+        self.durables = 0
+        self.violations = 0
+        self._pending: Dict[int, Set[Hashable]] = {}
+        self._pages_of: Dict[Hashable, Set[int]] = {}
+
+    def note_version_written(self, page: int, token: Hashable) -> None:
+        self._pending.setdefault(page, set()).add(token)
+        self._pages_of.setdefault(token, set()).add(page)
+
+    def note_version_durable(self, token: Hashable) -> None:
+        self.durables += 1
+        for page in self._pages_of.pop(token, ()):
+            tokens = self._pending.get(page)
+            if tokens is not None:
+                tokens.discard(token)
+                if not tokens:
+                    del self._pending[page]
+
+    def note_install(self, page: int) -> None:
+        self.installs += 1
+        pending = self._pending.get(page)
+        if pending:
+            self.violations += 1
+            if self.strict:
+                raise ShadowInstallViolation(
+                    f"{self.name}: page {page} installed with "
+                    f"{len(pending)} volatile version(s)"
+                )
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._pages_of.clear()
+
+    @property
+    def pending_pages(self) -> int:
+        """Pages whose newest version has not reached stable storage."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShadowInstallMonitor {self.name} installs={self.installs} "
             f"violations={self.violations} pending={self.pending_pages}>"
         )

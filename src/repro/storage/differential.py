@@ -8,9 +8,12 @@ fit a mechanism whose whole point is that logical pages are views:
 
 * ``insert/delete/read_relation`` manipulate relations as sets of tuples;
 * transaction writes are buffered volatile and appended to the stable A/D
-  files at commit, bracketed by a commit record — the atomic commit point;
-* readers ignore appended runs without a commit record, so a crash between
-  appends is invisible (the run is truncated away at restart);
+  files at commit, tagged with the writing tid; the single commit record
+  then lands in a shared commit file — the atomic commit point.  (Earlier
+  revisions bracketed each file's run with its own marker, so a crash
+  between the two markers committed the deletions but not the additions.)
+* readers ignore A/D records whose tid has no commit record, so a crash
+  between appends is invisible (dead records are swept at restart);
 * ``merge`` folds committed A/D tuples into a new base and truncates the
   files (the maintenance operation the paper deliberately left unmodeled).
 
@@ -40,6 +43,7 @@ class DifferentialFileManager(RecoveryManager):
     _A_FILE = "a_file"
     _D_FILE = "d_file"
     _BASE = "base"
+    _COMMITS = "diff_commits"
 
     def __init__(
         self, stable: Optional[StableStorage] = None, enforce_locks: bool = True
@@ -83,20 +87,20 @@ class DifferentialFileManager(RecoveryManager):
             result -= {r for rel, r in self._txn_dels[tid] if rel == relation}
         return frozenset(result)
 
+    def _committed_tids(self) -> Set[int]:
+        return set(self.stable.read_file(self._COMMITS))
+
     def _committed_diffs(self) -> Tuple[Set[tuple], Set[tuple]]:
-        """Committed (adds, dels): appended runs closed by a commit marker."""
+        """Committed (adds, dels): records whose tid has a commit record."""
+        committed = self._committed_tids()
         adds: Set[tuple] = set()
         dels: Set[tuple] = set()
         for file, target in ((self._A_FILE, adds), (self._D_FILE, dels)):
-            run: List[tuple] = []
             for record in self.stable.read_file(file):
-                if record[0] == "commit":
-                    target.update(run)
-                    run = []
-                else:
-                    run.append(record[1])
-            # An unterminated trailing run belongs to a transaction that
-            # never committed: invisible.
+                # Records of a transaction that never committed stay
+                # invisible forever (tids are not reused).
+                if record[1] in committed:
+                    target.add(record[2])
         return adds, dels
 
     # -- page-level adapter (for the shared property tests) ---------------------------
@@ -134,14 +138,18 @@ class DifferentialFileManager(RecoveryManager):
         dels = self._txn_dels.pop(tid)
         if not adds and not dels:
             return
-        # Append the runs, then the commit markers.  A crash anywhere before
-        # the last marker leaves at most an unterminated (invisible) run.
+        # Append the tid-tagged runs, then the single commit record.  A
+        # crash anywhere before that record leaves only dead (invisible)
+        # records; the one append is the atomic commit point.
         for relation, row in adds:
-            self.stable.append(self._A_FILE, ("add", (relation, row)))
+            self.stable.append(self._A_FILE, ("add", tid, (relation, row)))
+            self._fault_point("diff.commit.mid-adds")
         for relation, row in dels:
-            self.stable.append(self._D_FILE, ("del", (relation, row)))
-        self.stable.append(self._D_FILE, ("commit", tid))
-        self.stable.append(self._A_FILE, ("commit", tid))
+            self.stable.append(self._D_FILE, ("del", tid, (relation, row)))
+            self._fault_point("diff.commit.mid-dels")
+        self._fault_point("diff.commit.pre-record")
+        self.stable.append(self._COMMITS, tid)
+        self._fault_point("diff.commit.post")
 
     def _do_abort(self, tid: int) -> None:
         self._txn_adds.pop(tid, None)
@@ -155,14 +163,19 @@ class DifferentialFileManager(RecoveryManager):
         self._txn_row_counter.clear()
 
     def _on_recover(self) -> None:
-        """Truncate unterminated trailing runs left by a mid-commit crash."""
+        """Sweep dead records left by a mid-commit crash.
+
+        A record whose tid never committed can never become visible (no
+        transaction is active at restart and tids are not reused), so this
+        is pure garbage collection — correctness never depends on it.
+        """
+        committed = self._committed_tids()
         for file in (self._A_FILE, self._D_FILE):
             records = self.stable.read_file(file)
-            last_commit = -1
-            for i, record in enumerate(records):
-                if record[0] == "commit":
-                    last_commit = i
-            self.stable.truncate(file, records[: last_commit + 1])
+            kept = [r for r in records if r[1] in committed]
+            if len(kept) != len(records):
+                self.stable.truncate(file, kept)
+            self._fault_point("diff.recover.file")
 
     def read_committed(self, page: int) -> bytes:
         relation = self._page_relation(page)
@@ -187,10 +200,11 @@ class DifferentialFileManager(RecoveryManager):
         self.stable.truncate(self._BASE, sorted(new_base))
         self.stable.truncate(self._A_FILE)
         self.stable.truncate(self._D_FILE)
+        self.stable.truncate(self._COMMITS)
         return len(new_base)
 
     def differential_sizes(self) -> Tuple[int, int]:
-        """(|A|, |D|) in records, commit markers excluded."""
-        a = sum(1 for r in self.stable.read_file(self._A_FILE) if r[0] != "commit")
-        d = sum(1 for r in self.stable.read_file(self._D_FILE) if r[0] != "commit")
+        """(|A|, |D|) in records."""
+        a = self.stable.file_length(self._A_FILE)
+        d = self.stable.file_length(self._D_FILE)
         return a, d

@@ -2,11 +2,25 @@
 
 from __future__ import annotations
 
-__all__ = ["LockConflict", "StorageError", "TransactionAborted", "UnknownTransaction"]
+__all__ = [
+    "LockConflict",
+    "RecoveryStateError",
+    "StorageError",
+    "TransactionAborted",
+    "UnknownTransaction",
+]
 
 
 class StorageError(Exception):
     """Base class for storage-engine errors."""
+
+
+class RecoveryStateError(StorageError):
+    """``recover()`` was called on a manager that never crashed.
+
+    Restart algorithms assume volatile state is gone; running one over a
+    live manager would silently mix volatile and reconstructed state.
+    """
 
 
 class UnknownTransaction(StorageError):

@@ -24,9 +24,9 @@ The contract (checked by the shared property-based tests in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
-from repro.storage.errors import LockConflict, UnknownTransaction
+from repro.storage.errors import LockConflict, RecoveryStateError, UnknownTransaction
 from repro.storage.stable import StableStorage
 
 __all__ = ["RecoveryManager"]
@@ -48,6 +48,10 @@ class RecoveryManager:
         #: page someone else is updating conflict, as under strict 2PL with
         #: the write set known up front).
         self._locks: Dict[int, int] = {}
+        #: set once the first crash happens; ``recover()`` before that is
+        #: a caller bug (see :class:`RecoveryStateError`).
+        self._crashed = False
+        self._fault_callback: Optional[Callable[[str], None]] = None
 
     # -- transaction control -------------------------------------------------
     def begin(self) -> int:
@@ -80,13 +84,30 @@ class RecoveryManager:
     # -- crash / restart ----------------------------------------------------------
     def crash(self) -> None:
         """Lose every piece of volatile state (buffer pool, lock table,
-        active transactions, unforced log tails)."""
+        active transactions, unforced log tails).
+
+        Idempotent: crashing an already-crashed manager is a no-op beyond
+        re-clearing (already empty) volatile state, so a crash that lands
+        *during recovery* can simply be followed by another ``crash()`` +
+        ``recover()``.
+        """
+        self._crashed = True
         self._active.clear()
         self._locks.clear()
         self._on_crash()
 
     def recover(self) -> None:
-        """Run the architecture's restart algorithm against stable storage."""
+        """Run the architecture's restart algorithm against stable storage.
+
+        Only legal after at least one ``crash()``; repeated recovery after
+        a single crash is allowed (restart algorithms are idempotent).
+        Raises :class:`RecoveryStateError` on a never-crashed manager.
+        """
+        if not self._crashed:
+            raise RecoveryStateError(
+                f"recover() on {self.name!r} manager that never crashed; "
+                "call crash() first"
+            )
         self._on_recover()
 
     def read_committed(self, page: int) -> bytes:
@@ -114,6 +135,20 @@ class RecoveryManager:
 
     def _on_recover(self) -> None:
         raise NotImplementedError
+
+    # -- fault injection -----------------------------------------------------------------
+    def set_fault_callback(self, callback: Optional[Callable[[str], None]]) -> None:
+        """Install (or clear) a hook-crossing callback.
+
+        The callback receives the hook-point name each time execution
+        crosses a named crash point (``wal.commit.pre-record``, ...) and
+        may raise ``InjectedCrash`` to simulate a failure exactly there.
+        """
+        self._fault_callback = callback
+
+    def _fault_point(self, name: str) -> None:
+        if self._fault_callback is not None:
+            self._fault_callback(name)
 
     # -- shared plumbing -----------------------------------------------------------------
     def _check_active(self, tid: int) -> None:

@@ -70,13 +70,16 @@ class OverwritingManager(RecoveryManager):
             # Current copy parks in the scratch ring; the shadow (home copy)
             # stays untouched until after commit.
             self.stable.append(self._SCRATCH, ("current", tid, page, data))
+            self._fault_point("overwrite.write.post-scratch")
         else:
             # Save the shadow once, then overwrite home in place.
             if page not in self._shadow_saved[tid]:
                 before = self.stable.read_page(page)
                 self.stable.append(self._SCRATCH, ("shadow", tid, page, before))
                 self._shadow_saved[tid].add(page)
+            self._fault_point("overwrite.write.pre-home")
             self.stable.write_page(page, data)
+            self._fault_point("overwrite.write.post-home")
         self._txn_writes[tid][page] = data
 
     def _do_commit(self, tid: int) -> None:
@@ -84,12 +87,15 @@ class OverwritingManager(RecoveryManager):
         self._shadow_saved.pop(tid, None)
         if not writes:
             return
+        self._fault_point("overwrite.commit.pre-record")
         # The commit point: one appended record.
         self.stable.append(self._COMMITTED, tid)
+        self._fault_point("overwrite.commit.post-record")
         if self.variant is OverwriteVariant.NO_UNDO:
             self._apply_scratch(tid)
         else:
             self._drop_scratch(tid)
+        self._fault_point("overwrite.commit.post")
 
     def _do_abort(self, tid: int) -> None:
         writes = self._txn_writes.pop(tid)
@@ -103,6 +109,7 @@ class OverwritingManager(RecoveryManager):
                 kind, rec_tid, page, data = record
                 if rec_tid == tid and kind == "shadow":
                     self.stable.write_page(page, data)
+                    self._fault_point("overwrite.abort.page")
             self._drop_scratch(tid)
         del writes
 
@@ -116,6 +123,8 @@ class OverwritingManager(RecoveryManager):
                 latest[page] = data
         for page, data in latest.items():
             self.stable.write_page(page, data)
+            self._fault_point("overwrite.apply.page")
+        self._fault_point("overwrite.apply.pre-applied-record")
         self.stable.append(self._APPLIED, tid)
         self._drop_scratch(tid)
 
@@ -136,6 +145,7 @@ class OverwritingManager(RecoveryManager):
             # Redo from scratch for committed transactions whose overwrite
             # did not finish; everything uncommitted is garbage.
             for tid in sorted(scratch_tids):
+                self._fault_point("overwrite.recover.txn")
                 if tid in committed and tid not in applied:
                     self._apply_scratch(tid)
                 else:
@@ -145,6 +155,7 @@ class OverwritingManager(RecoveryManager):
         else:
             # Restore shadows for every transaction that never committed.
             for tid in sorted(scratch_tids):
+                self._fault_point("overwrite.recover.txn")
                 if tid not in committed:
                     for record in self.stable.read_file(self._SCRATCH):
                         kind, rec_tid, page, data = record

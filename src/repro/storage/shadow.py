@@ -81,15 +81,19 @@ class ShadowPageTableManager(RecoveryManager):
         # The new copy goes straight to stable storage: harmless if the
         # transaction dies, because no page table points at it yet.
         self.stable.write_page(self._slot_page(slot), data)
+        self._fault_point("shadow.write.post-slot")
         self._txn_slots[tid][page] = slot
 
     def _do_commit(self, tid: int) -> None:
         table = self._current_table()
         table.update(self._txn_slots.pop(tid))
         alternate = 1 - self._root()
+        self._fault_point("shadow.commit.pre-table")
         self.stable.truncate(self._TABLE[alternate], sorted(table.items()))
+        self._fault_point("shadow.commit.installed-table")
         # The commit point: one atomic root write.
         self.stable.append(self._ROOT, alternate)
+        self._fault_point("shadow.commit.post-root")
 
     def _do_abort(self, tid: int) -> None:
         # Fresh slots become garbage; nothing on stable storage points at them.
@@ -102,6 +106,7 @@ class ShadowPageTableManager(RecoveryManager):
     def _on_recover(self) -> None:
         # Shadow recovery is trivial: the root names the last committed
         # table.  Restart only reclaims orphaned slots (garbage collection).
+        self._fault_point("shadow.recover")
         self._next_slot = self._derive_next_slot()
 
     def read_committed(self, page: int) -> bytes:

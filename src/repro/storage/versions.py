@@ -88,14 +88,18 @@ class VersionSelectionManager(RecoveryManager):
     def _do_write(self, tid: int, page: int, data: bytes) -> None:
         current_block, _ = self._select_current(page)
         target = 1 if current_block == 0 else 0
+        self._fault_point("versions.write.pre-block")
         self._write_block(page, target, tid, data)
+        self._fault_point("versions.write.post-block")
         self._txn_writes[tid][page] = data
 
     def _do_commit(self, tid: int) -> None:
         if self._txn_writes.pop(tid):
+            self._fault_point("versions.commit.pre-record")
             # The commit point: the tid enters the stable commit order, and
             # from now on version selection picks its blocks.
             self.stable.append(self._COMMITS, tid)
+            self._fault_point("versions.commit.post")
 
     def _do_abort(self, tid: int) -> None:
         # The written blocks stay physically present but are never selected.

@@ -170,10 +170,12 @@ class DistributedWalManager(RecoveryManager):
             return
         for log_index in sorted(self._page_logs.get(page, ())):
             self._force_log(log_index)
+        self._fault_point("wal.flush.between-force-and-write")
         if self._monitor is not None:
             self._monitor.note_flush(page)
         data, seq = entry
         self.stable.write_page(page, data, seq)
+        self._fault_point("wal.flush.post-write")
 
     def flush_all(self) -> None:
         for page in list(self._pool):
@@ -189,11 +191,16 @@ class DistributedWalManager(RecoveryManager):
 
     # -- commit / abort ------------------------------------------------------------------
     def _do_commit(self, tid: int) -> None:
+        self._fault_point("wal.commit.pre-force")
         for log_index in sorted(self._txn_logs.get(tid, ())):
             self._force_log(log_index)
+            self._fault_point("wal.commit.mid-force")
+        self._fault_point("wal.commit.pre-record")
         home_index = tid % self.n_logs
         self._logs[home_index].append(("commit", tid))
+        self._fault_point("wal.commit.pre-commit-force")
         self._force_log(home_index)
+        self._fault_point("wal.commit.post")
         self._txn_first_before.pop(tid, None)
         self._txn_logs.pop(tid, None)
 
@@ -242,12 +249,24 @@ class DistributedWalManager(RecoveryManager):
                 self.stable.write_page(page, last.after, last.seq)
             elif rolled_back is not None:
                 self.stable.write_page(page, rolled_back, seq)
+            self._fault_point("wal.recover.page")
         # Restart leaves stable storage exactly at the committed state, so
         # every surviving record is reflected and every uncommitted record
         # is permanently dead: the logs can be emptied.  (This also stops
         # reused page sequence numbers from colliding with dead records.)
+        #
+        # Truncation is two-phase so a crash *during recovery* stays safe:
+        # dropping a commit record from log A while transaction t's update
+        # records survive in log B would make a re-run of restart undo t.
+        # Phase 1 drops update records only (keeping every commit record);
+        # phase 2 drops the now-unreferenced commit records.
+        for log in self._logs:
+            commits = [r for r in log.stable_records() if r[0] == "commit"]
+            self.stable.truncate(log.name, commits)
+            self._fault_point("wal.recover.truncate-updates")
         for log in self._logs:
             self.stable.truncate(log.name)
+            self._fault_point("wal.recover.truncate-commits")
 
     def _scan_logs(self):
         """Scan each log independently; union commits, group by page."""
@@ -292,13 +311,27 @@ class DistributedWalManager(RecoveryManager):
                     kept.append(record)
                     retained_tids.add(entry.tid)
             kept_per_log[log.name] = kept
+        # Two-phase truncation (same discipline as restart): never drop a
+        # commit record while another log still holds that transaction's
+        # update records — a crash between per-log truncations would make
+        # restart undo committed work.  Phase 1 drops update records only.
+        commits_per_log: Dict[str, List[Tuple]] = {}
+        for log in self._logs:
+            commits_per_log[log.name] = [
+                r for r in log.stable_records() if r[0] == "commit"
+            ]
+            self.stable.truncate(
+                log.name, kept_per_log[log.name] + commits_per_log[log.name]
+            )
+            self._fault_point("wal.checkpoint.truncate-updates")
         stats = {}
         for log in self._logs:
-            kept = kept_per_log[log.name]
-            for record in log.stable_records():
-                if record[0] == "commit" and record[1] in retained_tids:
+            kept = list(kept_per_log[log.name])
+            for record in commits_per_log[log.name]:
+                if record[1] in retained_tids:
                     kept.append(record)
             self.stable.truncate(log.name, kept)
+            self._fault_point("wal.checkpoint.truncate-commits")
             stats[log.name] = len(kept)
         return stats
 

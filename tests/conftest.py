@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.monitor import WALInvariantMonitor
+from repro.sim.monitor import ShadowInstallMonitor, WALInvariantMonitor
 
 
 @pytest.fixture
@@ -16,5 +16,19 @@ def wal_monitor():
     of the fixture cannot pass while breaking the WAL rule.
     """
     monitor = WALInvariantMonitor(strict=True)
+    yield monitor
+    assert monitor.violations == 0, monitor
+
+
+@pytest.fixture
+def shadow_monitor():
+    """A strict runtime checker of the shadow install rule.
+
+    Attach it with ``DatabaseMachine(..., shadow_monitor=shadow_monitor)``;
+    any page-table install pointing at a version still in flight raises
+    inside the run.  Teardown re-asserts zero violations, mirroring the
+    ``wal_monitor`` fixture.
+    """
+    monitor = ShadowInstallMonitor(strict=True)
     yield monitor
     assert monitor.violations == 0, monitor

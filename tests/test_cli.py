@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import ABLATIONS, TABLES, main
+from repro.faults import ARCHITECTURES, FaultKind, FaultPlan, FaultSpec
 
 
 class TestCli:
@@ -50,3 +53,37 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCrashtestCommand:
+    def test_single_arch_sweep_passes(self, capsys):
+        assert main(["crashtest", "--arch", "wal", "--seed", "7",
+                     "--budget", "6", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wal" in out
+        assert "ok" in out
+
+    def test_all_archs_and_json_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(["crashtest", "--seed", "11", "--budget", "3", "-n", "3",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert sorted(data) == sorted(ARCHITECTURES)
+        for report in data.values():
+            assert report["violations"] == []
+
+    def test_plan_replay_roundtrip(self, capsys, tmp_path):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="*", occurrence=9), seed=7
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert main(["crashtest", "--arch", "shadow", "--seed", "7", "-n", "4",
+                     "--plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "crashed_at" in out
+
+    def test_plan_replay_requires_single_arch(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.of(seed=1).to_json())
+        assert main(["crashtest", "--plan", str(path)]) == 2

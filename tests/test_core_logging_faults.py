@@ -1,0 +1,198 @@
+"""Log-processor failure: graceful degradation under parallel logging."""
+
+import random
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import LoggingConfig, ParallelLoggingArchitecture, SelectionPolicy
+from repro.core.logging import LogFragment, LogProcessor
+from repro.core.logging.selection import (
+    NoLiveLogProcessor,
+    SelectorState,
+    select_log_processor,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.hardware import IBM_3350, ConventionalDisk
+from repro.sim import Environment, RandomStreams
+from repro.workload import Transaction, TransactionStatus
+
+
+def txn(tid):
+    return Transaction(tid=tid, read_pages=(1,), write_pages=frozenset())
+
+
+class TestAliveAwareSelection:
+    def make(self):
+        return SelectorState(), random.Random(0)
+
+    def test_all_alive_matches_unrestricted(self):
+        state_a, rng_a = self.make()
+        state_b, rng_b = self.make()
+        for i in range(9):
+            unrestricted = select_log_processor(
+                SelectionPolicy.CYCLIC, 3, 0, txn(i), state_a, rng_a
+            )
+            masked = select_log_processor(
+                SelectionPolicy.CYCLIC, 3, 0, txn(i), state_b, rng_b,
+                alive=[True, True, True],
+            )
+            assert unrestricted == masked
+
+    def test_dead_processor_never_selected(self):
+        state, rng = self.make()
+        picks = {
+            select_log_processor(
+                SelectionPolicy.CYCLIC, 3, 0, txn(i), state, rng,
+                alive=[True, False, True],
+            )
+            for i in range(12)
+        }
+        assert picks == {0, 2}
+
+    def test_txn_mod_redistributes_over_survivors(self):
+        state, rng = self.make()
+        pick = select_log_processor(
+            SelectionPolicy.TXN_MOD, 4, 0, txn(5), state, rng,
+            alive=[True, False, True, False],
+        )
+        assert pick == 2  # candidates [0, 2], 5 % 2 == 1
+
+    def test_all_dead_raises(self):
+        state, rng = self.make()
+        with pytest.raises(NoLiveLogProcessor):
+            select_log_processor(
+                SelectionPolicy.RANDOM, 2, 0, txn(1), state, rng,
+                alive=[False, False],
+            )
+
+
+class TestLogProcessorFailure:
+    def make_lp(self, fragments_per_page=3):
+        env = Environment()
+        disk = ConventionalDisk(env, IBM_3350, name="log0", rng=random.Random(0))
+        return env, LogProcessor(env, 0, disk, fragments_per_page)
+
+    def test_fail_orphans_buffered_fragments(self):
+        env, lp = self.make_lp(fragments_per_page=5)
+        orphans = []
+        lp.on_orphan = orphans.append
+        frags = [LogFragment(env, 1, p) for p in range(3)]
+        for fragment in frags:
+            lp.deliver(fragment)
+        returned = lp.fail()
+        assert returned == frags
+        assert orphans == frags
+        assert lp.fragments_orphaned.count == 3
+        assert lp.buffered_fragments == 0
+
+    def test_delivery_to_dead_processor_orphans(self):
+        env, lp = self.make_lp()
+        orphans = []
+        lp.on_orphan = orphans.append
+        lp.fail()
+        fragment = LogFragment(env, 1, 0)
+        lp.deliver(fragment)
+        assert orphans == [fragment]
+        assert lp.fragments_received.count == 0
+
+    def test_fail_is_idempotent(self):
+        env, lp = self.make_lp()
+        lp.deliver(LogFragment(env, 1, 0))
+        assert len(lp.fail()) == 1
+        assert lp.fail() == []
+
+
+def run_with_lp_failure(fail_at_ms=40.0, n_lps=3, policy=SelectionPolicy.CYCLIC):
+    config = MachineConfig()
+    arch = ParallelLoggingArchitecture(
+        LoggingConfig(n_log_processors=n_lps, selection=policy)
+    )
+    plan = FaultPlan.of(
+        FaultSpec(FaultKind.LP_FAIL, at_time=fail_at_ms, target=0),
+        seed=config.seed,
+    )
+    injector = FaultInjector(plan)
+    machine = DatabaseMachine(config, arch, faults=injector)
+    injector.arm(machine)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=8, max_pages=40),
+        config.db_pages,
+        RandomStreams(11).stream("workload"),
+    )
+    result = machine.run(txns)
+    return machine, arch, txns, result
+
+
+class TestGracefulDegradation:
+    def test_run_completes_with_all_commits(self):
+        machine, arch, txns, result = run_with_lp_failure()
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert not machine.crashed
+
+    def test_no_fragment_is_lost(self):
+        machine, arch, txns, result = run_with_lp_failure()
+        # Every update produced a fragment; every fragment either became
+        # durable on its original processor or was orphaned and re-shipped
+        # to a survivor (commit waited on fragment.durable either way).
+        orphaned = result.counter("log_fragments_orphaned")
+        reshipped = result.counter("log_fragments_reshipped")
+        assert reshipped == orphaned
+        assert result.counter("log_fragments") >= sum(t.n_writes for t in txns)
+
+    def test_survivors_absorb_the_load(self):
+        machine, arch, txns, result = run_with_lp_failure()
+        dead = arch.log_processors[0]
+        survivors = arch.log_processors[1:]
+        assert not dead.alive
+        assert all(lp.alive for lp in survivors)
+        # Fragments shipped after the failure all landed on survivors.
+        assert sum(lp.fragments_received.count for lp in survivors) > 0
+
+    def test_failure_is_deterministic(self):
+        first = run_with_lp_failure()[3]
+        second = run_with_lp_failure()[3]
+        assert first.makespan_ms == second.makespan_ms
+        assert first.counters == second.counters
+
+
+class TestMessageLossOnLink:
+    def test_lossy_link_retransmits_and_completes(self):
+        config = MachineConfig()
+        arch = ParallelLoggingArchitecture(LoggingConfig(n_log_processors=2))
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.MSG_LOSS, probability=0.2), seed=config.seed
+        )
+        injector = FaultInjector(plan)
+        machine = DatabaseMachine(config, arch, faults=injector)
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=6, max_pages=30),
+            config.db_pages,
+            RandomStreams(11).stream("workload"),
+        )
+        machine.run(txns)
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        link = arch._link
+        assert link.messages_lost.count > 0
+        assert link.retransmissions.count >= link.messages_lost.count
+
+
+class TestTimedMachineCrash:
+    def test_timed_crash_halts_run_and_reports(self):
+        config = MachineConfig()
+        arch = ParallelLoggingArchitecture(LoggingConfig(n_log_processors=2))
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, at_time=25.0), seed=config.seed
+        )
+        injector = FaultInjector(plan)
+        machine = DatabaseMachine(config, arch, faults=injector)
+        injector.arm(machine)
+        txns = generate_transactions(
+            WorkloadConfig(n_transactions=8, max_pages=40),
+            config.db_pages,
+            RandomStreams(11).stream("workload"),
+        )
+        result = machine.run(txns)
+        assert machine.crashed
+        assert result.extras["crashed_at"] == pytest.approx(25.0)
+        assert machine.crash_reason == "timed@25.0"

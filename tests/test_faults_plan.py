@@ -1,0 +1,123 @@
+"""Unit tests for fault plans and the deterministic injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec, InjectedCrash
+
+
+class TestFaultSpec:
+    def test_exact_hook_match(self):
+        spec = FaultSpec(FaultKind.CRASH, hook="wal.commit.pre-record")
+        assert spec.matches_hook("wal.commit.pre-record")
+        assert not spec.matches_hook("wal.commit.post")
+
+    def test_star_matches_everything(self):
+        spec = FaultSpec(FaultKind.CRASH, hook="*")
+        assert spec.matches_hook("anything")
+        assert spec.matches_hook("op-boundary")
+
+    def test_prefix_match(self):
+        spec = FaultSpec(FaultKind.CRASH, hook="wal.commit.*")
+        assert spec.matches_hook("wal.commit.pre-record")
+        assert spec.matches_hook("wal.commit.mid-force")
+        assert not spec.matches_hook("wal.flush.post-write")
+
+    def test_no_hook_matches_nothing(self):
+        spec = FaultSpec(FaultKind.TORN_WRITE, probability=0.5)
+        assert not spec.matches_hook("op-boundary")
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(
+            FaultKind.LP_FAIL, hook=None, at_time=12.5, target=2, probability=0.0
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="shadow.commit.*", occurrence=3),
+            FaultSpec(FaultKind.MSG_LOSS, probability=0.25),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_json_is_stable(self):
+        plan = FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="*"), seed=7)
+        assert plan.to_json() == plan.to_json()
+
+    def test_describe_mentions_every_spec(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.DISK_FAIL, at_time=5.0, target=1),
+            FaultSpec(FaultKind.TORN_WRITE, probability=0.1),
+            seed=3,
+        )
+        text = plan.describe()
+        assert "disk-fail" in text
+        assert "torn-write" in text
+        assert "seed=3" in text
+
+
+class TestFaultInjector:
+    def test_crash_fires_at_nth_crossing(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="*", occurrence=3), seed=0
+        )
+        injector = FaultInjector(plan)
+        injector.reached("a")
+        injector.reached("b")
+        with pytest.raises(InjectedCrash) as exc:
+            injector.reached("c")
+        assert exc.value.hook == "c"
+        assert exc.value.crossing == 3
+
+    def test_hook_scoped_occurrence_counts_only_matches(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="wal.*", occurrence=2), seed=0
+        )
+        injector = FaultInjector(plan)
+        injector.reached("wal.commit.pre-record")
+        injector.reached("op-boundary")  # does not count against wal.*
+        with pytest.raises(InjectedCrash):
+            injector.reached("wal.commit.post")
+
+    def test_poll_is_non_raising(self):
+        plan = FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="*"), seed=0)
+        injector = FaultInjector(plan)
+        assert injector.poll("machine.writeback") is True
+        assert injector.poll("machine.writeback") is False
+
+    def test_probabilistic_faults_draw_from_seeded_stream(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.MSG_LOSS, probability=0.5), seed=9
+        )
+        first = [FaultInjector(plan).drop_message() for _ in range(20)]
+        second = [FaultInjector(plan).drop_message() for _ in range(20)]
+        assert first == second
+
+    def test_certain_torn_write_always_fires(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.TORN_WRITE, probability=1.0), seed=0
+        )
+        injector = FaultInjector(plan)
+        assert injector.torn_write()
+        assert ("torn-write", "None", 0) in injector.fired
+
+    def test_target_filtering(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.DISK_FAIL, target=1, probability=1.0), seed=0
+        )
+        injector = FaultInjector(plan)
+        assert not injector._probabilistic(FaultKind.DISK_FAIL, 0)
+        assert injector._probabilistic(FaultKind.DISK_FAIL, 1)
+
+    def test_timed_faults_filtered_by_kind(self):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, at_time=10.0),
+            FaultSpec(FaultKind.LP_FAIL, at_time=5.0, target=0),
+            FaultSpec(FaultKind.CRASH, hook="*"),
+            seed=0,
+        )
+        injector = FaultInjector(plan)
+        assert len(injector.timed_faults(FaultKind.CRASH)) == 1
+        assert len(injector.timed_faults(FaultKind.LP_FAIL)) == 1

@@ -1,0 +1,54 @@
+"""Crash at *every* operation boundary, for every manager (property test).
+
+The harness's sweep samples hook crossings inside operations; this test
+pins down the coarser invariant exhaustively: a crash between any two
+operations of a workload must recover to exactly the committed prefix,
+on all five architectures.
+"""
+
+import pytest
+
+from repro.faults import (
+    ARCHITECTURES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    generate_ops,
+    run_scenario,
+)
+
+ARCH_NAMES = sorted(ARCHITECTURES)
+SEED = 29
+N_TRANSACTIONS = 6
+
+
+@pytest.mark.parametrize("arch", ARCH_NAMES)
+def test_crash_at_every_op_boundary_recovers(arch):
+    ops = generate_ops(SEED, n_transactions=N_TRANSACTIONS)
+    for boundary in range(1, len(ops) + 1):
+        plan = FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="op-boundary", occurrence=boundary),
+            seed=SEED,
+        )
+        result = run_scenario(
+            arch, SEED, plan, n_transactions=N_TRANSACTIONS
+        )
+        assert result.ok, (
+            f"{arch}: boundary {boundary}/{len(ops)} before {ops[boundary - 1]!r} "
+            f"-> {result.violations}"
+        )
+        # A boundary crash never lands inside commit(), so the in-flight
+        # ambiguity does not apply: the state is exactly the committed
+        # prefix.
+        assert result.outcome == "rolled-back"
+
+
+@pytest.mark.parametrize("arch", ARCH_NAMES)
+def test_boundary_crashes_are_deterministic(arch):
+    plan = FaultPlan.of(
+        FaultSpec(FaultKind.CRASH, hook="op-boundary", occurrence=9), seed=SEED
+    )
+    first = run_scenario(arch, SEED, plan, n_transactions=N_TRANSACTIONS)
+    second = run_scenario(arch, SEED, plan, n_transactions=N_TRANSACTIONS)
+    assert first.dump == second.dump
+    assert first.crashed_at == second.crashed_at

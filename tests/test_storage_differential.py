@@ -76,18 +76,35 @@ class TestCrashAtomicity:
         assert diff.read_relation("emp") == {("kept",)}
 
     def test_torn_append_run_truncated(self, diff):
-        """A crash between appends and the commit marker leaves an
-        unterminated run; recovery trims it."""
+        """A crash between the appends and the commit record leaves dead
+        tid-tagged records; recovery sweeps them."""
         tid = diff.begin()
         diff.insert(tid, "emp", ("kept",))
         diff.commit(tid)
-        # Simulate a torn commit: records appended, no commit marker.
-        diff.stable.append("a_file", ("add", ("emp", ("torn",))))
+        # Simulate a torn commit: records appended, no commit record.
+        diff.stable.append("a_file", ("add", 999, ("emp", ("torn",))))
         diff.crash()
         diff.recover()
         assert diff.read_relation("emp") == {("kept",)}
         a, _d = diff.differential_sizes()
         assert a == 1
+
+    def test_partial_commit_never_splits_adds_from_dels(self, diff):
+        """The commit point is one record in the shared commit file, so a
+        crash can never commit a transaction's deletions without its
+        additions (the failure mode of per-file commit markers)."""
+        t1 = diff.begin()
+        diff.insert(t1, "emp", ("old",))
+        diff.commit(t1)
+        t2 = diff.begin()
+        diff.delete(t2, "emp", ("old",))
+        diff.insert(t2, "emp", ("new",))
+        # Simulate a crash mid-commit: records land, commit record does not.
+        diff.stable.append("a_file", ("add", t2, ("emp", ("new",))))
+        diff.stable.append("d_file", ("del", t2, ("emp", ("old",))))
+        diff.crash()
+        diff.recover()
+        assert diff.read_relation("emp") == {("old",)}
 
 
 class TestMerge:

@@ -54,6 +54,7 @@ class TestCommonBehaviour:
         tid = manager.begin()
         manager.write(tid, 1, b"x")
         manager.commit(tid)
+        manager.crash()
         manager.recover()
         assert manager.scratch_length() == 0
 
