@@ -1,0 +1,106 @@
+"""Restart time and normal-case overhead vs checkpoint interval.
+
+The paper's Section 6 trade in one table: the same seeded workload runs
+against each of the five recovery managers at several checkpoint
+cadences (including the never-checkpoint baseline), crashes at the end,
+and both sides of the trade are measured — the recovery-data records and
+page writes the running system paid (overhead) and the records and pages
+the restart had to reprocess, priced on the simulated hardware
+(:func:`repro.analysis.estimate_functional_restart`).  Expected shape:
+measured restart time never grows as the interval shrinks, stays under
+the cadence-only analytic envelope, and the overhead bill moves the
+other way.
+"""
+
+import os
+
+from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block
+from repro.analysis import checkpoint_interval_sweep
+from repro.faults import ARCHITECTURES
+from repro.metrics import format_table
+
+SEED = BENCH_SEED
+
+#: Widest cadence first; None is the never-checkpoint baseline.
+INTERVALS = [None, 16, 8, 4]
+N_TRANSACTIONS = 40
+#: Noise slack on the monotonicity check: one extra recovery-data page
+#: read (the sweep is deterministic, but residue sizes quantize).
+SLACK_MS = 30.0
+
+
+def test_checkpoint_interval(benchmark):
+    results = {}
+
+    def run_sweep():
+        results.update(
+            checkpoint_interval_sweep(
+                SEED, INTERVALS, n_transactions=N_TRANSACTIONS
+            )
+        )
+        return results
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for arch in sorted(ARCHITECTURES):
+        for row in results[arch]:
+            rows.append(
+                [
+                    arch,
+                    "never" if row.checkpoint_every is None
+                    else row.checkpoint_every,
+                    row.checkpoints_taken,
+                    row.overhead_records,
+                    row.overhead_page_writes,
+                    row.restart_records,
+                    row.restart_pages_touched,
+                    round(row.measured.total_ms, 1),
+                    round(row.analytic.total_ms, 1),
+                ]
+            )
+    text = format_table(
+        [
+            "architecture",
+            "ckpt every",
+            "taken",
+            "run records",
+            "run pg-writes",
+            "restart records",
+            "restart pages",
+            "restart ms",
+            "bound ms",
+        ],
+        rows,
+        title=f"Restart cost vs checkpoint interval "
+        f"(seed {SEED}, {N_TRANSACTIONS} txns)",
+    )
+    text += "\n\n" + paper_block(
+        "Paper (Section 6):",
+        [
+            "'the frequency of checkpointing bounds the amount of log",
+            " data which must be processed at restart, at the cost of",
+            " additional work during normal operation'",
+        ],
+    )
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "checkpoint_interval.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+    for arch in sorted(ARCHITECTURES):
+        costs = [row.measured.total_ms for row in results[arch]]
+        # Restart never grows (within noise) as the interval shrinks...
+        for wider, tighter in zip(costs, costs[1:]):
+            assert tighter <= wider + SLACK_MS, (arch, costs)
+        # ...checkpointing buys a real reduction against the baseline...
+        assert costs[-1] <= costs[0] + 1e-9, (arch, costs)
+        for row in results[arch]:
+            # ...stays under the cadence-only analytic envelope...
+            assert row.measured.total_ms <= row.analytic.total_ms + 1e-9, arch
+        # ...and the normal-case overhead moves the other way.
+        assert (
+            results[arch][-1].overhead_records
+            > results[arch][0].overhead_records
+        ), arch

@@ -9,7 +9,17 @@ principles — and so users can predict where a configuration's bottleneck
 will sit before running it.
 """
 
-from repro.analysis.restart import RestartEstimate, estimate_restart
+from repro.analysis.checkpoints import (
+    CheckpointRunStats,
+    analytic_restart_bound,
+    checkpoint_interval_sweep,
+    run_with_checkpoints,
+)
+from repro.analysis.restart import (
+    RestartEstimate,
+    estimate_functional_restart,
+    estimate_restart,
+)
 from repro.analysis.model import (
     cpu_bound_ms_per_page,
     disk_bound_ms_per_page,
@@ -24,10 +34,14 @@ from repro.analysis.model import (
 )
 
 __all__ = [
+    "CheckpointRunStats",
     "RestartEstimate",
+    "analytic_restart_bound",
+    "checkpoint_interval_sweep",
     "cpu_bound_ms_per_page",
-    "estimate_restart",
     "disk_bound_ms_per_page",
+    "estimate_functional_restart",
+    "estimate_restart",
     "expected_random_access_ms",
     "expected_seek_ms",
     "io_bound_ms_per_page",
@@ -35,5 +49,6 @@ __all__ = [
     "predict_bare_ms_per_page",
     "predict_bottleneck",
     "pt_disk_demand_ms_per_page",
+    "run_with_checkpoints",
     "sequential_access_ms",
 ]

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.machine.config import MachineConfig
 from repro.metrics.collectors import RunResult
 
-__all__ = ["RestartEstimate", "estimate_restart"]
+__all__ = ["RestartEstimate", "estimate_functional_restart", "estimate_restart"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,33 @@ def _random_io_ms(config: MachineConfig, n_pages: int) -> float:
     span = disk.cylinders
     access = disk.seek_ms(span // 3) + disk.avg_latency_ms + disk.transfer_ms
     return n_pages * access / config.n_data_disks
+
+
+def estimate_functional_restart(
+    architecture: str,
+    records_scanned: int,
+    pages_touched: int,
+    config: MachineConfig = None,
+    n_log_disks: int = 1,
+    records_per_page: int = 16,
+) -> RestartEstimate:
+    """Price a *functional-engine* restart on the simulated hardware.
+
+    The crash-recovery harness and the checkpoint sweep count the work a
+    restart actually did — recovery-file records scanned and stable pages
+    touched (:class:`~repro.storage.stable.StableStorage` counters).  This
+    maps those volumes onto disk time: records pack ``records_per_page``
+    to a recovery-data page read sequentially (over ``n_log_disks`` for
+    distributed logs), and every touched page is a random database I/O.
+    Undo work is indistinguishable from redo at this granularity (both
+    are random page writes), so it is folded into ``redo_ms``.
+    """
+    if config is None:
+        config = MachineConfig()
+    scan_pages = -(-max(0, records_scanned) // records_per_page)
+    scan = _sequential_scan_ms(config, scan_pages, n_disks=n_log_disks)
+    redo = _random_io_ms(config, pages_touched)
+    return RestartEstimate(architecture, scan, redo, 0.0)
 
 
 def estimate_restart(

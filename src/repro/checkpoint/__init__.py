@@ -1,0 +1,52 @@
+"""Checkpointing: bounded-restart recovery across the five architectures.
+
+``policy`` defines the three checkpoint disciplines of the paper's design
+space (quiescent, fuzzy, snapshot-consistent), ``adapters`` binds one to
+each recovery architecture by name, and ``scheduler`` decides when to take
+one (operation count, record volume, or simulated time).  See
+docs/CHECKPOINT.md for the policy catalogue and the per-architecture
+mapping to the paper's Section 6 restart assumptions.
+"""
+
+from repro.checkpoint.adapters import (
+    DifferentialCheckpointAdapter,
+    OverwriteCheckpointAdapter,
+    ShadowCheckpointAdapter,
+    VersionCheckpointAdapter,
+    WalCheckpointAdapter,
+    adapter_for,
+    recovery_volume,
+)
+from repro.checkpoint.policy import (
+    CHECKPOINT_FILE,
+    CheckpointError,
+    CheckpointPolicy,
+    CheckpointRecord,
+    CheckpointStats,
+    CheckpointUnsupported,
+    FuzzyCheckpoint,
+    QuiescentCheckpoint,
+    SnapshotCheckpoint,
+)
+from repro.checkpoint.scheduler import CheckpointScheduler, sim_checkpointer
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "CheckpointError",
+    "CheckpointPolicy",
+    "CheckpointRecord",
+    "CheckpointScheduler",
+    "CheckpointStats",
+    "CheckpointUnsupported",
+    "DifferentialCheckpointAdapter",
+    "FuzzyCheckpoint",
+    "OverwriteCheckpointAdapter",
+    "QuiescentCheckpoint",
+    "ShadowCheckpointAdapter",
+    "SnapshotCheckpoint",
+    "VersionCheckpointAdapter",
+    "WalCheckpointAdapter",
+    "adapter_for",
+    "recovery_volume",
+    "sim_checkpointer",
+]

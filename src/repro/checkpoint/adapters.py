@@ -1,0 +1,140 @@
+"""Per-architecture checkpoint adapters, dispatched by manager name.
+
+Each adapter subclasses the policy its architecture declares (the
+``checkpoint_policy`` class attribute checked by reprolint's ARCH03) and
+fills in the two architecture-specific steps: :meth:`prepare` runs the
+actual compaction on the manager, :meth:`volume` measures the
+recovery-data records a restart would scan.
+
+Dispatch is by ``manager.name`` string so this package imports nothing
+from :mod:`repro.storage` — the storage managers import *us* to declare
+their policy, and :meth:`RecoveryManager.take_checkpoint` calls
+:func:`adapter_for` at runtime.  The name table and the declared policies
+are cross-checked on every dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.checkpoint.policy import (
+    CheckpointError,
+    CheckpointUnsupported,
+    FuzzyCheckpoint,
+    QuiescentCheckpoint,
+    SnapshotCheckpoint,
+)
+
+__all__ = [
+    "DifferentialCheckpointAdapter",
+    "OverwriteCheckpointAdapter",
+    "ShadowCheckpointAdapter",
+    "VersionCheckpointAdapter",
+    "WalCheckpointAdapter",
+    "adapter_for",
+    "recovery_volume",
+]
+
+
+class WalCheckpointAdapter(FuzzyCheckpoint):
+    """Distributed WAL: flush dirty pages, truncate reflected records.
+
+    The DPT is captured *before* the flush (that is the fuzzy-checkpoint
+    record's whole point); ``DistributedWalManager.checkpoint`` then does
+    the two-phase log truncation with its own fault points.
+    """
+
+    def dirty_pages(self, manager) -> Tuple[int, ...]:
+        return tuple(sorted(manager.dirty_pages))
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.checkpoint(flush=True)
+
+    def volume(self, manager) -> int:
+        return sum(manager.log_lengths().values())
+
+
+class ShadowCheckpointAdapter(SnapshotCheckpoint):
+    """Shadow page table: the committed root is the snapshot; GC slots."""
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.collect_garbage()
+
+    def volume(self, manager) -> int:
+        return manager.garbage_slots()
+
+
+class VersionCheckpointAdapter(QuiescentCheckpoint):
+    """Version selection: compact the unbounded commit-order file.
+
+    Quiescent by necessity: rewriting both blocks of a page to the
+    current winner destroys any uncommitted block, which is only garbage
+    when no transaction is active.
+    """
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.compact_commit_order()
+
+    def volume(self, manager) -> int:
+        return manager.stable.file_length("commit_order")
+
+
+class OverwriteCheckpointAdapter(FuzzyCheckpoint):
+    """Overwriting: prune transaction lists down to in-doubt tids."""
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.compact_transaction_lists()
+
+    def volume(self, manager) -> int:
+        stable = manager.stable
+        return (
+            stable.file_length("scratch")
+            + stable.file_length("committed_txns")
+            + stable.file_length("applied_txns")
+        )
+
+
+class DifferentialCheckpointAdapter(SnapshotCheckpoint):
+    """Differential files: the merge into a new base is the checkpoint."""
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return {"base_tuples": manager.merge()}
+
+    def volume(self, manager) -> int:
+        stable = manager.stable
+        a, d = manager.differential_sizes()
+        return a + d + stable.file_length("diff_commits")
+
+
+_ADAPTERS = {
+    "distributed-wal": WalCheckpointAdapter,
+    "shadow-page-table": ShadowCheckpointAdapter,
+    "version-selection": VersionCheckpointAdapter,
+    "overwriting": OverwriteCheckpointAdapter,
+    "differential-files": DifferentialCheckpointAdapter,
+}
+
+
+def adapter_for(manager):
+    """The checkpoint adapter for ``manager``, honoring its declaration."""
+    if getattr(manager, "checkpoint_unsupported", False):
+        raise CheckpointUnsupported(
+            f"{manager.name!r} declares checkpoint_unsupported"
+        )
+    adapter_cls = _ADAPTERS.get(manager.name)
+    if adapter_cls is None:
+        raise CheckpointUnsupported(
+            f"no checkpoint adapter for architecture {manager.name!r}"
+        )
+    declared = getattr(manager, "checkpoint_policy", None)
+    if declared is not None and not issubclass(adapter_cls, declared):
+        raise CheckpointError(
+            f"{manager.name!r} declares {declared.__name__} but its adapter "
+            f"is {adapter_cls.__name__}"
+        )
+    return adapter_cls()
+
+
+def recovery_volume(manager) -> int:
+    """Recovery-data records a restart of ``manager`` would scan now."""
+    return adapter_for(manager).volume(manager)

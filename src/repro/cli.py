@@ -16,8 +16,9 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.analysis import predict_bottleneck
+from repro.analysis import checkpoint_interval_sweep, predict_bottleneck
 from repro.faults import ARCHITECTURES, FaultPlan, run_crashtest, run_scenario
+from repro.metrics import format_table
 from repro.experiments import (
     ExperimentSettings,
     ablation_checkpointing,
@@ -158,6 +159,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay one failing fault-plan JSON instead of sweeping",
     )
 
+    sweep = sub.add_parser(
+        "checkpoint-sweep",
+        help="restart time and overhead vs checkpoint interval "
+        "(see docs/CHECKPOINT.md)",
+    )
+    sweep.add_argument("--seed", type=int, default=1985, help="workload seed")
+    sweep.add_argument(
+        "--arch",
+        default="all",
+        choices=sorted(ARCHITECTURES) + ["all"],
+        help="recovery architecture to sweep (default: all five)",
+    )
+    sweep.add_argument(
+        "--intervals",
+        default="none,16,8,4",
+        help="comma list of checkpoint intervals in ops; "
+        "'none' is the never-checkpoint baseline (default: none,16,8,4)",
+    )
+    sweep.add_argument(
+        "-n",
+        "--transactions",
+        type=int,
+        default=40,
+        help="transactions in the seeded workload (default 40)",
+    )
+    sweep.add_argument(
+        "-o", "--output", help="also write the table to this file"
+    )
+
     predict = sub.add_parser(
         "predict", help="analytic bottleneck prediction for a configuration"
     )
@@ -205,7 +235,9 @@ def _run_crashtest(args) -> int:
         status = "ok" if report.ok else f"{len(report.violations)} VIOLATIONS"
         print(
             f"{arch:>12}: {len(report.points_tested)}/{report.total_crossings} "
-            f"crash points [{outcomes}] hash={report.state_hash[:12]} {status}"
+            f"crash points [{outcomes}] "
+            f"ckpt-hooks={len(report.checkpoint_hooks)} "
+            f"hash={report.state_hash[:12]} {status}"
         )
         for violation in report.violations[:5]:
             print(
@@ -218,6 +250,75 @@ def _run_crashtest(args) -> int:
             json.dump(reports, handle, sort_keys=True, indent=2)
         print(f"wrote {args.json_path}")
     return 1 if failed else 0
+
+
+def _parse_intervals(text: str) -> List[Optional[int]]:
+    intervals: List[Optional[int]] = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token in ("none", "off"):
+            intervals.append(None)
+        else:
+            value = int(token)
+            if value < 1:
+                raise ValueError(f"checkpoint interval must be >= 1, got {value}")
+            intervals.append(value)
+    if not intervals:
+        raise ValueError("need at least one checkpoint interval")
+    return intervals
+
+
+def _run_checkpoint_sweep(args) -> int:
+    try:
+        intervals = _parse_intervals(args.intervals)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    results = checkpoint_interval_sweep(
+        args.seed, intervals, archs=archs, n_transactions=args.transactions
+    )
+    rows = []
+    for arch in archs:
+        for row in results[arch]:
+            rows.append(
+                [
+                    arch,
+                    "never" if row.checkpoint_every is None
+                    else row.checkpoint_every,
+                    row.checkpoints_taken,
+                    row.overhead_records,
+                    row.overhead_page_writes,
+                    row.restart_records,
+                    row.restart_pages_touched,
+                    round(row.measured.total_ms, 1),
+                    round(row.analytic.total_ms, 1),
+                ]
+            )
+    table = format_table(
+        [
+            "architecture",
+            "ckpt every",
+            "taken",
+            "run records",
+            "run pg-writes",
+            "restart records",
+            "restart pages",
+            "restart ms",
+            "bound ms",
+        ],
+        rows,
+        title=f"Restart cost vs checkpoint interval (seed {args.seed}, "
+        f"{args.transactions} txns)",
+    )
+    print(table)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(table + "\n")
+        print(f"wrote {args.output}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -262,6 +363,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "crashtest":
         return _run_crashtest(args)
+
+    if args.command == "checkpoint-sweep":
+        return _run_checkpoint_sweep(args)
 
     if args.command == "predict":
         config = MachineConfig(

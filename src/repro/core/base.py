@@ -67,6 +67,8 @@ class RecoveryArchitecture:
 
     def __init__(self) -> None:
         self.machine: "DatabaseMachine" = None  # set by attach()
+        #: Checkpoints completed so far (see :meth:`take_checkpoint`).
+        self.checkpoints_taken = 0
 
     # -- wiring -----------------------------------------------------------------
     def attach(self, machine: "DatabaseMachine") -> None:
@@ -131,6 +133,19 @@ class RecoveryArchitecture:
 
     def on_abort(self, txn: "Transaction"):
         """Recovery cleanup after a scheduler-initiated abort."""
+        return
+        yield  # pragma: no cover
+
+    def take_checkpoint(self):
+        """Make the architecture's recovery data restart-bounded (generator).
+
+        Driven periodically by :func:`repro.checkpoint.sim_checkpointer`
+        (or an architecture's own trigger); implementations force buffered
+        recovery data and write whatever durable record restart starts
+        from.  The bare machine keeps no recovery data, so its checkpoint
+        is only the counter.
+        """
+        self.checkpoints_taken += 1
         return
         yield  # pragma: no cover
 

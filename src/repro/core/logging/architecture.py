@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
+from repro.checkpoint import sim_checkpointer
 from repro.core.base import RecoveryArchitecture
 from repro.core.logging.log_processor import LogFragment, LogProcessor
 from repro.core.logging.selection import (
@@ -156,7 +157,10 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             self._link.faults = faults
         self.checkpoints_taken = 0
         if cfg.checkpoint_interval_ms is not None:
-            machine.env.process(self._checkpointer(), name="checkpointer")
+            machine.env.process(
+                sim_checkpointer(machine.env, self, cfg.checkpoint_interval_ms),
+                name="checkpointer",
+            )
         #: Per-LP pending group-commit event (None = no window open).
         self._group_pending: Dict[int, Optional[object]] = {}
 
@@ -305,21 +309,17 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         return self.machine.runtime(txn).scratch.setdefault("fragments", {})
 
     # -- parallel checkpointing (Section 3.1 / ref [13]) ---------------------------
-    def _checkpointer(self):
-        """Periodic fuzzy checkpoint: force partial log pages and write one
+    def take_checkpoint(self):
+        """One fuzzy checkpoint: force partial log pages and write one
         checkpoint page per log disk — fully overlapped with processing."""
-        interval = self.config_log.checkpoint_interval_ms
-        env = self.machine.env
-        while True:
-            yield env.timeout(interval)
-            writes = []
-            for lp in self.log_processors:
-                if not lp.alive:
-                    continue
-                lp.force()
-                writes.append(lp.write_checkpoint_page())
-            yield env.all_of(writes)
-            self.checkpoints_taken += 1
+        writes = []
+        for lp in self.log_processors:
+            if not lp.alive:
+                continue
+            lp.force()
+            writes.append(lp.write_checkpoint_page())
+        yield self.machine.env.all_of(writes)
+        self.checkpoints_taken += 1
 
     # -- durability -----------------------------------------------------------------
     def writeback(self, txn, page):

@@ -107,6 +107,18 @@ class PageTableShadowArchitecture(RecoveryArchitecture):
             if events:
                 yield self.machine.env.all_of(events)
 
+    # -- checkpoint ---------------------------------------------------------------
+    def take_checkpoint(self):
+        """Snapshot checkpoint: push every dirty PT page to the PT disks.
+
+        Once the buffered page-table updates are durable the committed
+        root *is* the checkpoint — restart reads it back and runs.
+        """
+        events = self.page_table.flush_all()
+        if events:
+            yield self.machine.env.all_of(events)
+        self.checkpoints_taken += 1
+
     # -- reporting ----------------------------------------------------------------
     def extra_utilizations(self, t_end: float) -> Dict[str, float]:
         return self.page_table.utilizations(t_end)

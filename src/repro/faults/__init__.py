@@ -10,6 +10,7 @@ oracle.  See docs/FAULTS.md for the taxonomy and hook-point catalogue.
 from repro.faults.harness import (
     ARCHITECTURES,
     CrashTestReport,
+    DEFAULT_CHECKPOINT_EVERY,
     ScenarioResult,
     generate_ops,
     make_manager,
@@ -23,6 +24,7 @@ from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 __all__ = [
     "ARCHITECTURES",
     "CrashTestReport",
+    "DEFAULT_CHECKPOINT_EVERY",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",

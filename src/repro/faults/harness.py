@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.checkpoint import CHECKPOINT_FILE, CheckpointUnsupported
 from repro.sim.rng import RandomStreams
 from repro.faults.injector import FaultInjector, InjectedCrash
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
@@ -38,6 +39,7 @@ from repro.storage.wal import DistributedWalManager
 __all__ = [
     "ARCHITECTURES",
     "CrashTestReport",
+    "DEFAULT_CHECKPOINT_EVERY",
     "ScenarioResult",
     "generate_ops",
     "make_manager",
@@ -58,6 +60,10 @@ ARCHITECTURES: Dict[str, Callable[[], RecoveryManager]] = {
 DEFAULT_TRANSACTIONS = 10
 DEFAULT_PAGES = 6
 MAX_CONCURRENT = 3
+#: Checkpoint cadence the sweep uses (ops between ("checkpoint",) ops),
+#: so crash-during-checkpoint and recover-from-checkpoint are always in
+#: the sampled hook population.
+DEFAULT_CHECKPOINT_EVERY = 9
 
 
 def make_manager(arch: str) -> RecoveryManager:
@@ -75,6 +81,7 @@ def generate_ops(
     n_transactions: int = DEFAULT_TRANSACTIONS,
     n_pages: int = DEFAULT_PAGES,
     max_concurrent: int = MAX_CONCURRENT,
+    checkpoint_every: Optional[int] = None,
 ) -> List[Tuple]:
     """A deterministic operation script (same seed -> same script).
 
@@ -82,6 +89,12 @@ def generate_ops(
     ``("flush", page)`` (steal; no-op for managers without a buffer pool),
     ``("commit", slot)`` and ``("abort", slot)``.  Lock discipline is
     respected: no page is written by two concurrently active slots.
+
+    With ``checkpoint_every``, a ``("checkpoint",)`` op is woven in after
+    every that-many transaction ops, plus one final op once every
+    transaction is resolved (guaranteed quiescent, so even the quiescent
+    policy gets real coverage).  Weaving is a post-pass: the transaction
+    script for a seed is identical with and without checkpoints.
     """
     rng = RandomStreams(seed).stream("crashtest.workload")
     ops: List[Tuple] = []
@@ -124,6 +137,16 @@ def generate_ops(
             slot = rng.choice(sorted(locked))
             ops.append((action, slot))
             del locked[slot]
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        woven: List[Tuple] = []
+        for index, op in enumerate(ops, start=1):
+            woven.append(op)
+            if index % checkpoint_every == 0:
+                woven.append(("checkpoint",))
+        woven.append(("checkpoint",))
+        return woven
     return ops
 
 
@@ -155,14 +178,26 @@ class ScenarioResult:
     violations: List[Dict[str, Any]] = field(default_factory=list)
     dump: str = ""
     crossings: int = 0
+    #: Completed (non-skipped) checkpoints before the crash.
+    checkpoints_completed: int = 0
+    #: Distinct hook names crossed before the crash (coverage map).
+    hooks: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
 
-def _apply_op(manager, op, tids, committed, pending) -> None:
+def _apply_op(manager, op, tids, committed, pending, checkpoints=None) -> None:
     kind = op[0]
+    if kind == "checkpoint":
+        try:
+            stats = manager.take_checkpoint()
+        except CheckpointUnsupported:
+            return  # manager opted out; the script op is a no-op
+        if checkpoints is not None and not stats.skipped:
+            checkpoints.append(stats)
+        return
     if kind == "begin":
         slot = op[1]
         tids[slot] = manager.begin()
@@ -258,12 +293,13 @@ def _run_once(
     tids: Dict[int, int] = {}
     committed: Dict[int, bytes] = {}
     pending: Dict[int, Dict[int, bytes]] = {}
+    checkpoints: List[Any] = []
     crashed_at = None
     in_flight: Optional[Dict[int, bytes]] = None
     try:
         for op in ops:
             injector.reached("op-boundary")
-            _apply_op(manager, op, tids, committed, pending)
+            _apply_op(manager, op, tids, committed, pending, checkpoints)
     except InjectedCrash as crash:
         crashed_at = (crash.hook, crash.crossing)
         if op[0] == "commit" and crash.hook != "op-boundary":
@@ -291,6 +327,26 @@ def _run_once(
     outcome, violations = _verify(
         arch, plan, manager, n_pages, committed, in_flight, pending, crashed_at
     )
+    # Recover-from-checkpoint oracle: every checkpoint that *completed*
+    # before the crash must still be durable after recovery (recovery and
+    # compaction must never truncate the checkpoint file).
+    durable_checkpoints = manager.stable.file_length(CHECKPOINT_FILE)
+    if durable_checkpoints < len(checkpoints):
+        violations.append(
+            {
+                "kind": "checkpoint-lost",
+                "architecture": arch,
+                "seed": plan.seed,
+                "hook": crashed_at[0] if crashed_at else None,
+                "crossing": crashed_at[1] if crashed_at else None,
+                "detail": (
+                    f"{len(checkpoints)} checkpoints completed before the "
+                    f"crash but only {durable_checkpoints} survived recovery"
+                ),
+                "plan": plan.to_json(),
+            }
+        )
+        outcome = "violation"
     dump = state_dump(manager)
     # Idempotence: another crash/recover round must be a no-op.
     manager.crash()
@@ -316,6 +372,8 @@ def _run_once(
         violations=violations,
         dump=dump,
         crossings=injector.crossings,
+        checkpoints_completed=len(checkpoints),
+        hooks=sorted(injector.hooks_seen),
     )
 
 
@@ -325,6 +383,7 @@ def run_scenario(
     plan: FaultPlan,
     n_transactions: int = DEFAULT_TRANSACTIONS,
     n_pages: int = DEFAULT_PAGES,
+    checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
 ) -> ScenarioResult:
     """Run one (seed, plan) scenario: plain recovery, then a re-crash pass.
 
@@ -332,7 +391,8 @@ def run_scenario(
     at the first recovery hook crossing; both passes must converge to the
     same stable state.
     """
-    ops = generate_ops(seed, n_transactions, n_pages)
+    ops = generate_ops(seed, n_transactions, n_pages,
+                       checkpoint_every=checkpoint_every)
     plain = _run_once(arch, ops, plan, n_pages, recrash_during_recovery=False)
     recrash = _run_once(arch, ops, plan, n_pages, recrash_during_recovery=True)
     if recrash.dump != plain.dump:
@@ -365,6 +425,9 @@ class CrashTestReport:
     outcomes: Dict[str, int]
     violations: List[Dict[str, Any]]
     state_hash: str
+    #: Checkpoint hook names the fault-free baseline crossed — proof the
+    #: sweep's crash population includes crash-during-checkpoint points.
+    checkpoint_hooks: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -381,6 +444,7 @@ class CrashTestReport:
                 "outcomes": self.outcomes,
                 "violations": self.violations,
                 "state_hash": self.state_hash,
+                "checkpoint_hooks": self.checkpoint_hooks,
             },
             sort_keys=True,
             indent=2,
@@ -393,14 +457,18 @@ def run_crashtest(
     n_transactions: int = DEFAULT_TRANSACTIONS,
     n_pages: int = DEFAULT_PAGES,
     budget: Optional[int] = None,
+    checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
 ) -> CrashTestReport:
     """Crash ``arch`` at every hook crossing of a seeded workload.
 
     A first fault-free pass counts the hook crossings the workload
     reaches; then one scenario per crossing (all of them, or a seeded
-    sample of ``budget``) injects a crash exactly there.
+    sample of ``budget``) injects a crash exactly there.  Checkpoint ops
+    woven into the workload put every ``checkpoint.*`` and
+    architecture-specific compaction hook in the crash population.
     """
-    ops = generate_ops(seed, n_transactions, n_pages)
+    ops = generate_ops(seed, n_transactions, n_pages,
+                       checkpoint_every=checkpoint_every)
     baseline = _run_once(
         arch, ops, FaultPlan.of(seed=seed), n_pages, recrash_during_recovery=False
     )
@@ -416,7 +484,8 @@ def run_crashtest(
         plan = FaultPlan.of(
             FaultSpec(FaultKind.CRASH, hook="*", occurrence=point), seed=seed
         )
-        result = run_scenario(arch, seed, plan, n_transactions, n_pages)
+        result = run_scenario(arch, seed, plan, n_transactions, n_pages,
+                              checkpoint_every=checkpoint_every)
         outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
         violations.extend(result.violations)
         hasher.update(result.dump.encode())
@@ -429,4 +498,5 @@ def run_crashtest(
         outcomes=outcomes,
         violations=violations,
         state_hash=hasher.hexdigest(),
+        checkpoint_hooks=[h for h in baseline.hooks if "checkpoint" in h],
     )

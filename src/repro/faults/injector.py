@@ -46,6 +46,8 @@ class FaultInjector:
         self._spec_hits: Dict[int, int] = {}
         #: record of fired faults: (kind, hook-or-target, crossing).
         self.fired: List[Tuple[str, str, int]] = []
+        #: distinct hook names this injector has seen cross (coverage map).
+        self.hooks_seen: set = set()
 
     # -- hook crossings -------------------------------------------------------
     def _matching(self, kind: FaultKind, name: str) -> Optional[FaultSpec]:
@@ -63,6 +65,7 @@ class FaultInjector:
     def reached(self, name: str) -> None:
         """A functional-layer hook crossing: raises on a due CRASH spec."""
         self.crossings += 1
+        self.hooks_seen.add(name)
         if self._matching(FaultKind.CRASH, name) is not None:
             self.fired.append(("crash", name, self.crossings))
             raise InjectedCrash(name, self.crossings)
@@ -74,6 +77,7 @@ class FaultInjector:
         rather than unwinding the current process with an exception.
         """
         self.crossings += 1
+        self.hooks_seen.add(name)
         if self._matching(FaultKind.CRASH, name) is not None:
             self.fired.append(("crash", name, self.crossings))
             return True

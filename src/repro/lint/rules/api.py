@@ -123,6 +123,7 @@ class Api01DunderAll(Rule):
 _LAYERS = {
     "sim": 0,
     "lint": 0,
+    "checkpoint": 0,
     "hardware": 1,
     "metrics": 1,
     "storage": 1,

@@ -14,6 +14,14 @@ after the code path has secured the recovery data — forced a log, waited
 on a fragment's ``durable`` event, written the scratch/shadow copy, or
 installed a page-table entry.  The walk is per code path (function body in
 statement order, one module at a time); see docs/LINT.md for limits.
+
+ARCH03 keeps the checkpoint contract total over the functional engines
+(``repro.storage``): every ``RecoveryManager`` subclass must declare its
+checkpoint capability — a ``checkpoint_policy`` class attribute naming
+the :mod:`repro.checkpoint` policy its adapter implements, or an explicit
+``checkpoint_unsupported`` opt-out.  A silent default would let a new
+architecture ship without bounded-restart support and nobody would
+notice until a restart scanned an unbounded log.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.lint.astutil import edit_distance, keyword_value, ordered_walk
 from repro.lint.engine import ModuleContext, Project, Rule, register
 
-__all__ = ["Arch01HookSurface", "Arch02WalDiscipline"]
+__all__ = ["Arch01HookSurface", "Arch02WalDiscipline", "Arch03CheckpointCapability"]
 
 _BASE_MODULE = "repro.core.base"
 _BASE_CLASS = "RecoveryArchitecture"
@@ -58,24 +66,30 @@ def _in_scope(module: ModuleContext) -> bool:
     return module.in_package("repro.core") and module.package != _BASE_MODULE
 
 
-def _defines_name_attr(cls: ast.ClassDef) -> bool:
+def _defines_attr(cls: ast.ClassDef, attr: str) -> bool:
     for item in cls.body:
         if isinstance(item, ast.Assign):
-            if any(isinstance(t, ast.Name) and t.id == "name" for t in item.targets):
+            if any(isinstance(t, ast.Name) and t.id == attr for t in item.targets):
                 return True
         if isinstance(item, ast.AnnAssign):
-            if isinstance(item.target, ast.Name) and item.target.id == "name":
+            if isinstance(item.target, ast.Name) and item.target.id == attr:
                 return True
     return False
 
 
-def _project_ancestors(project: Project, cls_name: str) -> List[str]:
-    """Ancestors of ``cls_name`` in the scanned class graph (minus the base)."""
+def _defines_name_attr(cls: ast.ClassDef) -> bool:
+    return _defines_attr(cls, "name")
+
+
+def _project_ancestors(
+    project: Project, cls_name: str, base: str = _BASE_CLASS
+) -> List[str]:
+    """Ancestors of ``cls_name`` in the scanned class graph (minus ``base``)."""
     graph = project.class_bases()
     out, frontier = [], list(graph.get(cls_name, ()))
     while frontier:
         name = frontier.pop()
-        if name == _BASE_CLASS or name in out or name not in graph:
+        if name == base or name in out or name not in graph:
             continue
         out.append(name)
         frontier.extend(graph[name])
@@ -166,6 +180,56 @@ class Arch01HookSurface(Rule):
                 and node.func.value.func.id == "super"
             ):
                 return True
+        return False
+
+
+_MANAGER_CLASS = "RecoveryManager"
+_CAPABILITY_ATTRS = ("checkpoint_policy", "checkpoint_unsupported")
+
+
+@register
+class Arch03CheckpointCapability(Rule):
+    code = "ARCH03"
+    summary = (
+        "RecoveryManager subclasses in repro.storage must declare a "
+        "checkpoint_policy or an explicit checkpoint_unsupported opt-out"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not module.in_package("repro.storage"):
+            return
+        descendants = project.descendants_of(_MANAGER_CLASS)
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or cls.name not in descendants:
+                continue
+            if self._declares_capability(cls):
+                continue
+            ancestors = _project_ancestors(project, cls.name, base=_MANAGER_CLASS)
+            if any(
+                self._ancestor_declares(project, ancestor)
+                for ancestor in ancestors
+            ):
+                continue
+            yield module.finding(
+                self.code,
+                cls,
+                f"{cls.name} declares neither checkpoint_policy nor "
+                "checkpoint_unsupported; every recovery manager must state "
+                "its checkpoint capability (see docs/CHECKPOINT.md)",
+            )
+
+    @staticmethod
+    def _declares_capability(cls: ast.ClassDef) -> bool:
+        return any(_defines_attr(cls, attr) for attr in _CAPABILITY_ATTRS)
+
+    @classmethod
+    def _ancestor_declares(cls, project: Project, cls_name: str) -> bool:
+        for mod in project.modules:
+            if mod.tree is None:
+                continue
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                    return cls._declares_capability(node)
         return False
 
 

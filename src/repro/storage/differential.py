@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.checkpoint import SnapshotCheckpoint
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -39,6 +40,7 @@ class DifferentialFileManager(RecoveryManager):
     """A/D differential files over a read-only base; see module docstring."""
 
     name = "differential-files"
+    checkpoint_policy = SnapshotCheckpoint
 
     _A_FILE = "a_file"
     _D_FILE = "d_file"
@@ -192,15 +194,27 @@ class DifferentialFileManager(RecoveryManager):
 
         The paper's simulation deliberately does not model merge cost; the
         functional engine still provides the operation so differential
-        files are a complete, usable mechanism.
+        files are a complete, usable mechanism.  It doubles as the
+        snapshot checkpoint (docs/CHECKPOINT.md): active transactions only
+        buffer volatile state, so merging mid-flight is safe.
+
+        Truncation order is crash-critical: the base is rewritten first
+        (a committed add re-applied from a surviving A record, or a
+        committed delete re-subtracted from a surviving D record, is a
+        no-op against the merged base), and the commit file goes last so
+        surviving A/D records stay interpretable.
         """
         adds, dels = self._committed_diffs()
         base = set(self.stable.read_file(self._BASE))
         new_base = (base | adds) - dels
         self.stable.truncate(self._BASE, sorted(new_base))
+        self._fault_point("diff.merge.base")
         self.stable.truncate(self._A_FILE)
+        self._fault_point("diff.merge.a-file")
         self.stable.truncate(self._D_FILE)
+        self._fault_point("diff.merge.d-file")
         self.stable.truncate(self._COMMITS)
+        self._fault_point("diff.merge.commits")
         return len(new_base)
 
     def differential_sizes(self) -> Tuple[int, int]:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set
 
+from repro.checkpoint import CHECKPOINT_FILE, CheckpointRecord, CheckpointStats
 from repro.storage.errors import LockConflict, RecoveryStateError, UnknownTransaction
 from repro.storage.stable import StableStorage
 
@@ -36,6 +37,12 @@ class RecoveryManager:
     """Base class: transaction registry, page locks, crash plumbing."""
 
     name = "abstract"
+
+    #: Checkpoint capability (reprolint ARCH03): concrete managers bind the
+    #: :class:`repro.checkpoint.CheckpointPolicy` subclass they implement,
+    #: or set ``checkpoint_unsupported = True`` to opt out explicitly.
+    checkpoint_policy: Optional[type] = None
+    checkpoint_unsupported = False
 
     def __init__(
         self, stable: Optional[StableStorage] = None, enforce_locks: bool = True
@@ -113,6 +120,29 @@ class RecoveryManager:
     def read_committed(self, page: int) -> bytes:
         """The current committed value of ``page`` (outside any transaction)."""
         raise NotImplementedError
+
+    # -- checkpointing -------------------------------------------------------
+    def take_checkpoint(self) -> CheckpointStats:
+        """Run this architecture's checkpoint protocol (see docs/CHECKPOINT.md).
+
+        Compacts the recovery data so restart is bounded by the checkpoint
+        interval, then appends a durable :class:`CheckpointRecord`.  Raises
+        :class:`repro.checkpoint.CheckpointUnsupported` on a manager with
+        no declared capability; a quiescent policy may *skip* (returned in
+        the stats) while transactions are active.
+        """
+        from repro.checkpoint.adapters import adapter_for
+
+        return adapter_for(self).take(self)
+
+    def checkpoint_count(self) -> int:
+        """Durable checkpoints taken so far (survives crashes)."""
+        return self.stable.file_length(CHECKPOINT_FILE)
+
+    def last_checkpoint(self) -> Optional[CheckpointRecord]:
+        """The most recent durable checkpoint record, if any."""
+        records = self.stable.read_file(CHECKPOINT_FILE)
+        return records[-1] if records else None
 
     # -- subclass hooks ---------------------------------------------------------------
     def _on_begin(self, tid: int) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional, Set
 
+from repro.checkpoint import FuzzyCheckpoint
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -35,6 +36,7 @@ class OverwritingManager(RecoveryManager):
     """Scratch-ring overwriting; see module docstring."""
 
     name = "overwriting"
+    checkpoint_policy = FuzzyCheckpoint
 
     _SCRATCH = "scratch"
     _COMMITTED = "committed_txns"
@@ -173,6 +175,33 @@ class OverwritingManager(RecoveryManager):
             if kind == "shadow" and rec_page == page and rec_tid in self._active:
                 return data
         return self.stable.read_page(page)
+
+    # -- checkpoint maintenance ----------------------------------------------------------
+    def compact_transaction_lists(self) -> Dict[str, int]:
+        """Prune the committed/applied lists (the fuzzy checkpoint's work).
+
+        Restart only consults the lists for tids still present in the
+        scratch ring, so a committed (or applied) tid whose scratch records
+        are gone is dead weight and can be dropped — even while other
+        transactions run.  A tid still in scratch (in-doubt: a crash
+        between its commit record and its cleanup) is always retained.
+        The committed list is truncated before the applied list; a crash
+        between the two leaves extra applied tids, which restart ignores.
+        """
+        scratch_tids = {r[1] for r in self.stable.read_file(self._SCRATCH)}
+        committed = self.stable.read_file(self._COMMITTED)
+        applied = self.stable.read_file(self._APPLIED)
+        keep_committed = [tid for tid in committed if tid in scratch_tids]
+        keep_applied = [tid for tid in applied if tid in scratch_tids]
+        self._fault_point("overwrite.checkpoint.pre-committed")
+        self.stable.truncate(self._COMMITTED, keep_committed)
+        self._fault_point("overwrite.checkpoint.committed")
+        self.stable.truncate(self._APPLIED, keep_applied)
+        self._fault_point("overwrite.checkpoint.applied")
+        return {
+            "applied_dropped": len(applied) - len(keep_applied),
+            "committed_dropped": len(committed) - len(keep_committed),
+        }
 
     # -- inspection ----------------------------------------------------------------------
     def scratch_length(self) -> int:

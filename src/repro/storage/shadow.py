@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.checkpoint import SnapshotCheckpoint
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -30,6 +31,7 @@ class ShadowPageTableManager(RecoveryManager):
     """Copy-on-write slots + atomic root swap; see module docstring."""
 
     name = "shadow-page-table"
+    checkpoint_policy = SnapshotCheckpoint
 
     _ROOT = "root"
     _TABLE = ("page_table:0", "page_table:1")
@@ -114,6 +116,34 @@ class ShadowPageTableManager(RecoveryManager):
         if slot is None:
             return b""
         return self.stable.read_page(self._slot_page(slot))
+
+    # -- checkpoint maintenance -------------------------------------------------------
+    def collect_garbage(self) -> Dict[str, int]:
+        """Reclaim slots nothing references (the snapshot checkpoint's work).
+
+        The committed snapshot is already durable (the root names it), so
+        the checkpoint only frees slots referenced by neither page-table
+        version nor any active transaction's private mapping.  Each delete
+        is individually harmless, so a crash mid-sweep needs no repair.
+        """
+        referenced = set()
+        for table in self._TABLE:
+            for _page, slot in self.stable.read_file(table):
+                referenced.add(slot)
+        for tid in sorted(self._txn_slots):
+            for slot in sorted(self._txn_slots[tid].values()):
+                referenced.add(slot)
+        freed = 0
+        for key in sorted(self.stable.pages):
+            if key >= 0:
+                continue
+            slot = -key - 1
+            if slot in referenced:
+                continue
+            self.stable.delete_page(key)
+            self._fault_point("shadow.checkpoint.gc-slot")
+            freed += 1
+        return {"root": self._root(), "slots_reclaimed": freed}
 
     # -- inspection -------------------------------------------------------------------
     def garbage_slots(self) -> int:

@@ -27,6 +27,7 @@ class StableStorage:
         self.page_writes = 0
         self.page_reads = 0
         self.records_appended = 0
+        self.records_read = 0
 
     # -- page store ----------------------------------------------------------
     def write_page(self, page: int, data: bytes, seq: int = 0) -> None:
@@ -52,6 +53,11 @@ class StableStorage:
     def has_page(self, page: int) -> bool:
         return page in self._pages
 
+    def delete_page(self, page: int) -> None:
+        """Drop ``page`` from the page store (space reclamation; free-map
+        bookkeeping is not charged as a data-page write)."""
+        self._pages.pop(page, None)
+
     @property
     def pages(self) -> Dict[int, bytes]:
         """A snapshot of all page contents (for assertions in tests)."""
@@ -70,7 +76,9 @@ class StableStorage:
 
     def read_file(self, file: str) -> List[Any]:
         """The full contents of a file (empty if never written)."""
-        return list(self._files.get(file, ()))
+        records = list(self._files.get(file, ()))
+        self.records_read += len(records)
+        return records
 
     def truncate(self, file: str, keep: Optional[List[Any]] = None) -> None:
         """Replace a file's contents with ``keep`` (default: empty)."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.checkpoint import QuiescentCheckpoint
+from repro.storage.errors import RecoveryStateError
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -26,6 +28,7 @@ class VersionSelectionManager(RecoveryManager):
     """Adjacent-block versions chosen by commit timestamp at read time."""
 
     name = "version-selection"
+    checkpoint_policy = QuiescentCheckpoint
 
     _COMMITS = "commit_order"
 
@@ -115,3 +118,41 @@ class VersionSelectionManager(RecoveryManager):
     def read_committed(self, page: int) -> bytes:
         _block, data = self._select_current(page)
         return data
+
+    # -- checkpoint maintenance ----------------------------------------------------------
+    def compact_commit_order(self) -> Dict[str, int]:
+        """Truncate the commit-order file (the quiescent checkpoint's work).
+
+        Every read scans the whole commit order, so it must not grow with
+        history.  With no transaction active, each page's winner is final:
+        both blocks are rewritten as GENESIS copies of the winner, after
+        which the commit order carries no information and is truncated.
+
+        The *loser* block is rewritten first — this ordering is what makes
+        a mid-compaction crash safe.  While the commit file is intact, a
+        GENESIS loser (rank -1) can never outrank the still-stamped winner;
+        rewriting the winner first would let a stale committed loser win.
+        Destroying the loser is only legal because nothing is active: an
+        uncommitted block at quiescence belongs to an aborted or crashed
+        transaction and can never be selected.
+        """
+        if self._active:
+            raise RecoveryStateError(
+                "commit-order compaction requires quiescence"
+            )
+        before = self.stable.file_length(self._COMMITS)
+        pages = sorted({key // 2 for key in self.stable.pages if key >= 0})
+        rewritten = 0
+        for page in pages:
+            winner, data = self._select_current(page)
+            if winner is None:
+                continue
+            self._write_block(page, 1 - winner, GENESIS, data)
+            self._fault_point("versions.checkpoint.loser-block")
+            self._write_block(page, winner, GENESIS, data)
+            self._fault_point("versions.checkpoint.winner-block")
+            rewritten += 1
+        self._fault_point("versions.checkpoint.pre-truncate")
+        self.stable.truncate(self._COMMITS)
+        self._fault_point("versions.checkpoint.post-truncate")
+        return {"commit_records_dropped": before, "pages_rewritten": rewritten}

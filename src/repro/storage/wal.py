@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 
+from repro.checkpoint import FuzzyCheckpoint
 from repro.sim.monitor import WALInvariantMonitor
 from repro.sim.rng import RandomStreams
 from repro.storage.interface import RecoveryManager
@@ -77,6 +78,7 @@ class DistributedWalManager(RecoveryManager):
     """N-log write-ahead logging; see module docstring."""
 
     name = "distributed-wal"
+    checkpoint_policy = FuzzyCheckpoint
 
     def __init__(
         self,

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis import estimate_restart
+from repro.analysis import (
+    checkpoint_interval_sweep,
+    estimate_functional_restart,
+    estimate_restart,
+)
 from repro.core import (
     DifferentialFileArchitecture,
     LoggingConfig,
@@ -107,3 +111,84 @@ class TestAgainstRuns:
         # ...and the shadow family restarts essentially for free.
         assert shadow_restart.total_ms < 100.0
         assert overwriting_restart.scan_ms > 0
+
+
+class TestFunctionalEstimator:
+    def test_zero_volumes_cost_nothing(self):
+        estimate = estimate_functional_restart("wal", 0, 0)
+        assert estimate.total_ms == 0.0
+
+    def test_scales_with_record_volume(self):
+        small = estimate_functional_restart("wal", 32, 0)
+        large = estimate_functional_restart("wal", 3200, 0)
+        assert large.scan_ms > 10 * small.scan_ms
+
+    def test_scan_parallelizes_over_log_disks(self):
+        one = estimate_functional_restart("wal", 3200, 0, n_log_disks=1)
+        three = estimate_functional_restart("wal", 3200, 0, n_log_disks=3)
+        assert three.scan_ms < 0.5 * one.scan_ms
+
+    def test_pages_priced_as_random_io(self):
+        estimate = estimate_functional_restart("versions", 0, 10)
+        assert estimate.redo_ms > 0 and estimate.scan_ms == 0.0
+
+
+class TestCheckpointCrossValidation:
+    """The analytic envelope vs the measured functional restart, at
+    several checkpoint cadences: both models must agree that tighter
+    checkpointing buys a shorter (never longer) restart, and the
+    measurement must sit under the envelope."""
+
+    #: Widest first; shrinking intervals must not lengthen restarts.
+    INTERVALS = [None, 16, 8, 4]
+    #: Discretization slack: a single extra recovery-data page read.
+    SLACK_MS = 30.0
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return checkpoint_interval_sweep(
+            seed=1985, intervals=self.INTERVALS, n_transactions=40
+        )
+
+    def test_covers_all_architectures(self, sweep):
+        assert len(sweep) == 5
+        for arch in sorted(sweep):
+            assert len(sweep[arch]) == len(self.INTERVALS)
+
+    def test_measured_under_analytic_envelope(self, sweep):
+        for arch in sorted(sweep):
+            for row in sweep[arch]:
+                assert row.measured.total_ms <= row.analytic.total_ms + 1e-9, (
+                    f"{arch} at interval {row.checkpoint_every}: measured "
+                    f"{row.measured.total_ms} over bound {row.analytic.total_ms}"
+                )
+
+    def test_measured_restart_monotone_in_interval(self, sweep):
+        for arch in sorted(sweep):
+            costs = [row.measured.total_ms for row in sweep[arch]]
+            for wider, tighter in zip(costs, costs[1:]):
+                assert tighter <= wider + self.SLACK_MS, (
+                    f"{arch}: restart grew from {wider} to {tighter} ms "
+                    f"as the checkpoint interval shrank"
+                )
+
+    def test_analytic_envelope_monotone_in_interval(self, sweep):
+        for arch in sorted(sweep):
+            costs = [row.analytic.total_ms for row in sweep[arch]]
+            for wider, tighter in zip(costs, costs[1:]):
+                assert tighter <= wider + 1e-9
+
+    def test_tighter_cadence_takes_more_checkpoints(self, sweep):
+        for arch in sorted(sweep):
+            taken = [row.checkpoints_taken for row in sweep[arch]]
+            assert taken[0] == 0  # the never-checkpoint baseline
+            assert all(a <= b for a, b in zip(taken, taken[1:]))
+            assert taken[-1] > 0
+
+    def test_checkpointing_charges_the_normal_case(self, sweep):
+        # Checkpoint records (and any compaction rewrites) are overhead
+        # the running system pays: record volume grows with cadence.
+        for arch in sorted(sweep):
+            baseline = sweep[arch][0].overhead_records
+            tightest = sweep[arch][-1].overhead_records
+            assert tightest > baseline

@@ -25,6 +25,7 @@ EXPECTED_RULES = {
     "API02",
     "ARCH01",
     "ARCH02",
+    "ARCH03",
     "BENCH01",
     "DET01",
     "DET02",
@@ -457,6 +458,124 @@ class TestArch02WalDiscipline:
                 """
             },
             rules=["ARCH02"],
+        )
+        assert findings == []
+
+
+MANAGER_BASE_PY = """
+class RecoveryManager:
+    name = "abstract"
+    checkpoint_policy = None
+    checkpoint_unsupported = False
+"""
+
+
+class TestArch03CheckpointCapability:
+    def test_undeclared_manager_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    name = "toy"
+                """,
+            },
+            rules=["ARCH03"],
+        )
+        assert codes(findings) == ["ARCH03"]
+        assert "checkpoint_policy" in findings[0].message
+        assert "ToyManager" in findings[0].message
+
+    def test_policy_declaration_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    name = "toy"
+                    checkpoint_policy = object
+                """,
+            },
+            rules=["ARCH03"],
+        )
+        assert findings == []
+
+    def test_explicit_opt_out_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    name = "toy"
+                    checkpoint_unsupported = True
+                """,
+            },
+            rules=["ARCH03"],
+        )
+        assert findings == []
+
+    def test_inherited_declaration_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class CheckpointedManager(RecoveryManager):
+                    checkpoint_policy = object
+
+                class ToyManager(CheckpointedManager):
+                    name = "toy"
+                """,
+            },
+            rules=["ARCH03"],
+        )
+        assert findings == []
+
+    def test_base_declaration_does_not_count(self, tmp_path):
+        # The abstract base's own attributes are the undeclared default —
+        # inheriting them is exactly what ARCH03 exists to catch.
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class MidManager(RecoveryManager):
+                    pass
+
+                class ToyManager(MidManager):
+                    name = "toy"
+                """,
+            },
+            rules=["ARCH03"],
+        )
+        assert codes(findings) == ["ARCH03", "ARCH03"]
+
+    def test_outside_storage_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": MANAGER_BASE_PY,
+                "src/repro/faults/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class FixtureManager(RecoveryManager):
+                    name = "fixture"
+                """,
+            },
+            rules=["ARCH03"],
         )
         assert findings == []
 
