@@ -1,0 +1,41 @@
+"""Trace attribution: where a Table 12 pair's completion-time gap goes.
+
+Runs the logging vs thru-page-table pair of the grand comparison with
+tracers attached and prints the phase-by-phase attribution of their mean
+completion-time gap — the explanatory companion to Table 12's raw
+numbers.  Also asserts the subsystem's accounting identities: each
+architecture's breakdown sums to its mean completion time, and the phase
+deltas sum to the gap exactly.
+"""
+
+import os
+
+import pytest
+
+from benchmarks._harness import BENCH_SEED, OUTPUT_DIR
+from repro.experiments import ExperimentSettings
+from repro.experiments.tracing import render_diff, trace_diff
+
+SEED = BENCH_SEED
+
+SETTINGS = ExperimentSettings(n_transactions=30, seed=SEED)
+
+
+def test_trace_attribution(benchmark):
+    run_a, run_b, rows = benchmark.pedantic(
+        lambda: trace_diff("logging", "shadow-pt", "parallel-random", SETTINGS),
+        rounds=1,
+        iterations=1,
+    )
+    for run in (run_a, run_b):
+        assert sum(run.breakdown.values()) == pytest.approx(
+            run.result.mean_completion_ms
+        )
+    gap = run_b.result.mean_completion_ms - run_a.result.mean_completion_ms
+    assert sum(delta for _, _, _, delta in rows) == pytest.approx(gap)
+    text = render_diff(run_a, run_b, rows)
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "trace_attribution.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,48 +1,33 @@
-"""Trace a run: watch the pipeline the paper describes, event by event.
+"""Trace a run: watch the pipeline the paper describes, span by span.
 
-Attaches a timeline to a small simulation and renders an ASCII activity
-strip per transaction — frames allocated, pages streaming in, updates
-becoming durable, commit.  Useful for understanding how the read-ahead
-window, the WAL barrier, and commit processing interleave.
+Attaches a :class:`repro.trace.Tracer` to a small simulation and renders
+the subsystem's terminal views — a per-transaction phase timeline, the
+mean phase breakdown (flame view), and the critical resource — then
+writes a Chrome/Perfetto trace you can open in https://ui.perfetto.dev.
+Useful for understanding how the read-ahead window, the WAL barrier, and
+commit processing interleave.
 
 Run:  python examples/trace_a_run.py
 """
 
 from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
 from repro.core import LoggingConfig, ParallelLoggingArchitecture
-from repro.metrics import Timeline
 from repro.sim import RandomStreams
+from repro.trace import (
+    Tracer,
+    aggregate_breakdown,
+    critical_resource,
+    render_flame,
+    render_timeline,
+    to_chrome_trace,
+    write_json,
+)
 
-WIDTH = 72  # characters of strip per run
-
-
-def strip_for(timeline, tid, t_end):
-    """One ASCII lane: '.' idle, 'r' page read, 'w' durable write,
-    '[' begin, ']' commit."""
-    lane = ["."] * WIDTH
-    scale = WIDTH / t_end
-
-    def mark(t, char):
-        index = min(WIDTH - 1, int(t * scale))
-        lane[index] = char
-
-    for event in timeline.events("page_read"):
-        if event["tid"] == tid:
-            mark(event.time, "r")
-    for event in timeline.events("write_durable"):
-        if event["tid"] == tid:
-            mark(event.time, "w")
-    for event in timeline.events("txn_begin"):
-        if event["tid"] == tid:
-            mark(event.time, "[")
-    for event in timeline.events("txn_commit"):
-        if event["tid"] == tid:
-            mark(event.time, "]")
-    return "".join(lane)
+TRACE_PATH = "trace_a_run.json"
 
 
 def main() -> None:
-    timeline = Timeline()
+    tracer = Tracer()
     config = MachineConfig(mpl=3)
     transactions = generate_transactions(
         WorkloadConfig(n_transactions=6, max_pages=80),
@@ -52,23 +37,27 @@ def main() -> None:
     machine = DatabaseMachine(
         config,
         ParallelLoggingArchitecture(LoggingConfig()),
-        timeline=timeline,
+        tracer=tracer,
     )
     result = machine.run(transactions)
 
-    t_end = result.makespan_ms
-    print(f"six transactions under parallel logging ({t_end:.0f} ms total)")
-    print(f"legend: [ begin   r page read   w update durable   ] commit\n")
-    for txn in transactions:
-        print(f"T{txn.tid} ({txn.n_reads:3d}r/{txn.n_writes:2d}w) {strip_for(timeline, txn.tid, t_end)}")
+    print(f"six transactions under parallel logging ({result.makespan_ms:.0f} ms total)")
     print()
-    print(timeline.summary())
+    print(render_timeline(tracer))
+    print()
+    breakdown = aggregate_breakdown(tracer)
+    print(render_flame(breakdown, title="mean completion time, by phase"))
+    print(f"critical resource: {critical_resource(breakdown)}")
+    print()
+    write_json(to_chrome_trace(tracer), TRACE_PATH)
+    print(f"wrote {TRACE_PATH} — open it in chrome://tracing or ui.perfetto.dev")
     print()
     print(
-        "Things to notice: at MPL 3, three strips are active at any time;\n"
-        "'w' marks trail their transaction's reads (updated pages wait for\n"
-        "their log page, then stream home); commits come right after the\n"
-        "last durable write — the paper's completion-time definition."
+        "Things to notice: at MPL 3, three lanes are active at any time;\n"
+        "'w' write-backs trail their transaction's reads (updated pages\n"
+        "wait out the WAL barrier, then stream home); commit comes right\n"
+        "after the last durable write — the paper's completion-time\n"
+        "definition, which the flame view decomposes phase by phase."
     )
 
 

@@ -177,6 +177,12 @@ def run_with_checkpoints(
     )
 
 
+def _sweep_cell(item) -> CheckpointRunStats:
+    """Top-level (picklable) worker: one (architecture, interval) cell."""
+    arch, seed, interval, n_transactions, n_pages, config = item
+    return run_with_checkpoints(arch, seed, interval, n_transactions, n_pages, config)
+
+
 def checkpoint_interval_sweep(
     seed: int,
     intervals: Sequence[Optional[int]],
@@ -184,22 +190,32 @@ def checkpoint_interval_sweep(
     n_transactions: int = 40,
     n_pages: int = DEFAULT_PAGES,
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
 ) -> Dict[str, List[CheckpointRunStats]]:
     """Sweep checkpoint cadences across architectures.
 
     Returns one row per ``(architecture, interval)`` in the given
     interval order.  Include ``None`` among the intervals to get the
     never-checkpoint baseline each architecture's rows can be read
-    against.
+    against.  ``jobs`` fans the independent cells out over worker
+    processes; every cell is seeded on its own, so the result is
+    identical to the serial ``jobs=1`` sweep.
     """
     if archs is None:
         archs = sorted(ARCHITECTURES)
-    out: Dict[str, List[CheckpointRunStats]] = {}
-    for arch in archs:
-        out[arch] = [
-            run_with_checkpoints(
-                arch, seed, interval, n_transactions, n_pages, config
-            )
-            for interval in intervals
-        ]
+    cells = [
+        (arch, seed, interval, n_transactions, n_pages, config)
+        for arch in archs
+        for interval in intervals
+    ]
+    if jobs <= 1 or len(cells) <= 1:
+        stats = [_sweep_cell(cell) for cell in cells]
+    else:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+            stats = pool.map(_sweep_cell, cells)
+    out: Dict[str, List[CheckpointRunStats]] = {arch: [] for arch in archs}
+    for (arch, *_), stat in zip(cells, stats):
+        out[arch].append(stat)
     return out

@@ -42,8 +42,22 @@ from repro.experiments import (
 )
 from repro.experiments.fidelity import fidelity_summary
 from repro.experiments.report import generate_report
+from repro.experiments.runner import CONFIGURATIONS
 from repro.experiments.tables import render
+from repro.experiments.tracing import (
+    SIM_ARCHITECTURES,
+    render_diff,
+    run_traced,
+    trace_diff,
+)
 from repro.machine import MachineConfig
+from repro.trace import (
+    render_flame,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_json,
+)
 
 __all__ = ["main"]
 
@@ -117,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ablations", action="store_true", help="include the ablation studies"
     )
     report.add_argument("-o", "--output", help="write to a file instead of stdout")
+    report.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the independent experiments "
+        "(output is identical to -j 1; default 1)",
+    )
 
     fidelity = sub.add_parser(
         "fidelity", help="score the reproduction against the paper, cell by cell"
@@ -187,6 +209,59 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "-o", "--output", help="also write the table to this file"
     )
+    sweep.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the independent (arch, interval) cells "
+        "(output is identical to -j 1; default 1)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced run: phase breakdown, timeline, Chrome trace "
+        "(see docs/TRACE.md)",
+    )
+    trace.add_argument(
+        "--arch",
+        default="logging",
+        choices=sorted(SIM_ARCHITECTURES) + ["all"],
+        help="architecture to trace (default: logging)",
+    )
+    trace.add_argument(
+        "--config",
+        default="parallel-random",
+        choices=sorted(CONFIGURATIONS),
+        help="machine/workload configuration (default: parallel-random)",
+    )
+    trace.add_argument("-n", "--transactions", type=int, default=10)
+    trace.add_argument("--seed", type=int, default=1985)
+    trace.add_argument(
+        "-o",
+        "--output",
+        help="write Chrome/Perfetto trace JSON here (with --arch all, "
+        "one file per architecture: <output>.<arch>.json)",
+    )
+    trace.add_argument(
+        "--timeline", action="store_true", help="print the ASCII timeline too"
+    )
+
+    diff = sub.add_parser(
+        "trace-diff",
+        help="attribute the completion-time gap between two architectures "
+        "to phases",
+    )
+    diff.add_argument("arch_a", choices=sorted(SIM_ARCHITECTURES))
+    diff.add_argument("arch_b", choices=sorted(SIM_ARCHITECTURES))
+    diff.add_argument(
+        "--config",
+        default="parallel-random",
+        choices=sorted(CONFIGURATIONS),
+        help="machine/workload configuration (default: parallel-random)",
+    )
+    diff.add_argument("-n", "--transactions", type=int, default=10)
+    diff.add_argument("--seed", type=int, default=1985)
 
     predict = sub.add_parser(
         "predict", help="analytic bottleneck prediction for a configuration"
@@ -239,6 +314,8 @@ def _run_crashtest(args) -> int:
             f"ckpt-hooks={len(report.checkpoint_hooks)} "
             f"hash={report.state_hash[:12]} {status}"
         )
+        if report.recovery_timeline:
+            print(f"              restart: {_squash(report.recovery_timeline)}")
         for violation in report.violations[:5]:
             print(
                 f"    {violation['kind']} at {violation['hook']} "
@@ -250,6 +327,19 @@ def _run_crashtest(args) -> int:
             json.dump(reports, handle, sort_keys=True, indent=2)
         print(f"wrote {args.json_path}")
     return 1 if failed else 0
+
+
+def _squash(timeline: List[str]) -> str:
+    """Render an ordered hook timeline, folding consecutive repeats."""
+    parts: List[str] = []
+    i = 0
+    while i < len(timeline):
+        j = i
+        while j < len(timeline) and timeline[j] == timeline[i]:
+            j += 1
+        parts.append(timeline[i] if j - i == 1 else f"{timeline[i]} x{j - i}")
+        i = j
+    return " -> ".join(parts)
 
 
 def _parse_intervals(text: str) -> List[Optional[int]]:
@@ -278,7 +368,11 @@ def _run_checkpoint_sweep(args) -> int:
         return 2
     archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
     results = checkpoint_interval_sweep(
-        args.seed, intervals, archs=archs, n_transactions=args.transactions
+        args.seed,
+        intervals,
+        archs=archs,
+        n_transactions=args.transactions,
+        jobs=args.jobs,
     )
     rows = []
     for arch in archs:
@@ -321,6 +415,51 @@ def _run_checkpoint_sweep(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    archs = sorted(SIM_ARCHITECTURES) if args.arch == "all" else [args.arch]
+    for i, arch in enumerate(archs):
+        run = run_traced(arch, args.config, _settings(args))
+        if i:
+            print()
+        print(
+            render_flame(
+                run.breakdown,
+                title=f"{arch} on {run.configuration} "
+                f"(mean completion {run.result.mean_completion_ms:.1f} ms, "
+                f"critical resource: {run.critical})",
+            )
+        )
+        percentiles = "  ".join(
+            f"{name}={run.percentiles[name]:.1f} ms" for name in sorted(run.percentiles)
+        )
+        print(f"completion percentiles: {percentiles}")
+        if args.timeline:
+            print(render_timeline(run.tracer))
+        if args.output:
+            events = to_chrome_trace(run.tracer, process_name=f"repro.{arch}")
+            count = validate_chrome_trace(events)
+            if args.arch == "all":
+                stem = args.output[:-5] if args.output.endswith(".json") else args.output
+                path = f"{stem}.{arch}.json"
+            else:
+                path = args.output
+            write_json(events, path)
+            print(f"wrote {path} ({count} events)")
+    return 0
+
+
+def _run_trace_diff(args) -> int:
+    run_a, run_b, rows = trace_diff(
+        args.arch_a, args.arch_b, args.config, _settings(args)
+    )
+    print(
+        f"{run_a.architecture} vs {run_b.architecture} on {run_a.configuration} "
+        f"({args.transactions} txns, seed {args.seed})"
+    )
+    print(render_diff(run_a, run_b, rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -348,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _settings(args),
             tables=args.only_tables,
             include_ablations=args.ablations,
+            jobs=args.jobs,
         )
         if args.output:
             with open(args.output, "w") as handle:
@@ -366,6 +506,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "checkpoint-sweep":
         return _run_checkpoint_sweep(args)
+
+    if args.command == "trace":
+        return _run_trace(args)
+
+    if args.command == "trace-diff":
+        return _run_trace_diff(args)
 
     if args.command == "predict":
         config = MachineConfig(

@@ -146,6 +146,8 @@ class RecoveryArchitecture:
         is only the counter.
         """
         self.checkpoints_taken += 1
+        if self.machine is not None:
+            self.machine._tinstant("checkpoint", kind="noop")
         return
         yield  # pragma: no cover
 

@@ -160,7 +160,9 @@ class DifferentialFileArchitecture(RecoveryArchitecture):
         disk_idx = txn.tid % len(self._append_rings)
         addresses = self._append_rings[disk_idx].take(n_append)
         self.pages_appended.increment(n_append)
+        span = machine._tspan("append", tid=txn.tid, pages=n_append)
         yield from machine.write_batched(disk_idx, addresses, tag="append")
+        machine._tend(span)
         machine.note_page_written(txn, n_append)
 
     # -- reporting ----------------------------------------------------------------------

@@ -243,7 +243,11 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         yield  # pragma: no cover - hook stays a generator
 
     def _ship(self, txn, fragment: LogFragment, lp_index: int):
+        span = self.machine._tspan(
+            "log.ship", tid=txn.tid, page=fragment.page, lp=lp_index
+        )
         yield from self._ship_attempts(fragment, lp_index)
+        self.machine._tend(span, lp=fragment.lp_index)
         # Record the processor that actually took delivery (it can differ
         # from the selected one if that one died mid-flight): commit and
         # abort force exactly the processors holding this transaction's
@@ -312,6 +316,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
     def take_checkpoint(self):
         """One fuzzy checkpoint: force partial log pages and write one
         checkpoint page per log disk — fully overlapped with processing."""
+        span = self.machine._tspan("checkpoint", kind="fuzzy")
         writes = []
         for lp in self.log_processors:
             if not lp.alive:
@@ -320,6 +325,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             writes.append(lp.write_checkpoint_page())
         yield self.machine.env.all_of(writes)
         self.checkpoints_taken += 1
+        self.machine._tend(span)
 
     # -- durability -----------------------------------------------------------------
     def writeback(self, txn, page):
@@ -327,9 +333,11 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         machine = self.machine
         fragment = self._fragments_of(txn)[page]
         if not fragment.durable.triggered:
+            span = machine._tspan("wal.wait", tid=txn.tid, page=page)
             machine.cache.mark_blocked(1)
             yield fragment.durable
             machine.cache.unmark_blocked(1)
+            machine._tend(span)
         disk_idx, addr = self.write_address(txn, page)
         if machine.wal_monitor is not None:
             machine.wal_monitor.note_flush(page)

@@ -69,15 +69,19 @@ class OverwritingArchitecture(RecoveryArchitecture):
         scratch_addr = self._rings[home_idx].take(1)[0]
         if self.mode is OverwritingMode.NO_UNDO:
             # Current copy parks in the scratch ring until commit.
+            span = machine._tspan("scratch.write", tid=txn.tid, page=page)
             request = machine.data_disks[home_idx].write([scratch_addr], tag="scratch")
             self.scratch_writes.increment()
             yield request.done
+            machine._tend(span)
             self._pending(txn).append((home_idx, scratch_addr, home_addr))
         else:
             # Save the shadow first, then overwrite home in place.
+            span = machine._tspan("scratch.write", tid=txn.tid, page=page)
             shadow = machine.data_disks[home_idx].write([scratch_addr], tag="scratch")
             self.scratch_writes.increment()
             yield shadow.done
+            machine._tend(span)
             home = machine.data_disks[home_idx].write([home_addr], tag="writeback")
             yield home.done
             machine.note_page_written(txn)
@@ -127,6 +131,7 @@ class OverwritingArchitecture(RecoveryArchitecture):
         """
         machine = self.machine
         disk = machine.data_disks[disk_idx]
+        span = machine._tspan("overwrite", tid=txn.tid, pages=len(pairs))
         if disk.parallel_access:
             scratch_addrs = sorted(p[0] for p in pairs)
             self.scratch_reads.increment(len(scratch_addrs))
@@ -142,6 +147,7 @@ class OverwritingArchitecture(RecoveryArchitecture):
                 write = disk.write([home_addr], tag="writeback")
                 yield write.done
                 machine.note_page_written(txn)
+        machine._tend(span)
 
     # -- reporting --------------------------------------------------------------------
     def extra_counters(self) -> Dict[str, int]:

@@ -98,14 +98,20 @@ class PageTableShadowArchitecture(RecoveryArchitecture):
         """New copies are already on disk; install them in the page table."""
         yield from self.machine.wait_writebacks(txn)
         if txn.write_pages:
+            span = self.machine._tspan(
+                "pt.update", tid=txn.tid, pages=len(txn.write_pages)
+            )
             monitor = self.machine.shadow_monitor
             for page in sorted(txn.write_pages):
                 if monitor is not None:
                     monitor.note_install(page)
                 yield from self.page_table.update_entry(page)
+            self.machine._tend(span)
+            fspan = self.machine._tspan("pt.flush", tid=txn.tid)
             events = self.page_table.flush(txn.write_pages)
             if events:
                 yield self.machine.env.all_of(events)
+            self.machine._tend(fspan)
 
     # -- checkpoint ---------------------------------------------------------------
     def take_checkpoint(self):
@@ -114,10 +120,12 @@ class PageTableShadowArchitecture(RecoveryArchitecture):
         Once the buffered page-table updates are durable the committed
         root *is* the checkpoint — restart reads it back and runs.
         """
+        span = self.machine._tspan("checkpoint", kind="snapshot")
         events = self.page_table.flush_all()
         if events:
             yield self.machine.env.all_of(events)
         self.checkpoints_taken += 1
+        self.machine._tend(span)
 
     # -- reporting ----------------------------------------------------------------
     def extra_utilizations(self, t_end: float) -> Dict[str, float]:

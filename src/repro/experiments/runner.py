@@ -12,7 +12,13 @@ from repro.metrics.collectors import RunResult
 from repro.sim.rng import RandomStreams
 from repro.workload.generator import WorkloadConfig, generate_transactions
 
-__all__ = ["CONFIGURATIONS", "Configuration", "ExperimentSettings", "run_configuration"]
+__all__ = [
+    "CONFIGURATIONS",
+    "Configuration",
+    "ExperimentSettings",
+    "map_jobs",
+    "run_configuration",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,7 @@ def run_configuration(
     settings: Optional[ExperimentSettings] = None,
     machine_overrides: Optional[dict] = None,
     workload_overrides: Optional[dict] = None,
+    tracer=None,
 ) -> RunResult:
     """Run one (configuration, architecture) cell and return its metrics.
 
@@ -64,6 +71,10 @@ def run_configuration(
     is generated from a stream independent of the machine's, so every
     architecture sees the *same* transactions — the common-random-numbers
     discipline that makes cells comparable.
+
+    ``tracer`` is an optional :class:`repro.trace.Tracer`; tracing records
+    synchronously and perturbs nothing, so the returned metrics are
+    identical with or without it.
     """
     settings = settings or ExperimentSettings()
     machine_config = settings.machine.with_overrides(
@@ -82,6 +93,26 @@ def run_configuration(
         RandomStreams(settings.workload_seed).stream("workload"),
     )
     machine = DatabaseMachine(
-        machine_config, architecture() if architecture is not None else None
+        machine_config,
+        architecture() if architecture is not None else None,
+        tracer=tracer,
     )
     return machine.run(transactions)
+
+
+def map_jobs(func: Callable, items, jobs: int = 1) -> list:
+    """Order-preserving map, optionally fanned out over worker processes.
+
+    ``jobs <= 1`` runs serially in-process.  With more jobs a
+    ``multiprocessing`` pool maps ``func`` over ``items`` — results come
+    back in input order, and each cell is seeded independently of the
+    others, so the output is byte-identical to the serial path.  ``func``
+    and the items must be picklable (module-level functions, plain data).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(func, items)

@@ -182,6 +182,9 @@ class ScenarioResult:
     checkpoints_completed: int = 0
     #: Distinct hook names crossed before the crash (coverage map).
     hooks: List[str] = field(default_factory=list)
+    #: Ordered recovery-phase hook crossings of the (plain) recovery pass
+    #: — the restart timeline the crash report surfaces.
+    recovery_timeline: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -294,6 +297,7 @@ def _run_once(
     committed: Dict[int, bytes] = {}
     pending: Dict[int, Dict[int, bytes]] = {}
     checkpoints: List[Any] = []
+    recovery_timeline: List[str] = []
     crashed_at = None
     in_flight: Optional[Dict[int, bytes]] = None
     try:
@@ -323,7 +327,11 @@ def _run_once(
             manager.recover()
         manager.set_fault_callback(None)
     else:
+        # Record the recovery pass's own hook crossings, in order: the
+        # restart timeline (which phases ran, and how many times).
+        manager.set_fault_callback(recovery_timeline.append)
         manager.recover()
+        manager.set_fault_callback(None)
     outcome, violations = _verify(
         arch, plan, manager, n_pages, committed, in_flight, pending, crashed_at
     )
@@ -374,6 +382,7 @@ def _run_once(
         crossings=injector.crossings,
         checkpoints_completed=len(checkpoints),
         hooks=sorted(injector.hooks_seen),
+        recovery_timeline=recovery_timeline,
     )
 
 
@@ -428,6 +437,12 @@ class CrashTestReport:
     #: Checkpoint hook names the fault-free baseline crossed — proof the
     #: sweep's crash population includes crash-during-checkpoint points.
     checkpoint_hooks: List[str] = field(default_factory=list)
+    #: Ordered recovery-phase crossings of the fault-free baseline's
+    #: restart (the representative recovery timeline).
+    recovery_timeline: List[str] = field(default_factory=list)
+    #: Recovery-phase hook -> total crossings summed over every crash
+    #: scenario's restart.
+    recovery_phase_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -445,6 +460,8 @@ class CrashTestReport:
                 "violations": self.violations,
                 "state_hash": self.state_hash,
                 "checkpoint_hooks": self.checkpoint_hooks,
+                "recovery_timeline": self.recovery_timeline,
+                "recovery_phase_counts": self.recovery_phase_counts,
             },
             sort_keys=True,
             indent=2,
@@ -480,6 +497,9 @@ def run_crashtest(
     outcomes: Dict[str, int] = {}
     violations: List[Dict[str, Any]] = list(baseline.violations)
     hasher = hashlib.sha256(baseline.dump.encode())
+    phase_counts: Dict[str, int] = {}
+    for hook in baseline.recovery_timeline:
+        phase_counts[hook] = phase_counts.get(hook, 0) + 1
     for point in points:
         plan = FaultPlan.of(
             FaultSpec(FaultKind.CRASH, hook="*", occurrence=point), seed=seed
@@ -489,6 +509,8 @@ def run_crashtest(
         outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
         violations.extend(result.violations)
         hasher.update(result.dump.encode())
+        for hook in result.recovery_timeline:
+            phase_counts[hook] = phase_counts.get(hook, 0) + 1
     return CrashTestReport(
         architecture=arch,
         seed=seed,
@@ -499,4 +521,6 @@ def run_crashtest(
         violations=violations,
         state_hash=hasher.hexdigest(),
         checkpoint_hooks=[h for h in baseline.hooks if "checkpoint" in h],
+        recovery_timeline=baseline.recovery_timeline,
+        recovery_phase_counts=phase_counts,
     )

@@ -202,9 +202,23 @@ class Disk:
             batch = self._select_batch()
             self.queue_length.update(env.now, len(self._queue))
             service = self._service_time(batch)
+            # Duck-typed tracer (repro.trace attaches itself via env.tracer;
+            # the literal name is registered in the span catalogue).
+            tracer = getattr(env, "tracer", None)
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "disk.service",
+                    track=self.name,
+                    kind=batch[0].kind,
+                    tag=batch[0].tag,
+                    pages=sum(r.n_pages for r in batch),
+                )
             self.busy.start(env.now)
             yield env.timeout(service)
             self.busy.stop(env.now)
+            if tracer is not None:
+                tracer.end(span)
             self.accesses.increment()
             for req in batch:
                 if self.failed:

@@ -72,9 +72,17 @@ class Interconnect:
     def _transfer(self, n_bytes: int):
         with self._channel.request() as req:
             yield req
+            # Duck-typed tracer (repro.trace attaches itself via env.tracer;
+            # the literal name is registered in the span catalogue).
+            tracer = getattr(self.env, "tracer", None)
+            span = None
+            if tracer is not None:
+                span = tracer.begin("link.transfer", track=self.name, n_bytes=n_bytes)
             self.busy.start(self.env.now)
             yield self.env.timeout(self.transfer_ms(n_bytes))
             self.busy.stop(self.env.now)
+            if tracer is not None:
+                tracer.end(span)
             if self.faults is not None and self.faults.drop_message():
                 self.messages_lost.increment()
                 return False

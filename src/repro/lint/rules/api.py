@@ -127,6 +127,7 @@ _LAYERS = {
     "hardware": 1,
     "metrics": 1,
     "storage": 1,
+    "trace": 1,
     "workload": 1,
     "core": 2,
     "faults": 2,

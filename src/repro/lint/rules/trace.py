@@ -1,0 +1,110 @@
+"""Trace-span hygiene: span names come from the registered catalogue.
+
+The tracing subsystem validates names at record time, but a span only
+recorded on a rare path (an abort, a crash, a checkpoint) would blow up
+in production instead of in review.  TRACE01 statically requires every
+``tracer.begin(...)`` / ``tracer.instant(...)`` call — and the machine's
+``_tspan`` / ``_tinstant`` guard helpers — to pass a *string literal*
+first argument, and, when the linted tree contains the catalogue module
+(``repro.trace.names``), one of the names registered there.
+
+The catalogue is extracted from the module's AST (top-level string
+constants), never imported: the linter sits at layer 0 and must not
+execute higher-layer code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Trace01CataloguedSpanNames"]
+
+#: Methods on a tracer that take a span name as the first argument.
+_TRACER_METHODS = ("begin", "instant")
+#: The machine's guard helpers, called as ``self._tspan("name", ...)``.
+_HELPER_METHODS = ("_tspan", "_tinstant")
+#: Dotted module holding the catalogue constants.
+_CATALOGUE_MODULE = "repro.trace.names"
+
+
+def _catalogue_from(project: Project) -> Optional[Set[str]]:
+    """Span names declared in the project's catalogue module, or None.
+
+    Reads top-level ``NAME = "literal"`` assignments from the module's
+    AST — the same constants ``repro.trace.names.CATALOGUE`` collects at
+    runtime — without importing anything.
+    """
+    module = project.module(_CATALOGUE_MODULE)
+    if module is None or module.tree is None:
+        return None
+    names: Set[str] = set()
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            names.add(node.value.value)
+    return names or None
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr in _HELPER_METHODS:
+        return True
+    if func.attr not in _TRACER_METHODS:
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "tracer"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "tracer"
+    return False
+
+
+@register
+class Trace01CataloguedSpanNames(Rule):
+    code = "TRACE01"
+    summary = "span names are string literals from the registered catalogue"
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if module.tree is None:
+            return
+        catalogue: Optional[Set[str]] = None
+        catalogue_loaded = False
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_span_call(node)):
+                continue
+            if not node.args:
+                # Name passed by keyword or missing; either way it dodges
+                # both this check and the runtime validation — flag it.
+                yield module.finding(
+                    self.code,
+                    node,
+                    "span call without a positional name; pass the catalogue "
+                    "name as a string literal first argument",
+                )
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                yield module.finding(
+                    self.code,
+                    first,
+                    "span name must be a string literal from "
+                    "repro.trace.names (computed names defeat the static "
+                    "catalogue check)",
+                )
+                continue
+            if not catalogue_loaded:
+                catalogue = _catalogue_from(project)
+                catalogue_loaded = True
+            if catalogue is not None and first.value not in catalogue:
+                yield module.finding(
+                    self.code,
+                    first,
+                    f"span name {first.value!r} is not registered in "
+                    f"{_CATALOGUE_MODULE}; add it to the catalogue first",
+                )

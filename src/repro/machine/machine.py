@@ -73,9 +73,14 @@ class DatabaseMachine:
         wal_monitor: Optional[WALInvariantMonitor] = None,
         shadow_monitor: Optional[ShadowInstallMonitor] = None,
         faults=None,
+        tracer=None,
     ):
         self.config = config
         self.timeline = timeline
+        #: Optional :class:`repro.trace.Tracer` (duck-typed; the machine
+        #: only calls ``begin``/``end``/``instant`` through the ``_tspan``
+        #: guard helpers, which are no-ops when no tracer is attached).
+        self.tracer = tracer
         #: Optional runtime WAL checker; architectures that gate write-backs
         #: on recovery data report to it (see sim.monitor.WALInvariantMonitor).
         self.wal_monitor = wal_monitor
@@ -88,6 +93,11 @@ class DatabaseMachine:
         #: architecture's private hardware during ``attach``.
         self.faults = faults
         self.env = Environment()
+        # Bind the tracer to this machine's clock; disks and interconnects
+        # pick it up from the environment.
+        if tracer is not None:
+            tracer.env = self.env
+        self.env.tracer = tracer
         self.streams = RandomStreams(config.seed)
         self.placement = placement or ClusteredPlacement(
             config.disk, config.n_data_disks, config.db_pages
@@ -123,6 +133,27 @@ class DatabaseMachine:
         self.arch = architecture if architecture is not None else RecoveryArchitecture()
         self.arch.attach(self)
 
+    # ------------------------------------------------------------------ tracing
+    def _tspan(self, name: str, parent=None, tid: Optional[int] = None, **args):
+        """Open a trace span, or return None when tracing is disabled.
+
+        Recording is a synchronous append — no simulation events, no RNG
+        draws — so a traced run's event calendar is identical to an
+        untraced one (the zero-perturbation acceptance criterion).
+        """
+        if self.tracer is None:
+            return None
+        # The forwarding site itself; callers pass catalogue literals.
+        return self.tracer.begin(name, parent=parent, tid=tid, **args)  # reprolint: disable-line=TRACE01
+
+    def _tend(self, span, **args) -> None:
+        if span is not None:
+            self.tracer.end(span, **args)
+
+    def _tinstant(self, name: str, tid: Optional[int] = None, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, tid=tid, **args)  # reprolint: disable-line=TRACE01
+
     # ------------------------------------------------------------------ helpers
     def locate(self, page: int) -> Tuple[int, DiskAddress]:
         """Home disk and address of logical ``page`` under the placement."""
@@ -145,6 +176,7 @@ class DatabaseMachine:
         if page is not None and self.shadow_monitor is not None:
             self.shadow_monitor.note_version_durable((txn.tid, page))
         self._trace("write_durable", tid=txn.tid, pages=n)
+        self._tinstant("page.durable", tid=txn.tid, pages=n)
         self.fault_hook("machine.writeback")
 
     def wait_writebacks(self, txn: Transaction):
@@ -153,15 +185,22 @@ class DatabaseMachine:
         if runtime.writebacks:
             yield self.env.all_of(runtime.writebacks)
 
-    def spawn_writeback(self, txn: Transaction, page: int) -> Process:
+    def spawn_writeback(self, txn: Transaction, page: int, parent=None) -> Process:
         """Start the architecture's durability path for an updated page."""
         if self.shadow_monitor is not None:
             self.shadow_monitor.note_version_written(page, (txn.tid, page))
         proc = self.env.process(
-            self.arch.writeback(txn, page), name=f"wb.t{txn.tid}.p{page}"
+            self._traced_writeback(txn, page, parent), name=f"wb.t{txn.tid}.p{page}"
         )
         self.runtime(txn).writebacks.append(proc)
         return proc
+
+    def _traced_writeback(self, txn: Transaction, page: int, parent=None):
+        span = self._tspan("writeback", parent=parent, tid=txn.tid, page=page)
+        try:
+            yield from self.arch.writeback(txn, page)
+        finally:
+            self._tend(span)
 
     def read_batched(self, disk_idx: int, addresses: Sequence[DiskAddress], tag: str):
         """Generator: read ``addresses``, split per cylinder for parallel
@@ -198,11 +237,13 @@ class DatabaseMachine:
         if self.shadow_monitor is not None:
             self.shadow_monitor.reset()
         self._trace("machine_crash", reason=reason)
+        self._tinstant("machine.crash", reason=reason)
         if not self._crash_event.triggered:
             self._crash_event.succeed(reason)
 
     def fault_hook(self, name: str) -> None:
         """A simulation-layer fault point: crash here if the plan says so."""
+        self._tinstant("fault.point", hook=name)
         if self.faults is not None and not self.crashed and self.faults.poll(name):
             self.trigger_crash(name)
 
@@ -245,7 +286,9 @@ class DatabaseMachine:
                     break
                 txn.restarts += 1
                 self._restarts += 1
+                backoff = self._tspan("restart.wait", tid=txn.tid, restarts=txn.restarts)
                 yield self.env.timeout(RESTART_BACKOFF_MS * txn.restarts)
+                self._tend(backoff)
         finally:
             mpl.release(grant)
 
@@ -255,6 +298,7 @@ class DatabaseMachine:
         runtime = self.runtime(txn)
         txn.status = TransactionStatus.ACTIVE
         self._trace("txn_begin", tid=txn.tid, attempt=txn.restarts + 1)
+        tspan = self._tspan("txn", tid=txn.tid, attempt=txn.restarts + 1)
         yield from self.arch.on_begin(txn)
 
         window = Container(
@@ -268,7 +312,7 @@ class DatabaseMachine:
                 break
             pipelines.append(
                 env.process(
-                    self._item_pipeline(txn, runtime, item, window),
+                    self._item_pipeline(txn, runtime, item, window, tspan),
                     name=f"pipe.t{txn.tid}",
                 )
             )
@@ -279,16 +323,21 @@ class DatabaseMachine:
             # The architecture's abort hook runs first: it must unblock any
             # write-backs gated on recovery data (e.g. force the log pages
             # holding this transaction's fragments).
+            aspan = self._tspan("abort", parent=tspan)
             yield from self.arch.on_abort(txn)
             yield from self.wait_writebacks(txn)
+            self._tend(aspan)
             self.locks.release_all(txn.tid)
             txn.status = TransactionStatus.ABORTED
             self._trace("txn_abort", tid=txn.tid)
+            self._tend(tspan, status="aborted")
             txn.reset_runtime()
             return False
 
         self.fault_hook("machine.commit")
+        cspan = self._tspan("commit", parent=tspan)
         yield from self.arch.on_commit(txn)
+        self._tend(cspan)
         self.locks.release_all(txn.tid)
         txn.status = TransactionStatus.COMMITTED
         self._trace("txn_commit", tid=txn.tid)
@@ -298,69 +347,100 @@ class DatabaseMachine:
             txn.finish_time = env.now
         if txn.start_time is not None:
             self.completions.add(txn.finish_time - txn.start_time)
+            self._tend(
+                tspan,
+                status="committed",
+                window_start=txn.start_time,
+                window_end=txn.finish_time,
+            )
+        else:
+            self._tend(tspan, status="committed")
         return True
 
     # ------------------------------------------------------------------ pipelines
-    def _item_pipeline(self, txn, runtime, item: WorkItem, window: Container):
+    def _item_pipeline(self, txn, runtime, item: WorkItem, window: Container, tspan=None):
         try:
             if isinstance(item, DataPage):
-                yield from self._data_page_pipeline(txn, runtime, item.page)
+                yield from self._data_page_pipeline(txn, runtime, item.page, tspan)
             elif isinstance(item, AuxRead):
-                yield from self._aux_read_pipeline(txn, runtime, item)
+                yield from self._aux_read_pipeline(txn, runtime, item, tspan)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown work item {item!r}")
         finally:
             window.put(1)
 
-    def _data_page_pipeline(self, txn, runtime, page: int):
+    def _data_page_pipeline(self, txn, runtime, page: int, tspan=None):
         env = self.env
         is_update = page in txn.write_pages
         mode = LockMode.X if is_update else LockMode.S
+        lspan = self._tspan("lock.wait", parent=tspan, tid=txn.tid, page=page)
         try:
             yield self.locks.acquire(txn.tid, page, mode)
         except DeadlockAbort as abort:
+            self._tend(lspan, outcome="deadlock")
             runtime.aborted = True
             runtime.abort_cause = abort
             return
+        self._tend(lspan, outcome="granted")
         if runtime.aborted:
             return
+        ispan = self._tspan("indirection", parent=tspan, tid=txn.tid, page=page)
         yield from self.arch.before_page_read(txn, page)
+        self._tend(ispan)
         if runtime.aborted:
             return
+        fspan = self._tspan("cache.wait", parent=tspan, tid=txn.tid, frames=1)
         yield self.cache.acquire(1)
+        self._tend(fspan)
         if not runtime.started:
             runtime.started = True
             txn.start_time = env.now
         disk_idx, addresses = self.arch.read_addresses(txn, page)
+        rspan = self._tspan("io.data.read", parent=tspan, tid=txn.tid, page=page)
         request = self.data_disks[disk_idx].read(addresses, tag="data")
         yield request.done
+        self._tend(rspan)
         self.pages_read.increment()
         self._trace("page_read", tid=txn.tid, page=page)
         self.fault_hook("machine.page-read")
         if runtime.aborted:
             self.cache.release(1)
             return
+        qspan = self._tspan("qp.wait", parent=tspan, tid=txn.tid)
         qp_index, grant = yield from self.qps.acquire()
+        self._tend(qspan)
+        xspan = self._tspan(
+            "qp.exec", parent=tspan, tid=txn.tid, page=page, update=is_update
+        )
         try:
             yield env.timeout(self.arch.page_cpu_ms(txn, page, is_update))
             if is_update and not runtime.aborted:
                 yield from self.arch.on_page_updated(txn, page, qp_index)
         finally:
             self.qps.release(qp_index, grant)
+            self._tend(xspan)
         if is_update and not runtime.aborted:
-            self.spawn_writeback(txn, page)
+            self.spawn_writeback(txn, page, parent=tspan)
         else:
             self.cache.release(1)
 
-    def _aux_read_pipeline(self, txn, runtime, item: AuxRead):
+    def _aux_read_pipeline(self, txn, runtime, item: AuxRead, tspan=None):
         n_frames = len(item.addresses)
+        fspan = self._tspan("cache.wait", parent=tspan, tid=txn.tid, frames=n_frames)
         yield self.cache.acquire(n_frames)
+        self._tend(fspan)
         if not runtime.started:
             runtime.started = True
             txn.start_time = self.env.now
+        rspan = self._tspan(
+            "io.aux.read", parent=tspan, tid=txn.tid, tag=item.tag, pages=n_frames
+        )
         yield from self.read_batched(item.disk_idx, item.addresses, item.tag)
+        self._tend(rspan)
         if item.cpu_ms > 0 and not runtime.aborted:
+            xspan = self._tspan("qp.exec", parent=tspan, tid=txn.tid, cpu_ms=item.cpu_ms)
             yield from self.qps.execute_ms(item.cpu_ms)
+            self._tend(xspan)
         self.cache.release(n_frames)
 
     def _trace(self, category: str, **fields) -> None:
@@ -396,6 +476,9 @@ class DatabaseMachine:
         extras: Dict[str, float] = {}
         if self.crashed:
             extras["crashed_at"] = t_end
+        percentiles = {
+            f"p{q:g}": self.completions.percentile(q) for q in (50.0, 95.0, 99.0)
+        }
         return RunResult(
             architecture=self.arch.describe(),
             makespan_ms=t_end,
@@ -408,4 +491,5 @@ class DatabaseMachine:
             counters=counters,
             averages=averages,
             extras=extras,
+            completion_percentiles=percentiles,
         )

@@ -1,7 +1,7 @@
 """Run-level metrics, timelines, and report rendering."""
 
 from repro.metrics.collectors import RunResult
-from repro.metrics.report import format_table, render_comparison
+from repro.metrics.report import format_table, percentile_table, render_comparison
 from repro.metrics.timeline import Timeline, TimelineEvent
 
 __all__ = [
@@ -9,5 +9,6 @@ __all__ = [
     "Timeline",
     "TimelineEvent",
     "format_table",
+    "percentile_table",
     "render_comparison",
 ]

@@ -36,6 +36,9 @@ class RunResult:
     averages: Dict[str, float] = field(default_factory=dict)
     #: Architecture-specific extras.
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Exact completion-time percentiles (``p50``/``p95``/``p99``), from
+    #: the same sample set as ``mean_completion_ms``.
+    completion_percentiles: Dict[str, float] = field(default_factory=dict)
 
     @property
     def execution_time_per_page(self) -> float:
@@ -61,6 +64,14 @@ class RunResult:
             f"transactions          : {self.n_transactions}"
             + (f" ({self.n_restarts} restarts)" if self.n_restarts else ""),
         ]
+        if self.completion_percentiles:
+            lines.append(
+                "completion percentiles: "
+                + "  ".join(
+                    f"{name}={self.completion_percentiles[name]:.1f} ms"
+                    for name in sorted(self.completion_percentiles)
+                )
+            )
         for name in sorted(self.utilizations):
             lines.append(f"util[{name}] : {self.utilizations[name]:.2f}")
         return "\n".join(lines)

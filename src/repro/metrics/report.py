@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "render_comparison"]
+__all__ = ["format_table", "percentile_table", "render_comparison"]
 
 
 def _fmt(value) -> str:
@@ -42,6 +42,32 @@ def format_table(
     for row in text_rows:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def percentile_table(results: Dict[str, object], title: Optional[str] = None) -> str:
+    """Completion-time percentile table, one row per named run.
+
+    ``results`` maps a label to anything carrying the
+    ``completion_percentiles`` dict a :class:`~repro.metrics.RunResult`
+    has (``p50``/``p95``/``p99``, in ms); the mean rides along so tail
+    latency can be read against it.
+    """
+    rows = []
+    for label in results:
+        result = results[label]
+        p = result.completion_percentiles
+        rows.append(
+            [
+                label,
+                round(result.mean_completion_ms, 1),
+                round(p.get("p50", 0.0), 1),
+                round(p.get("p95", 0.0), 1),
+                round(p.get("p99", 0.0), 1),
+            ]
+        )
+    return format_table(
+        ["run", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"], rows, title=title
+    )
 
 
 def render_comparison(

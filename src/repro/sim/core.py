@@ -362,6 +362,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional deterministic span recorder (see ``repro.trace``).
+        #: Components that model time (disks, interconnects) duck-type it
+        #: via ``getattr(env, "tracer", None)``; ``None`` disables tracing
+        #: at zero cost.  Attached by whoever builds the model.
+        self.tracer: Optional[Any] = None
 
     @property
     def now(self) -> float:

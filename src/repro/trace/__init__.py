@@ -1,0 +1,56 @@
+"""Deterministic tracing & critical-path observability (``repro.trace``).
+
+The run-level metrics in :class:`~repro.metrics.RunResult` say *how
+long*; this subsystem says *why*: every transaction becomes a tree of
+spans (lock waits, cache frames, disk service, WAL barriers, commit
+processing, ...), a priority sweep charges each slice of the completion
+window to the phase actually responsible, and exporters emit
+Chrome/Perfetto ``trace_event`` JSON plus terminal timelines.
+
+Tracing is opt-in and perturbs nothing: with no tracer attached every
+hook is a ``None``-check; with one attached, recording is a synchronous
+append ordered by (simulation time, sequence number) — never wall clock
+— so traced and untraced runs produce identical metrics and same-seed
+traces are byte-identical.
+
+See ``docs/TRACE.md`` for the span model and the CLI (``repro trace``,
+``repro trace-diff``).
+"""
+
+from repro.trace.analysis import (
+    aggregate_breakdown,
+    completion_percentiles,
+    critical_resource,
+    diff_breakdowns,
+    phase_breakdown,
+    transaction_windows,
+)
+from repro.trace.export import (
+    render_flame,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_json,
+)
+from repro.trace.names import CATALOGUE, OTHER_PHASE, PHASE_CHARS, PRIORITY
+from repro.trace.recorder import Span, Tracer
+
+__all__ = [
+    "CATALOGUE",
+    "OTHER_PHASE",
+    "PHASE_CHARS",
+    "PRIORITY",
+    "Span",
+    "Tracer",
+    "aggregate_breakdown",
+    "completion_percentiles",
+    "critical_resource",
+    "diff_breakdowns",
+    "phase_breakdown",
+    "render_flame",
+    "render_timeline",
+    "to_chrome_trace",
+    "transaction_windows",
+    "validate_chrome_trace",
+    "write_json",
+]

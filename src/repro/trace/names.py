@@ -1,0 +1,194 @@
+"""The registered span-name catalogue.
+
+Every span or instant recorded through :class:`repro.trace.Tracer` must
+use a name from this catalogue (runtime-checked by the recorder and
+statically checked by lint rule TRACE01), so traces from different
+commits and architectures stay diffable: a phase rename is an API change
+here, not a silent drift in the instrumentation.
+
+Names are dotted lowercase: ``<subsystem>.<what>``.  Spans that belong
+to a transaction carry a ``tid`` and take part in critical-path
+attribution; device-lane spans (``disk.service``, ``link.transfer``)
+carry a ``track`` instead and render as their own rows in exports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = [
+    "ABORT",
+    "APPEND",
+    "CACHE_WAIT",
+    "CATALOGUE",
+    "CHECKPOINT",
+    "COMMIT",
+    "DATA_READ",
+    "AUX_READ",
+    "DISK_SERVICE",
+    "FAULT_POINT",
+    "INDIRECTION",
+    "LINK_TRANSFER",
+    "LOCK_WAIT",
+    "LOG_SHIP",
+    "MACHINE_CRASH",
+    "OTHER_PHASE",
+    "OVERWRITE",
+    "PAGE_DURABLE",
+    "PHASE_CHARS",
+    "PRIORITY",
+    "PT_FLUSH",
+    "PT_UPDATE",
+    "QP_EXEC",
+    "QP_WAIT",
+    "RESTART_WAIT",
+    "SCRATCH_WRITE",
+    "TXN",
+    "WAL_WAIT",
+    "WRITEBACK",
+]
+
+# -- transaction-tree spans ---------------------------------------------------
+#: Whole execution attempt; parent of every other transaction span.
+TXN = "txn"
+#: Waiting for a page lock (BEC scheduling).
+LOCK_WAIT = "lock.wait"
+#: Architecture indirection before the data read (page-table lookup).
+INDIRECTION = "indirection"
+#: Waiting for cache frames.
+CACHE_WAIT = "cache.wait"
+#: Data-page read from a data disk.
+DATA_READ = "io.data.read"
+#: Auxiliary read (A/D differential pages).
+AUX_READ = "io.aux.read"
+#: Waiting for a free query processor.
+QP_WAIT = "qp.wait"
+#: Processing the page on a query processor (includes recovery CPU).
+QP_EXEC = "qp.exec"
+#: The architecture's durability path for one updated page.
+WRITEBACK = "writeback"
+#: WAL barrier: page blocked until its log fragment is durable.
+WAL_WAIT = "wal.wait"
+#: Log fragment in flight from query processor to log processor.
+LOG_SHIP = "log.ship"
+#: Updated page parked in the scratch ring (overwriting).
+SCRATCH_WRITE = "scratch.write"
+#: Commit-time scratch-read + home-overwrite pass (overwriting).
+OVERWRITE = "overwrite"
+#: Commit-time page-table entry updates and flushes (shadow).
+PT_UPDATE = "pt.update"
+#: Page-table flush outside commit (shadow checkpoint).
+PT_FLUSH = "pt.flush"
+#: Commit-time A/D-file append (differential).
+APPEND = "append"
+#: Commit processing (container for the architecture's commit work).
+COMMIT = "commit"
+#: Abort processing.
+ABORT = "abort"
+#: Deadlock-victim backoff before a restart attempt.
+RESTART_WAIT = "restart.wait"
+#: A checkpoint being taken (span in architectures that do work; instant
+#: in the bare machine).
+CHECKPOINT = "checkpoint"
+
+# -- device-lane spans --------------------------------------------------------
+#: A disk serving one access (data, log, or page-table disk).
+DISK_SERVICE = "disk.service"
+#: A message occupying an interconnect channel.
+LINK_TRANSFER = "link.transfer"
+
+# -- instants -----------------------------------------------------------------
+#: A simulation-layer fault point was crossed (``machine.*`` hooks).
+FAULT_POINT = "fault.point"
+#: An injected whole-machine crash halted the run.
+MACHINE_CRASH = "machine.crash"
+#: An updated page reached stable storage.
+PAGE_DURABLE = "page.durable"
+
+#: Every name the recorder accepts.
+CATALOGUE: FrozenSet[str] = frozenset(
+    {
+        TXN,
+        LOCK_WAIT,
+        INDIRECTION,
+        CACHE_WAIT,
+        DATA_READ,
+        AUX_READ,
+        QP_WAIT,
+        QP_EXEC,
+        WRITEBACK,
+        WAL_WAIT,
+        LOG_SHIP,
+        SCRATCH_WRITE,
+        OVERWRITE,
+        PT_UPDATE,
+        PT_FLUSH,
+        APPEND,
+        COMMIT,
+        ABORT,
+        RESTART_WAIT,
+        CHECKPOINT,
+        DISK_SERVICE,
+        LINK_TRANSFER,
+        FAULT_POINT,
+        MACHINE_CRASH,
+        PAGE_DURABLE,
+    }
+)
+
+#: Bucket for window time no span covers.
+OTHER_PHASE = "other"
+
+#: Attribution priority for the critical-path sweep: at any instant the
+#: transaction's time is charged to its highest-priority active span.
+#: Productive work outranks recovery-data movement, which outranks pure
+#: waits, which outrank the commit/abort containers — so waits only claim
+#: the intervals where nothing is actually progressing, which is exactly
+#: "what was the completion time waiting on".  ``TXN`` is the tree root
+#: and never claims time; device-lane spans carry no ``tid`` and are
+#: excluded by construction.
+PRIORITY: Dict[str, int] = {
+    QP_EXEC: 100,
+    DATA_READ: 90,
+    AUX_READ: 85,
+    WAL_WAIT: 82,
+    WRITEBACK: 80,
+    OVERWRITE: 78,
+    SCRATCH_WRITE: 76,
+    APPEND: 74,
+    PT_UPDATE: 72,
+    PT_FLUSH: 70,
+    LOG_SHIP: 60,
+    CHECKPOINT: 55,
+    INDIRECTION: 50,
+    QP_WAIT: 24,
+    CACHE_WAIT: 22,
+    LOCK_WAIT: 20,
+    COMMIT: 15,
+    ABORT: 14,
+    RESTART_WAIT: 10,
+}
+
+#: One character per phase for the terminal timeline strips.
+PHASE_CHARS: Dict[str, str] = {
+    QP_EXEC: "x",
+    DATA_READ: "r",
+    AUX_READ: "a",
+    WAL_WAIT: "W",
+    WRITEBACK: "w",
+    OVERWRITE: "o",
+    SCRATCH_WRITE: "S",
+    APPEND: "+",
+    PT_UPDATE: "p",
+    PT_FLUSH: "P",
+    LOG_SHIP: "s",
+    CHECKPOINT: "k",
+    INDIRECTION: "i",
+    QP_WAIT: "q",
+    CACHE_WAIT: "c",
+    LOCK_WAIT: "l",
+    COMMIT: "C",
+    ABORT: "A",
+    RESTART_WAIT: "b",
+    OTHER_PHASE: ".",
+}

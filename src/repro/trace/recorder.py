@@ -1,0 +1,170 @@
+"""The deterministic span/event recorder.
+
+A :class:`Tracer` attaches to a simulation
+:class:`~repro.sim.core.Environment` (``machine = DatabaseMachine(...,
+tracer=tracer)`` sets ``env.tracer``); instrumented components call
+``begin``/``end``/``instant`` with names from the registered catalogue.
+Recording is a synchronous list append — no simulation events, no RNG
+draws, no callbacks — so a traced run is *observationally identical* to
+an untraced one: same event calendar, same random streams, same metrics.
+
+Record order derives from ``(simulation time, sequence number)`` where
+the sequence number increments per record — never from wall clock — so
+two runs with the same seed produce byte-identical trace files (lint
+rule DET01 polices wall-clock use; the determinism test in
+``tests/test_trace_export.py`` proves it end to end).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.trace.names import CATALOGUE
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One interval of work or waiting, in simulation time.
+
+    ``end`` is ``None`` while the span is open.  ``tid`` marks spans
+    belonging to a transaction's tree; ``track`` marks device-lane spans
+    (a disk, an interconnect).  ``args`` is free-form structured detail
+    (page numbers, hook names, byte counts).
+    """
+
+    __slots__ = ("sid", "parent_sid", "name", "start", "end", "tid", "track", "args", "seq")
+
+    def __init__(
+        self,
+        sid: int,
+        name: str,
+        start: float,
+        seq: int,
+        parent_sid: Optional[int] = None,
+        tid: Optional[int] = None,
+        track: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.sid = sid
+        self.parent_sid = parent_sid
+        self.name = name
+        self.start = start
+        self.seq = seq
+        self.end: Optional[float] = None
+        self.tid = tid
+        self.track = track
+        self.args: Dict[str, Any] = args or {}
+
+    @property
+    def duration(self) -> float:
+        """Span length in ms (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end:.3f}" if self.end is not None else "open"
+        return f"<Span {self.sid} {self.name} [{self.start:.3f}, {end}] tid={self.tid}>"
+
+
+class Tracer:
+    """Deterministic recorder of spans and instants for one run.
+
+    Spans are kept in ``begin()`` order; ``seq`` numbers every record
+    monotonically, which breaks simulation-time ties without touching
+    wall clock.  Names are validated against the registered catalogue at
+    record time, mirroring the static TRACE01 check.
+    """
+
+    def __init__(self, env=None) -> None:
+        #: The clock source.  ``DatabaseMachine(..., tracer=tracer)`` binds
+        #: its own environment here, so a tracer may be built first.
+        self.env = env
+        self.spans: List[Span] = []
+        self.instants: List[Span] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if name not in CATALOGUE:
+            raise ValueError(
+                f"span name {name!r} is not in the registered catalogue "
+                "(repro.trace.names.CATALOGUE); register it there first"
+            )
+
+    def begin(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        tid: Optional[int] = None,
+        track: Optional[str] = None,
+        **args,
+    ) -> Span:
+        """Open a span at the current simulation time."""
+        self._check_name(name)
+        span = Span(
+            sid=len(self.spans),
+            name=name,
+            start=self.env.now,
+            seq=self._next_seq(),
+            parent_sid=parent.sid if parent is not None else None,
+            tid=tid if tid is not None else (parent.tid if parent is not None else None),
+            track=track,
+            args=args or None,
+        )
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **args) -> Span:
+        """Close ``span`` at the current simulation time."""
+        if span.end is not None:
+            raise ValueError(f"span {span.sid} ({span.name}) already ended")
+        span.end = self.env.now
+        if args:
+            span.args.update(args)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        tid: Optional[int] = None,
+        track: Optional[str] = None,
+        **args,
+    ) -> Span:
+        """Record a zero-duration marker at the current simulation time."""
+        self._check_name(name)
+        mark = Span(
+            sid=len(self.instants),
+            name=name,
+            start=self.env.now,
+            seq=self._next_seq(),
+            tid=tid,
+            track=track,
+            args=args or None,
+        )
+        mark.end = mark.start
+        self.instants.append(mark)
+        return mark
+
+    # -- queries ---------------------------------------------------------------
+    def spans_of(self, tid: int) -> List[Span]:
+        """Closed spans belonging to transaction ``tid``, in begin order."""
+        return [s for s in self.spans if s.tid == tid and s.closed]
+
+    def named(self, name: str) -> List[Span]:
+        """Closed spans with ``name``, in begin order."""
+        return [s for s in self.spans if s.name == name and s.closed]
+
+    def open_spans(self) -> List[Span]:
+        """Spans begun but never ended (e.g. cut off by a machine crash)."""
+        return [s for s in self.spans if not s.closed]
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)

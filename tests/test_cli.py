@@ -55,6 +55,43 @@ class TestCli:
             main([])
 
 
+class TestTraceCommand:
+    def test_trace_prints_flame_and_writes_valid_json(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--arch", "logging", "-n", "4",
+                     "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical resource" in out
+        assert "p99" in out
+        events = json.loads(path.read_text())
+        assert any(e.get("ph") == "X" for e in events)
+        assert str(path) in out
+
+    def test_trace_timeline_flag(self, capsys):
+        assert main(["trace", "--arch", "logging", "-n", "3", "--timeline"]) == 0
+        assert "phase legend" in capsys.readouterr().out
+
+    def test_trace_all_architectures(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--arch", "all", "-n", "2", "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        for arch in ("bare", "logging", "shadow-pt", "version-selection",
+                     "overwriting", "differential"):
+            assert arch in out
+            assert (tmp_path / f"trace.{arch}.json").exists()
+
+    def test_trace_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--arch", "nonesuch"])
+
+    def test_trace_diff_attributes_gap(self, capsys):
+        assert main(["trace-diff", "logging", "shadow-pt", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mean completion" in out
+        assert "delta" in out
+        assert "total" in out
+
+
 class TestCrashtestCommand:
     def test_single_arch_sweep_passes(self, capsys):
         assert main(["crashtest", "--arch", "wal", "--seed", "7",

@@ -30,6 +30,7 @@ EXPECTED_RULES = {
     "DET01",
     "DET02",
     "DET03",
+    "TRACE01",
 }
 
 
@@ -755,6 +756,103 @@ class TestBench01DeclaredSeed:
             tmp_path,
             {"benchmarks/_helper.py": "def helper():\n    return 1\n"},
             rules=["BENCH01"],
+        )
+        assert findings == []
+
+
+_TRACE_CATALOGUE = """
+TXN = "txn"
+LOCK_WAIT = "lock.wait"
+"""
+
+
+class TestTrace01CataloguedSpanNames:
+    def test_computed_name_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/names.py": _TRACE_CATALOGUE,
+                "src/repro/machine/thing.py": """
+                def go(self, name):
+                    self.tracer.begin(name, tid=1)
+                """,
+            },
+            rules=["TRACE01"],
+        )
+        assert codes(findings) == ["TRACE01"]
+        assert "string literal" in findings[0].message
+
+    def test_unregistered_name_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/names.py": _TRACE_CATALOGUE,
+                "src/repro/machine/thing.py": """
+                def go(self):
+                    self._tspan("made.up", tid=1)
+                """,
+            },
+            rules=["TRACE01"],
+        )
+        assert codes(findings) == ["TRACE01"]
+        assert "made.up" in findings[0].message
+
+    def test_catalogued_literal_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/names.py": _TRACE_CATALOGUE,
+                "src/repro/machine/thing.py": """
+                def go(self, tracer):
+                    span = tracer.begin("txn", tid=1)
+                    self._tinstant("lock.wait")
+                    return span
+                """,
+            },
+            rules=["TRACE01"],
+        )
+        assert findings == []
+
+    def test_no_positional_name_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/names.py": _TRACE_CATALOGUE,
+                "src/repro/machine/thing.py": """
+                def go(self):
+                    self.tracer.begin(name="txn")
+                """,
+            },
+            rules=["TRACE01"],
+        )
+        assert codes(findings) == ["TRACE01"]
+
+    def test_without_catalogue_only_literalness_checked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/thing.py": """
+                def go(self):
+                    self._tspan("anything.goes")
+                """
+            },
+            rules=["TRACE01"],
+        )
+        assert findings == []
+
+    def test_unrelated_begin_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/names.py": _TRACE_CATALOGUE,
+                "src/repro/storage/thing.py": """
+                def go(self, manager, txn):
+                    tid = manager.begin()
+                    txn.begin(tid)
+                    return tid
+                """,
+            },
+            rules=["TRACE01"],
         )
         assert findings == []
 

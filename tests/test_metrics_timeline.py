@@ -70,6 +70,34 @@ class TestTimelineContainer:
         assert timeline.to_csv(buffer) is None
         assert "time_ms" in buffer.getvalue()
 
+    def test_csv_to_path(self, tmp_path):
+        timeline = Timeline()
+        timeline.record(2.0, "y", tid=1)
+        path = tmp_path / "run.csv"
+        assert timeline.to_csv(str(path)) is None
+        assert "2.000,y,tid=1" in path.read_text()
+
+    def test_events_returns_a_copy(self):
+        timeline = Timeline()
+        timeline.record(1.0, "a")
+        timeline.events().clear()
+        assert len(timeline) == 1
+
+    def test_equal_timestamps_accepted(self):
+        timeline = Timeline()
+        timeline.record(1.0, "a")
+        timeline.record(1.0, "b")
+        assert [e.category for e in timeline.events()] == ["a", "b"]
+
+    def test_event_equality_ignores_fields(self):
+        assert TimelineEvent(1.0, "a", {"x": 1}) == TimelineEvent(1.0, "a", {"x": 2})
+
+    def test_between_is_half_open(self):
+        timeline = Timeline()
+        for t in (1.0, 2.0, 3.0):
+            timeline.record(t, "tick")
+        assert [e.time for e in timeline.between(1.0, 3.0)] == [1.0, 2.0]
+
 
 class TestMachineIntegration:
     def run_with_timeline(self):

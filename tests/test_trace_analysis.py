@@ -1,0 +1,128 @@
+"""Unit tests for critical-path attribution (repro.trace.analysis)."""
+
+import pytest
+
+from repro.sim.monitor import SampleStat
+from repro.trace import (
+    Tracer,
+    aggregate_breakdown,
+    completion_percentiles,
+    critical_resource,
+    diff_breakdowns,
+    phase_breakdown,
+    transaction_windows,
+)
+from repro.trace.names import OTHER_PHASE
+from repro.trace.recorder import Span
+
+
+def span(name, start, end, tid=1, **args):
+    s = Span(sid=0, name=name, start=start, seq=0, tid=tid, args=args or None)
+    s.end = end
+    return s
+
+
+class TestPhaseBreakdown:
+    def test_partitions_window_exactly(self):
+        spans = [
+            span("qp.exec", 0.0, 4.0),
+            span("io.data.read", 3.0, 8.0),
+            span("lock.wait", 8.0, 9.0),
+        ]
+        out = phase_breakdown(spans, (0.0, 10.0))
+        assert out == {
+            "qp.exec": 4.0,  # wins its whole extent (highest priority)
+            "io.data.read": 4.0,  # only the part qp.exec does not cover
+            "lock.wait": 1.0,
+            OTHER_PHASE: 1.0,  # [9, 10): nothing active
+        }
+        assert sum(out.values()) == pytest.approx(10.0)
+
+    def test_higher_priority_wins_overlap(self):
+        spans = [span("lock.wait", 0.0, 10.0), span("qp.exec", 2.0, 6.0)]
+        out = phase_breakdown(spans, (0.0, 10.0))
+        assert out == {"qp.exec": 4.0, "lock.wait": 6.0}
+
+    def test_spans_clipped_to_window(self):
+        spans = [span("qp.exec", -5.0, 3.0), span("writeback", 8.0, 20.0)]
+        out = phase_breakdown(spans, (0.0, 10.0))
+        assert out == {"qp.exec": 3.0, OTHER_PHASE: 5.0, "writeback": 2.0}
+
+    def test_unprioritised_spans_ignored(self):
+        spans = [span("txn", 0.0, 10.0)]  # root container: never claims time
+        assert phase_breakdown(spans, (0.0, 10.0)) == {OTHER_PHASE: 10.0}
+
+    def test_empty_window(self):
+        assert phase_breakdown([], (5.0, 5.0)) == {}
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def traced_pair():
+    """Two committed transactions with known windows and phases."""
+    tracer = Tracer(env=Clock())
+    for tid, (w0, w1), exec_ms in ((1, (0.0, 10.0), 6.0), (2, (0.0, 20.0), 4.0)):
+        tracer.env.now = w0
+        root = tracer.begin("txn", tid=tid)
+        work = tracer.begin("qp.exec", parent=root)
+        tracer.env.now = w0 + exec_ms
+        tracer.end(work)
+        tracer.env.now = w1
+        tracer.end(root, status="committed", window_start=w0, window_end=w1)
+    return tracer
+
+
+class TestAggregate:
+    def test_windows_from_committed_txn_spans(self):
+        assert transaction_windows(traced_pair()) == {1: (0.0, 10.0), 2: (0.0, 20.0)}
+
+    def test_aborted_attempts_carry_no_window(self):
+        tracer = Tracer(env=Clock())
+        root = tracer.begin("txn", tid=1)
+        tracer.end(root, status="aborted")
+        assert transaction_windows(tracer) == {}
+
+    def test_mean_breakdown_sums_to_mean_completion(self):
+        out = aggregate_breakdown(traced_pair())
+        assert out == {"qp.exec": 5.0, OTHER_PHASE: 10.0}
+        assert sum(out.values()) == pytest.approx(15.0)  # mean of 10 and 20
+
+    def test_critical_resource_excludes_other(self):
+        assert critical_resource({"qp.exec": 5.0, OTHER_PHASE: 10.0}) == "qp.exec"
+        assert critical_resource({OTHER_PHASE: 10.0}) is None
+
+
+class TestDiff:
+    def test_deltas_sum_to_the_gap(self):
+        a = {"qp.exec": 5.0, "lock.wait": 2.0}
+        b = {"qp.exec": 5.0, "wal.wait": 6.0}
+        rows = diff_breakdowns(a, b)
+        assert sum(delta for _, _, _, delta in rows) == pytest.approx(
+            sum(b.values()) - sum(a.values())
+        )
+
+    def test_sorted_by_descending_magnitude(self):
+        rows = diff_breakdowns({"a": 0.0, "b": 9.0}, {"a": 5.0, "b": 8.0})
+        assert [r[0] for r in rows] == ["a", "b"]
+
+
+class TestPercentiles:
+    def test_matches_sample_stat_definition(self):
+        tracer = traced_pair()
+        stat = SampleStat("completion", keep=True)
+        for _, (w0, w1) in sorted(transaction_windows(tracer).items()):
+            stat.add(w1 - w0)
+        out = completion_percentiles(tracer)
+        assert set(out) == {"p50", "p95", "p99"}
+        for q in (50.0, 95.0, 99.0):
+            assert out[f"p{q:g}"] == pytest.approx(stat.percentile(q))
+
+    def test_empty_trace_yields_zeros(self):
+        assert completion_percentiles(Tracer(env=Clock())) == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }

@@ -1,0 +1,158 @@
+"""Unit tests for the trace exporters (repro.trace.export)."""
+
+import json
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import LoggingConfig, ParallelLoggingArchitecture
+from repro.sim import RandomStreams
+from repro.trace import (
+    Tracer,
+    render_flame,
+    render_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_json,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def small_tracer():
+    tracer = Tracer(env=Clock())
+    root = tracer.begin("txn", tid=1)
+    read = tracer.begin("io.data.read", parent=root, page=7)
+    tracer.env.now = 3.0
+    tracer.end(read)
+    disk = tracer.begin("disk.service", track="data-disk-0")
+    tracer.env.now = 5.0
+    tracer.end(disk)
+    tracer.instant("page.durable", tid=1, page=7)
+    tracer.end(root, status="committed", window_start=0.0, window_end=5.0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema_and_microsecond_timestamps(self):
+        events = to_chrome_trace(small_tracer())
+        assert validate_chrome_trace(events) == 4  # 3 spans + 1 instant
+        read = next(e for e in events if e["name"] == "io.data.read")
+        assert read["ph"] == "X"
+        assert read["ts"] == 0.0 and read["dur"] == 3000.0  # ms -> us
+        assert read["args"] == {"page": 7}
+
+    def test_device_rows_get_synthetic_tids(self):
+        events = to_chrome_trace(small_tracer())
+        disk = next(e for e in events if e["name"] == "disk.service")
+        assert disk["tid"] >= 100_000
+        names = {
+            e["tid"]: e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert names[disk["tid"]] == "data-disk-0"
+        assert names[1] == "txn 1"
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer(env=Clock())
+        tracer.begin("txn", tid=1)  # never ended
+        closed = tracer.begin("commit", tid=1)
+        tracer.end(closed)
+        names = [e["name"] for e in to_chrome_trace(tracer) if e["ph"] == "X"]
+        assert names == ["commit"]
+
+    def test_events_ordered_by_time_then_seq(self):
+        events = [e for e in to_chrome_trace(small_tracer()) if e["ph"] != "M"]
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+
+class TestValidate:
+    def base(self):
+        return to_chrome_trace(small_tracer())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_key(self):
+        events = self.base()
+        del events[-1]["ts"]
+        with pytest.raises(ValueError, match="bad ts"):
+            validate_chrome_trace(events)
+
+    def test_rejects_uncatalogued_name(self):
+        events = self.base()
+        events[-1]["name"] = "made.up"
+        with pytest.raises(ValueError, match="not in catalogue"):
+            validate_chrome_trace(events)
+
+    def test_rejects_time_travel(self):
+        events = self.base()
+        events[-1]["ts"] = -1.0
+        with pytest.raises(ValueError, match="bad ts"):
+            validate_chrome_trace(events)
+
+
+class TestWriteJson:
+    def test_stable_round_trip(self, tmp_path):
+        events = to_chrome_trace(small_tracer())
+        path = tmp_path / "trace.json"
+        write_json(events, str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(events, sort_keys=True)
+        )
+        assert path.read_text().endswith("\n")
+
+
+class TestTerminalViews:
+    def test_timeline_renders_lane_per_transaction(self):
+        text = render_timeline(small_tracer())
+        assert "phase legend" in text
+        assert "T1" in text
+        assert "r" in text  # io.data.read strip
+
+    def test_timeline_empty_trace(self):
+        assert "no transaction spans" in render_timeline(Tracer(env=Clock()))
+
+    def test_flame_percentages_and_total(self):
+        text = render_flame({"qp.exec": 6.0, "lock.wait": 2.0}, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "75.0%" in text and "25.0%" in text
+        assert lines[-1].startswith("total") and "8.0 ms" in lines[-1]
+
+    def test_flame_empty(self):
+        assert render_flame({}) == "(empty breakdown)"
+
+
+def traced_run(seed):
+    tracer = Tracer()
+    config = MachineConfig(mpl=2)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=4, max_pages=30),
+        config.db_pages,
+        RandomStreams(seed).stream("workload"),
+    )
+    machine = DatabaseMachine(
+        config, ParallelLoggingArchitecture(LoggingConfig()), tracer=tracer
+    )
+    machine.run(txns)
+    return tracer
+
+
+class TestDeterminism:
+    def test_same_seed_traces_are_byte_identical(self, tmp_path):
+        paths = []
+        for i in (1, 2):
+            events = to_chrome_trace(traced_run(seed=11))
+            path = tmp_path / f"run{i}.json"
+            write_json(events, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_different_seeds_differ(self, tmp_path):
+        a = to_chrome_trace(traced_run(seed=11))
+        b = to_chrome_trace(traced_run(seed=12))
+        assert a != b
