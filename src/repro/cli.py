@@ -51,6 +51,7 @@ from repro.experiments.tracing import (
     trace_diff,
 )
 from repro.machine import MachineConfig
+from repro.resilience import run_survivetest
 from repro.trace import (
     render_flame,
     render_timeline,
@@ -179,6 +180,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan",
         dest="plan_path",
         help="replay one failing fault-plan JSON instead of sweeping",
+    )
+
+    survive = sub.add_parser(
+        "survivetest",
+        help="degraded-mode survival sweep over permanent component "
+        "failures (see docs/RESILIENCE.md)",
+    )
+    survive.add_argument("--seed", type=int, default=1985, help="workload seed")
+    survive.add_argument(
+        "--arch",
+        default="all",
+        choices=sorted(ARCHITECTURES) + ["all"],
+        help="recovery architecture to degrade (default: all five)",
+    )
+    survive.add_argument(
+        "-n",
+        "--transactions",
+        type=int,
+        default=12,
+        help="transactions in the seeded workload (default 12)",
+    )
+    survive.add_argument(
+        "--json",
+        dest="json_path",
+        help="write the availability report(s) to this JSON file",
     )
 
     sweep = sub.add_parser(
@@ -321,6 +347,35 @@ def _run_crashtest(args) -> int:
                 f"    {violation['kind']} at {violation['hook']} "
                 f"(crossing {violation['crossing']}): {violation['detail']}"
             )
+        failed = failed or not report.ok
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(reports, handle, sort_keys=True, indent=2)
+        print(f"wrote {args.json_path}")
+    return 1 if failed else 0
+
+
+def _run_survivetest(args) -> int:
+    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    reports = {}
+    failed = False
+    for arch in archs:
+        report = run_survivetest(
+            arch, args.seed, n_transactions=args.transactions
+        )
+        reports[arch] = json.loads(report.to_json())
+        availability = ", ".join(
+            f"{k}={v:.3f}" for k, v in sorted(report.availability.items())
+        )
+        status = "ok" if report.ok else "VIOLATIONS"
+        print(
+            f"{arch:>12}: {len(report.scenarios)} scenarios "
+            f"[{availability}] {status}"
+        )
+        for scenario in report.scenarios:
+            if not scenario.ok:
+                for violation in scenario.violations[:5]:
+                    print(f"    {scenario.scenario}: {violation}")
         failed = failed or not report.ok
     if args.json_path:
         with open(args.json_path, "w") as handle:
@@ -503,6 +558,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "crashtest":
         return _run_crashtest(args)
+
+    if args.command == "survivetest":
+        return _run_survivetest(args)
 
     if args.command == "checkpoint-sweep":
         return _run_checkpoint_sweep(args)

@@ -35,11 +35,13 @@ from repro.sim.monitor import CounterStat
 
 __all__ = ["FragmentRouting", "LogMode", "LoggingConfig", "ParallelLoggingArchitecture"]
 
-#: Delivery attempts per fragment (each attempt re-selects a live log
-#: processor; each link attempt itself retransmits with backoff).
+#: Default delivery attempts per fragment (each attempt re-selects a live
+#: log processor; each link attempt itself retransmits with backoff).
+#: Configurable per machine via ``MachineConfig.log_ship_max_attempts``.
 MAX_SHIP_ATTEMPTS = 4
 
-#: Linear backoff between shipping attempts, in ms.
+#: Default linear backoff between shipping attempts, in ms.  Configurable
+#: per machine via ``MachineConfig.log_ship_backoff_ms``.
 SHIP_RETRY_BACKOFF_MS = 2.0
 
 
@@ -170,8 +172,38 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
 
     def fail_log_processor(self, index: int) -> List[LogFragment]:
         """Kill log processor ``index``; its buffered fragments re-ship to
-        surviving peers via :meth:`_reship_orphan`.  Returns the orphans."""
-        return self.log_processors[index].fail()
+        surviving peers via :meth:`_reship_orphan`.  Returns the orphans.
+
+        The membership-change half of failover — forcing the survivors so
+        re-shipped fragments become durable promptly — runs immediately
+        when no health monitor is attached, or at the monitor's detection
+        instant when one is.
+        """
+        machine = self.machine
+        already_dead = not self.log_processors[index].alive
+        orphans = self.log_processors[index].fail()
+        if machine is not None and not already_dead:
+            machine._tinstant("component.fail", kind="lp", index=index)
+            if machine.health is None:
+                self.failover_log_processor(index)
+        return orphans
+
+    def failover_log_processor(self, index: int) -> None:
+        """Surviving log processors take over the dead one's stream.
+
+        The orphaned fragments were already re-shipped by the
+        :meth:`_reship_orphan` callback; what membership change adds is a
+        force on every survivor, so transactions whose commits were gated
+        on the dead processor see their re-homed fragments durable within
+        a bounded window — the paper's no-merge property holds because
+        each fragment lives wholly on whichever log it landed on.
+        """
+        machine = self.machine
+        machine.fault_hook("machine.failover.lp")
+        machine._tinstant("failover.lp", index=index)
+        for lp in self.log_processors:
+            if lp.alive:
+                lp.force()
 
     def _pick_alive(self, tid: int) -> int:
         """Deterministic fallback selection among surviving log processors."""
@@ -260,21 +292,23 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         Each attempt re-checks that the target log processor is still alive
         (it may die while the fragment is on the wire) and re-selects among
         the survivors; link loss is absorbed by the interconnect's own
-        bounded retransmission.  After :data:`MAX_SHIP_ATTEMPTS` the
-        machine gives up and the failure surfaces from ``run()``.
+        bounded retransmission.  After ``MachineConfig.log_ship_max_attempts``
+        tries the machine gives up and the failure surfaces from ``run()``.
         """
         cfg = self.config_log
         machine = self.machine
+        max_attempts = machine.config.log_ship_max_attempts
+        backoff_ms = machine.config.log_ship_backoff_ms
         payload = (
             cfg.fragment_bytes
             if cfg.mode is LogMode.LOGICAL
             else 2 * cfg.log_disk.page_size
         )
         last_error: Optional[Exception] = None
-        for attempt in range(MAX_SHIP_ATTEMPTS):
+        for attempt in range(max_attempts):
             if attempt:
                 self.ship_retries.increment()
-                yield machine.env.timeout(SHIP_RETRY_BACKOFF_MS * attempt)
+                yield machine.env.timeout(backoff_ms * attempt)
                 lp_index = self._pick_alive(fragment.tid)
             lp = self.log_processors[lp_index]
             if not lp.alive:
@@ -306,7 +340,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
             return
         raise last_error or NoLiveLogProcessor(
             f"fragment t{fragment.tid}.p{fragment.page} undeliverable "
-            f"after {MAX_SHIP_ATTEMPTS} attempts"
+            f"after {max_attempts} attempts"
         )
 
     def _fragments_of(self, txn) -> Dict[int, LogFragment]:

@@ -119,8 +119,12 @@ class FaultInjector:
         """Schedule this plan's timed faults on a ``DatabaseMachine``.
 
         * timed CRASH specs trigger the machine's crash event;
-        * timed LP_FAIL / DISK_FAIL specs call the architecture's
-          ``fail_log_processor`` / the target disk's ``fail``.
+        * timed LP_FAIL / DISK_FAIL / QP_FAIL specs call the architecture's
+          ``fail_log_processor`` / the machine's ``fail_data_disk`` /
+          ``fail_query_processor``;
+        * a spec with ``repair_after`` schedules the matching repair that
+          many ms later (a replacement mirror side starts rebuilding, a
+          repaired query processor rejoins the pool).
         """
         env = machine.env
 
@@ -134,11 +138,28 @@ class FaultInjector:
                 machine.arch.fail_log_processor(spec.target or 0)
             elif spec.kind is FaultKind.DISK_FAIL:
                 self.fired.append(("disk-fail", str(spec.target), self.crossings))
-                machine.data_disks[spec.target or 0].fail()
+                machine.fail_data_disk(spec.target or 0)
+            elif spec.kind is FaultKind.QP_FAIL:
+                self.fired.append(("qp-fail", str(spec.target), self.crossings))
+                machine.fail_query_processor(spec.target or 0)
+            if spec.repair_after is not None:
+                yield env.timeout(spec.repair_after)
+                if spec.kind is FaultKind.DISK_FAIL:
+                    self.fired.append(
+                        ("disk-repair", str(spec.target), self.crossings)
+                    )
+                    machine.attach_disk_replacement(spec.target or 0)
+                elif spec.kind is FaultKind.QP_FAIL:
+                    self.fired.append(
+                        ("qp-repair", str(spec.target), self.crossings)
+                    )
+                    machine.repair_query_processor(spec.target or 0)
 
         for spec in self.timed_faults(FaultKind.CRASH):
             env.process(fire(spec))
         for spec in self.timed_faults(FaultKind.LP_FAIL):
             env.process(fire(spec))
         for spec in self.timed_faults(FaultKind.DISK_FAIL):
+            env.process(fire(spec))
+        for spec in self.timed_faults(FaultKind.QP_FAIL):
             env.process(fire(spec))

@@ -43,12 +43,20 @@ class FaultKind(enum.Enum):
     LP_FAIL = "lp-fail"
     #: The interconnect drops a message (sender must retransmit).
     MSG_LOSS = "msg-loss"
+    #: A query processor dies; its in-flight transaction aborts via normal
+    #: undo and the work redistributes to the surviving processors.
+    QP_FAIL = "qp-fail"
 
 
 class FaultSpec(NamedTuple):
     """One fault: what (``kind``), where (``hook``/``target``), when
     (``occurrence``-th matching crossing, or simulation time ``at_time``,
-    or per-event ``probability``)."""
+    or per-event ``probability``).
+
+    ``repair_after`` schedules a repair that many ms after a timed
+    permanent fault fires: a replacement disk arrives and the mirror
+    rebuild starts, or a repaired query processor rejoins the pool.
+    """
 
     kind: FaultKind
     hook: Optional[str] = None
@@ -56,6 +64,7 @@ class FaultSpec(NamedTuple):
     at_time: Optional[float] = None
     target: Optional[int] = None
     probability: float = 0.0
+    repair_after: Optional[float] = None
 
     def matches_hook(self, name: str) -> bool:
         if self.hook is None:
@@ -74,6 +83,7 @@ class FaultSpec(NamedTuple):
             "at_time": self.at_time,
             "target": self.target,
             "probability": self.probability,
+            "repair_after": self.repair_after,
         }
 
     @classmethod
@@ -85,6 +95,7 @@ class FaultSpec(NamedTuple):
             at_time=data.get("at_time"),
             target=data.get("target"),
             probability=data.get("probability", 0.0),
+            repair_after=data.get("repair_after"),
         )
 
 
@@ -124,5 +135,7 @@ class FaultPlan(NamedTuple):
                 where.append(f"target={spec.target}")
             if spec.probability:
                 where.append(f"p={spec.probability}")
+            if spec.repair_after is not None:
+                where.append(f"repair+{spec.repair_after}")
             lines.append(f"  - {spec.kind.value}: {', '.join(where) or 'always'}")
         return "\n".join(lines)

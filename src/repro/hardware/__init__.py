@@ -14,6 +14,7 @@ from repro.hardware.disk import (
     make_disk,
 )
 from repro.hardware.interconnect import Interconnect
+from repro.hardware.mirror import MirroredDisk
 from repro.hardware.params import (
     IBM_3350,
     VAX_11_750,
@@ -39,6 +40,7 @@ __all__ = [
     "DiskRequest",
     "IBM_3350",
     "Interconnect",
+    "MirroredDisk",
     "ParallelAccessDisk",
     "Placement",
     "RingAllocator",

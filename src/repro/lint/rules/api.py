@@ -133,6 +133,7 @@ _LAYERS = {
     "faults": 2,
     "machine": 3,
     "analysis": 4,
+    "resilience": 4,
     "experiments": 4,
     "cli": 5,
 }

@@ -40,6 +40,19 @@ class MachineConfig:
     #: Queue discipline of conventional data disks: "fcfs" (period-correct
     #: default) or "sstf" (shortest-seek-time-first; ablation extension).
     disk_scheduling: str = "fcfs"
+    #: Mirror every data disk (two physical drives per logical disk).  Reads
+    #: fall back to the surviving side when one dies; a replacement rebuilds
+    #: in the background.  Off by default: the paper's testbed is unmirrored,
+    #: and default runs must stay byte-identical.
+    mirrored_data_disks: bool = False
+    #: Fraction of a surviving mirror side's bandwidth the background rebuild
+    #: may consume (the rest is idle gaps left for foreground I/O).
+    mirror_rebuild_io_share: float = 0.5
+    #: Delivery attempts per log fragment (each attempt re-selects a live
+    #: log processor; each link attempt itself retransmits with backoff).
+    log_ship_max_attempts: int = 4
+    #: Linear backoff between fragment-shipping attempts, in ms.
+    log_ship_backoff_ms: float = 2.0
     seed: int = 1985
 
     def __post_init__(self) -> None:
@@ -64,6 +77,15 @@ class MachineConfig:
             raise ValueError("cache must hold at least one frame per active txn")
         if self.disk_scheduling not in ("fcfs", "sstf"):
             raise ValueError(f"unknown disk scheduling {self.disk_scheduling!r}")
+        if not 0.0 < self.mirror_rebuild_io_share <= 1.0:
+            raise ValueError(
+                f"mirror rebuild I/O share must be in (0, 1], "
+                f"got {self.mirror_rebuild_io_share}"
+            )
+        if self.log_ship_max_attempts < 1:
+            raise ValueError("need at least one log-ship attempt")
+        if self.log_ship_backoff_ms < 0:
+            raise ValueError("log-ship backoff must be >= 0")
 
     @property
     def usable_pages_per_disk(self) -> int:

@@ -23,11 +23,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import AuxRead, DataPage, RecoveryArchitecture, WorkItem
 from repro.hardware.disk import Disk, DiskAddress, make_disk, split_by_cylinder
+from repro.hardware.mirror import MirroredDisk
 from repro.hardware.placement import ClusteredPlacement, Placement
 from repro.machine.cache import DiskCache
 from repro.machine.config import MachineConfig
 from repro.machine.locks import DeadlockAbort, LockManager, LockMode
-from repro.machine.processors import ProcessorPool
+from repro.machine.processors import ProcessorFailure, ProcessorPool
 from repro.metrics.collectors import RunResult
 from repro.metrics.timeline import Timeline
 from repro.sim.core import Environment, Event, Process
@@ -54,7 +55,8 @@ class _TxnRuntime:
 
     def __init__(self) -> None:
         self.aborted = False
-        self.abort_cause: Optional[DeadlockAbort] = None
+        #: Why the attempt aborted (a DeadlockAbort, a ProcessorFailure, ...).
+        self.abort_cause: Optional[Exception] = None
         self.writebacks: List[Process] = []
         self.started = False
         #: Free-form per-attempt state for the recovery architecture.
@@ -102,17 +104,34 @@ class DatabaseMachine:
         self.placement = placement or ClusteredPlacement(
             config.disk, config.n_data_disks, config.db_pages
         )
-        self.data_disks: List[Disk] = [
-            make_disk(
-                self.env,
-                config.disk,
-                parallel=config.parallel_data_disks,
-                name=f"data{i}",
-                rng=self.streams.stream(f"disk.data{i}"),
-                scheduling=config.disk_scheduling,
-            )
-            for i in range(config.n_data_disks)
-        ]
+        if config.mirrored_data_disks:
+            # Mirror pairs draw from their own named streams (derived
+            # independently of ``disk.data{i}``), so flipping mirroring on
+            # never perturbs an unmirrored run with the same seed.
+            self.data_disks: List[Disk] = [
+                MirroredDisk(
+                    self.env,
+                    config.disk,
+                    streams=self.streams,
+                    parallel=config.parallel_data_disks,
+                    name=f"data{i}",
+                    scheduling=config.disk_scheduling,
+                    rebuild_io_share=config.mirror_rebuild_io_share,
+                )
+                for i in range(config.n_data_disks)
+            ]
+        else:
+            self.data_disks = [
+                make_disk(
+                    self.env,
+                    config.disk,
+                    parallel=config.parallel_data_disks,
+                    name=f"data{i}",
+                    rng=self.streams.stream(f"disk.data{i}"),
+                    scheduling=config.disk_scheduling,
+                )
+                for i in range(config.n_data_disks)
+            ]
         self.cache = DiskCache(self.env, config.cache_frames)
         self.qps = ProcessorPool(
             self.env, config.n_query_processors, config.cpu, name="qp"
@@ -120,9 +139,17 @@ class DatabaseMachine:
         self.locks = LockManager(self.env)
         self.pages_read = CounterStat("pages_read")
         self.pages_written = CounterStat("pages_written")
+        self.qp_failures = CounterStat("qp_failures")
         self.completions = SampleStat("completion_ms", keep=True)
         self._runtimes: Dict[int, _TxnRuntime] = {}
         self._restarts = 0
+        #: QP index -> (transaction, runtime) currently executing there,
+        #: so a processor failure knows which transaction to fail over.
+        self._qp_holders: Dict[int, Tuple[Transaction, _TxnRuntime]] = {}
+        #: Optional duck-typed health monitor (repro.resilience attaches
+        #: itself here); with one attached, component failover waits for
+        #: the monitor's detection instead of firing instantly.
+        self.health = None
         #: Fires when an injected whole-machine crash halts the run.
         self._crash_event: Event = self.env.event()
         self.crashed = False
@@ -246,6 +273,66 @@ class DatabaseMachine:
         self._tinstant("fault.point", hook=name)
         if self.faults is not None and not self.crashed and self.faults.poll(name):
             self.trigger_crash(name)
+
+    # ------------------------------------------------------------------ failover
+    def fail_query_processor(self, index: int) -> None:
+        """Query processor ``index`` dies permanently (fail-stop).
+
+        The pool stops dispatching to it at once (the hardware is gone);
+        the *failover* — aborting whatever transaction was caught on it —
+        runs immediately when no health monitor is attached, or at the
+        monitor's detection instant when one is (bounding the window in
+        which the victim's pipeline keeps waiting on a dead processor).
+        """
+        self.qps.fail(index)
+        self.qp_failures.increment()
+        self._trace("qp_fail", index=index)
+        self._tinstant("component.fail", kind="qp", index=index)
+        if self.health is None:
+            self.failover_query_processor(index)
+
+    def failover_query_processor(self, index: int) -> None:
+        """Abort, via the normal undo path, the transaction running on a
+        dead query processor; surviving processors absorb its restart."""
+        self.fault_hook("machine.failover.qp")
+        holder = self._qp_holders.get(index)
+        if holder is None:
+            return
+        txn, runtime = holder
+        if not runtime.aborted:
+            runtime.aborted = True
+            runtime.abort_cause = ProcessorFailure(txn.tid, index)
+            self._tinstant("failover.qp", tid=txn.tid, index=index)
+
+    def repair_query_processor(self, index: int) -> None:
+        """A repaired or replacement processor rejoins the pool."""
+        self.qps.repair(index)
+        self._trace("qp_repair", index=index)
+
+    def fail_data_disk(self, index: int) -> None:
+        """Permanent media failure of data disk ``index``.
+
+        On a mirrored machine this kills one physical side and the mirror
+        keeps serving off its twin; on an unmirrored machine every later
+        request errors out — only an archive restore helps (the functional
+        layer's ``recover_from_media_failure``).
+        """
+        self._trace("disk_fail", index=index)
+        self._tinstant("component.fail", kind="disk", index=index)
+        self.data_disks[index].fail()
+
+    def attach_disk_replacement(self, index: int) -> None:
+        """A replacement drive arrives for mirrored disk ``index``; the
+        background rebuild starts at the configured I/O share."""
+        disk = self.data_disks[index]
+        attach = getattr(disk, "attach_replacement", None)
+        if attach is None:
+            raise ValueError(
+                f"data disk {index} is not mirrored; nothing to rebuild "
+                "a replacement from"
+            )
+        self.fault_hook("machine.rebuild.start")
+        attach()
 
     # ------------------------------------------------------------------ running
     def run(self, transactions: Sequence[Transaction]) -> RunResult:
@@ -412,11 +499,13 @@ class DatabaseMachine:
         xspan = self._tspan(
             "qp.exec", parent=tspan, tid=txn.tid, page=page, update=is_update
         )
+        self._qp_holders[qp_index] = (txn, runtime)
         try:
             yield env.timeout(self.arch.page_cpu_ms(txn, page, is_update))
             if is_update and not runtime.aborted:
                 yield from self.arch.on_page_updated(txn, page, qp_index)
         finally:
+            self._qp_holders.pop(qp_index, None)
             self.qps.release(qp_index, grant)
             self._tend(xspan)
         if is_update and not runtime.aborted:
@@ -462,6 +551,12 @@ class DatabaseMachine:
         for disk in self.data_disks:
             utilizations[disk.name] = disk.utilization(t_end)
             counters["data_disk_accesses"] += disk.accesses.count
+            mirror_counters = getattr(disk, "extra_counters", None)
+            if mirror_counters is not None:
+                for key, value in mirror_counters().items():
+                    counters[key] = counters.get(key, 0) + value
+        if self.qp_failures.count:
+            counters["qp_failures"] = self.qp_failures.count
         if self.data_disks:
             utilizations["data_disks"] = sum(
                 d.utilization(t_end) for d in self.data_disks

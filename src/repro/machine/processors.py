@@ -7,14 +7,27 @@ need to know which physical query processor is doing the work.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.hardware.params import CpuParams
-from repro.sim.core import Environment
+from repro.sim.core import Environment, SimulationError
 from repro.sim.monitor import CounterStat, UtilizationTracker
 from repro.sim.resources import Request, Resource
 
-__all__ = ["ProcessorPool"]
+__all__ = ["ProcessorFailure", "ProcessorPool"]
+
+
+class ProcessorFailure(Exception):
+    """A query processor died under the transaction running on it.
+
+    Carried as the abort cause when the failover path aborts the victim
+    through the machine's normal undo machinery.
+    """
+
+    def __init__(self, tid: int, index: int):
+        super().__init__(f"query processor {index} failed under transaction {tid}")
+        self.tid = tid
+        self.index = index
 
 
 class ProcessorPool:
@@ -39,8 +52,15 @@ class ProcessorPool:
         self.name = name
         self._pool = Resource(env, capacity=capacity)
         self._free: List[int] = list(range(capacity - 1, -1, -1))
+        #: Indices of processors that died while idle (or after their last
+        #: job drained); never dispatched to again.
+        self._dead: Set[int] = set()
+        #: Indices that died *while busy*: the current job's release
+        #: retires the slot instead of returning it to the free list.
+        self._doomed: Set[int] = set()
         self.busy = UtilizationTracker(env.now, name=name)
         self.jobs = CounterStat(f"{name}.jobs")
+        self.failures = CounterStat(f"{name}.failures")
 
     # -- indexed protocol ------------------------------------------------------
     def acquire(self):
@@ -60,8 +80,60 @@ class ProcessorPool:
     def release(self, index: int, grant: Request) -> None:
         self.busy.stop(self.env.now)
         self.jobs.increment()
+        if index in self._doomed:
+            # The processor died mid-job: retire the slot instead of
+            # recycling it — the pool has permanently shrunk.
+            self._doomed.discard(index)
+            self._dead.add(index)
+            self._pool.retire(grant)
+            return
         self._free.append(index)
         self._pool.release(grant)
+
+    # -- permanent failures ----------------------------------------------------
+    def fail(self, index: int) -> bool:
+        """Processor ``index`` dies permanently (fail-stop).
+
+        An idle processor leaves the pool immediately; a busy one is
+        doomed — its slot is retired when the in-flight job releases it
+        (the machine's failover aborts that job's transaction).  Returns
+        True when the processor was busy at the instant of failure.
+        """
+        if not 0 <= index < self.capacity:
+            raise SimulationError(
+                f"no processor {index} in a pool of {self.capacity}"
+            )
+        if index in self._dead or index in self._doomed:
+            return index in self._doomed
+        self.failures.increment()
+        if index in self._free:
+            self._free.remove(index)
+            self._dead.add(index)
+            self._pool.remove_capacity(1)
+            return False
+        self._doomed.add(index)
+        return True
+
+    def repair(self, index: int) -> None:
+        """A repaired (or replacement) processor rejoins the pool as
+        ``index``; queued work starts dispatching to it immediately."""
+        if index in self._doomed:
+            # Repaired before its dying job drained: simply un-doom it.
+            self._doomed.discard(index)
+            return
+        if index not in self._dead:
+            return
+        self._dead.discard(index)
+        self._free.append(index)
+        self._pool.add_capacity(1)
+
+    def is_alive(self, index: int) -> bool:
+        return index not in self._dead and index not in self._doomed
+
+    @property
+    def alive_count(self) -> int:
+        """Processors still serving (nominal capacity minus failures)."""
+        return self.capacity - len(self._dead) - len(self._doomed)
 
     # -- convenience -----------------------------------------------------------
     def execute_ms(self, ms: float):

@@ -1,0 +1,38 @@
+"""Online degraded-mode survival: health monitoring and failover.
+
+The paper's architectures (Sections 3.1-3.3) are evaluated against
+whole-machine crashes; a multiprocessor database machine also loses
+*individual* components — a query processor, a log processor, one data
+drive — and the recovery architecture determines whether the machine
+keeps serving.  This package adds that layer:
+
+* :class:`HealthMonitor` — the back-end controller's deterministic
+  heartbeat/suspicion protocol over its own interconnect; detects a dead
+  component within a bounded window and dispatches the failover;
+* :func:`run_survivetest` — the survival harness (sibling of the
+  crashtest): injects every permanent-failure kind at sampled points of
+  a seeded workload and checks that no committed transaction is lost,
+  the workload completes without a whole-machine restart, and reports
+  the availability (degraded-throughput) figure per architecture.
+
+See docs/RESILIENCE.md for the failover protocols and their oracles.
+"""
+
+from repro.resilience.health import HealthConfig, HealthMonitor
+from repro.resilience.survivetest import (
+    SCENARIO_KINDS,
+    ScenarioOutcome,
+    SurviveReport,
+    run_media_scenario,
+    run_survivetest,
+)
+
+__all__ = [
+    "HealthConfig",
+    "HealthMonitor",
+    "SCENARIO_KINDS",
+    "ScenarioOutcome",
+    "SurviveReport",
+    "run_media_scenario",
+    "run_survivetest",
+]

@@ -1,0 +1,181 @@
+"""The back-end controller's health monitor: heartbeats over a link.
+
+The BEC probes every component (query processors, log processors, data
+disks) on a fixed heartbeat over its own low-bandwidth interconnect.  A
+component that misses ``suspicion_probes`` consecutive probes is declared
+dead and the matching failover is dispatched:
+
+* a dead **query processor**'s in-flight transaction aborts through the
+  machine's normal undo path and restarts on the survivors;
+* a dead **log processor**'s stream is taken over by the surviving log
+  processors (its buffered fragments were already re-shipped; the
+  takeover forces the survivors so the re-homed fragments become durable
+  promptly);
+* a dead **data-disk side** needs no dispatch — a mirrored disk already
+  serves off its twin — but the detection instant is what operations
+  (and the survivetest harness) key the repair on.
+
+Detection is *deterministic and bounded*: probe jitter draws from the
+machine's own ``RandomStreams`` under the independent ``health.jitter``
+name (so attaching a monitor never perturbs any pre-existing stream),
+and a failure at any instant is declared within
+:attr:`HealthMonitor.detection_bound_ms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.hardware.interconnect import Interconnect
+from repro.sim.monitor import CounterStat
+
+__all__ = ["HealthConfig", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Parameters of the heartbeat/suspicion protocol."""
+
+    #: Probe period, in ms.
+    heartbeat_ms: float = 5.0
+    #: Consecutive missed probes before a component is declared dead.
+    suspicion_probes: int = 2
+    #: Size of one probe message on the monitor's interconnect.
+    probe_bytes: int = 64
+    #: Upper bound of the per-round start jitter, in ms (drawn from the
+    #: ``health.jitter`` stream; keeps probe rounds from phase-locking
+    #: with periodic workload events).
+    jitter_ms: float = 0.5
+    #: Bandwidth of the monitor's dedicated probe link.
+    link_bandwidth_mb_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_ms <= 0:
+            raise ValueError("heartbeat period must be positive")
+        if self.suspicion_probes < 1:
+            raise ValueError("need at least one suspicion probe")
+        if self.probe_bytes < 1:
+            raise ValueError("probe must have positive size")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter must be >= 0")
+
+
+class HealthMonitor:
+    """Deterministic failure detector attached to one ``DatabaseMachine``.
+
+    Constructing the monitor registers it as ``machine.health``; from
+    then on component failures are *detected* (within the bounded
+    window) rather than reacted to instantaneously, and the monitor
+    dispatches the architecture-appropriate failover at the detection
+    instant.
+    """
+
+    def __init__(self, machine, config: HealthConfig = HealthConfig()):
+        self.machine = machine
+        self.config = config
+        #: The BEC's own probe link: probes never contend with the
+        #: QP-LP fragment traffic or the data disks.
+        self.link = Interconnect(
+            machine.env,
+            bandwidth_mb_per_s=config.link_bandwidth_mb_s,
+            channels=1,
+            name="health",
+        )
+        self._rng = machine.streams.stream("health.jitter")
+        #: (kind, index) -> consecutive missed probes.
+        self._suspicion: Dict[Tuple[str, int], int] = {}
+        #: (kind, index) -> time of the first missed probe of the
+        #: current suspicion run (detection latency is measured from it).
+        self._suspect_since: Dict[Tuple[str, int], float] = {}
+        self._declared: Set[Tuple[str, int]] = set()
+        self.probes_sent = CounterStat("health.probes")
+        #: One record per declaration: time, component, measured latency.
+        self.detections: List[Dict[str, Any]] = []
+        machine.health = self
+        machine.env.process(self._probe_loop(), name="health")
+
+    # -- membership ----------------------------------------------------------
+    def components(self) -> List[Tuple[str, int]]:
+        """Every component the monitor probes, in probe order."""
+        machine = self.machine
+        comps: List[Tuple[str, int]] = [
+            ("qp", i) for i in range(machine.qps.capacity)
+        ]
+        if getattr(machine.arch, "alive_mask", None) is not None:
+            comps.extend(
+                ("lp", i) for i in range(len(machine.arch.log_processors))
+            )
+        comps.extend(("disk", i) for i in range(len(machine.data_disks)))
+        return comps
+
+    def _healthy(self, kind: str, index: int) -> bool:
+        machine = self.machine
+        if kind == "qp":
+            return machine.qps.is_alive(index)
+        if kind == "lp":
+            return machine.arch.alive_mask()[index]
+        disk = machine.data_disks[index]
+        # A degraded mirror (one side lost) reports unhealthy: the
+        # machine keeps serving, but the monitor must notice and raise
+        # the repair signal.
+        return not disk.failed and not getattr(disk, "degraded", False)
+
+    @property
+    def detection_bound_ms(self) -> float:
+        """Worst-case failure-to-declaration window.
+
+        A failure lands just after its probe in the worst case, so
+        declaration takes ``suspicion_probes`` further full rounds plus
+        the round in flight; each round costs the heartbeat, the maximum
+        jitter, and the serialized probe transfers.
+        """
+        cfg = self.config
+        per_round = (
+            cfg.heartbeat_ms
+            + cfg.jitter_ms
+            + len(self.components()) * self.link.transfer_ms(cfg.probe_bytes)
+        )
+        return (cfg.suspicion_probes + 1) * per_round
+
+    # -- the probe process ----------------------------------------------------
+    def _probe_loop(self):
+        env = self.machine.env
+        cfg = self.config
+        while not self.machine.crashed:
+            jitter = cfg.jitter_ms * self._rng.random() if cfg.jitter_ms else 0.0
+            yield env.timeout(cfg.heartbeat_ms + jitter)
+            for key in self.components():
+                yield self.link.transfer(cfg.probe_bytes)
+                self.probes_sent.increment()
+                if self._healthy(*key):
+                    # A repaired (or replaced) component rejoins cleanly:
+                    # a later failure of the same slot re-detects.
+                    self._suspicion.pop(key, None)
+                    self._suspect_since.pop(key, None)
+                    self._declared.discard(key)
+                    continue
+                if key in self._declared:
+                    continue
+                missed = self._suspicion.get(key, 0) + 1
+                self._suspicion[key] = missed
+                if missed == 1:
+                    self._suspect_since[key] = env.now
+                if missed >= cfg.suspicion_probes:
+                    self._declared.add(key)
+                    self._declare(*key)
+
+    def _declare(self, kind: str, index: int) -> None:
+        machine = self.machine
+        now = machine.env.now
+        latency = now - self._suspect_since.get((kind, index), now)
+        self.detections.append(
+            {"time_ms": now, "kind": kind, "index": index, "latency_ms": latency}
+        )
+        machine._tinstant("health.detect", kind=kind, index=index)
+        if kind == "qp":
+            machine.failover_query_processor(index)
+        elif kind == "lp":
+            machine.arch.failover_log_processor(index)
+        # kind == "disk": the mirror masks the loss by itself; the
+        # detection record is the repair-dispatch signal.

@@ -1,0 +1,489 @@
+"""The survival harness: permanent single-component failures, online.
+
+Sibling of the crashtest (:mod:`repro.faults.harness`): where the
+crashtest kills the *whole machine* and verifies the restart algorithm,
+the survivetest kills *one component* of a running machine at a sampled
+point of a seeded workload and verifies degraded-mode survival:
+
+* **query processor** — the victim transaction aborts via normal undo and
+  restarts on the survivors; every transaction still commits;
+* **log processor** (logging architecture) — surviving log processors
+  take over the dead one's stream; no committed transaction is lost and
+  the no-merge restart property is preserved;
+* **mirrored data disk** — one physical side dies; the mirror serves off
+  its twin (zero lost requests) and a replacement rebuilds in the
+  background at a bounded I/O share;
+* **unmirrored data disk** — the sim machine cannot mask it, so survival
+  is the *functional* layer's archive story: :func:`run_media_scenario`
+  drives each recovery manager through dump / media-failure / restore
+  and checks the database rolls back exactly to the archive point
+  (for WAL: loses nothing, thanks to the archive log), in-flight work
+  re-runs, and the workload completes.
+
+Every sim scenario also reports an **availability figure**: the fault-free
+makespan over the degraded makespan for the same seed and workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core import (
+    DifferentialFileArchitecture,
+    LoggingConfig,
+    OverwritingArchitecture,
+    PageTableShadowArchitecture,
+    ParallelLoggingArchitecture,
+    RecoveryArchitecture,
+    VersionSelectionArchitecture,
+)
+from repro.faults.harness import ARCHITECTURES, generate_ops, make_manager
+from repro.faults.injector import FaultInjector, InjectedCrash
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.machine.config import MachineConfig
+from repro.machine.machine import DatabaseMachine
+from repro.resilience.health import HealthConfig, HealthMonitor
+from repro.sim.rng import RandomStreams
+from repro.storage.wal import DistributedWalManager
+from repro.workload.generator import WorkloadConfig, generate_transactions
+from repro.workload.transaction import TransactionStatus
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "ScenarioOutcome",
+    "SurviveReport",
+    "run_media_scenario",
+    "run_survivetest",
+]
+
+#: The failure kinds the harness injects per architecture.
+SCENARIO_KINDS = ("qp-fail", "lp-fail", "disk-fail-mirrored", "media-restore")
+
+#: Sim-architecture factory per crashtest architecture name; the logging
+#: architecture runs three log processors so an LP death leaves quorum.
+_SIM_FACTORY: Dict[str, Callable[[], RecoveryArchitecture]] = {
+    "wal": lambda: ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3)),
+    "shadow": PageTableShadowArchitecture,
+    "versions": VersionSelectionArchitecture,
+    "overwrite": OverwritingArchitecture,
+    "differential": DifferentialFileArchitecture,
+}
+
+#: Workload small enough for CI yet long enough that a mid-run failure
+#: leaves real work on both sides of it.
+DEFAULT_TRANSACTIONS = 12
+_MAX_PAGES = 60
+_WORKLOAD_SEED = 7
+
+#: Ops/pages of the functional media workload (crashtest conventions).
+MEDIA_TRANSACTIONS = 8
+MEDIA_PAGES = 6
+#: Archive-dump cadence of the media scenario, in ops.
+MEDIA_DUMP_EVERY = 6
+
+
+@dataclass
+class ScenarioOutcome:
+    """One injected failure against one architecture."""
+
+    architecture: str
+    scenario: str  # one of SCENARIO_KINDS
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    #: Availability / detection latency / degraded-mode counters.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SurviveReport:
+    """Survival of one architecture across every failure kind."""
+
+    architecture: str
+    seed: int
+    n_transactions: int
+    baseline_makespan_ms: float
+    scenarios: List[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    @property
+    def availability(self) -> Dict[str, float]:
+        """Scenario -> fault-free makespan over degraded makespan."""
+        out = {}
+        for s in self.scenarios:
+            if "availability" in s.details:
+                out[s.scenario] = s.details["availability"]
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "architecture": self.architecture,
+                "seed": self.seed,
+                "n_transactions": self.n_transactions,
+                "baseline_makespan_ms": self.baseline_makespan_ms,
+                "ok": self.ok,
+                "scenarios": [
+                    {
+                        "scenario": s.scenario,
+                        "ok": s.ok,
+                        "violations": s.violations,
+                        "details": s.details,
+                    }
+                    for s in self.scenarios
+                ],
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+
+# -- simulated machine scenarios ----------------------------------------------
+def _build_and_run(
+    arch: str,
+    seed: int,
+    n_transactions: int,
+    specs: Tuple[FaultSpec, ...] = (),
+    mirrored: bool = False,
+    monitor: bool = True,
+):
+    """One sim run; returns ``(machine, health, result, transactions)``."""
+    overrides: Dict[str, Any] = {"seed": seed, "parallel_data_disks": True}
+    if arch == "versions":
+        # Version pairs double disk space (Section 4.2.5 convention).
+        overrides["db_pages"] = 60_000
+    if mirrored:
+        overrides["mirrored_data_disks"] = True
+    config = MachineConfig().with_overrides(**overrides)
+    transactions = generate_transactions(
+        WorkloadConfig(n_transactions=n_transactions, max_pages=_MAX_PAGES),
+        config.db_pages,
+        RandomStreams(_WORKLOAD_SEED).stream("workload"),
+    )
+    injector = FaultInjector(FaultPlan.of(*specs, seed=seed)) if specs else None
+    machine = DatabaseMachine(config, _SIM_FACTORY[arch](), faults=injector)
+    if injector is not None:
+        injector.arm(machine)
+    health = HealthMonitor(machine, HealthConfig()) if monitor else None
+    result = machine.run(transactions)
+    return machine, health, result, transactions
+
+
+def _survival_checks(
+    outcome: ScenarioOutcome,
+    machine,
+    health: Optional[HealthMonitor],
+    result,
+    transactions,
+    baseline_makespan: float,
+    detect_kind: Optional[str],
+) -> None:
+    """The shared oracle: everything commits, nothing restarted wholesale."""
+    lost = [
+        t.tid for t in transactions if t.status is not TransactionStatus.COMMITTED
+    ]
+    if lost:
+        outcome.violations.append(
+            f"{len(lost)} transactions failed to commit: {lost[:5]}"
+        )
+    if machine.crashed:
+        outcome.violations.append(
+            f"machine crashed ({machine.crash_reason}) instead of degrading"
+        )
+    if detect_kind is not None and health is not None:
+        hits = [d for d in health.detections if d["kind"] == detect_kind]
+        if not hits:
+            outcome.violations.append(
+                f"health monitor never detected the {detect_kind} failure"
+            )
+        else:
+            bound = health.detection_bound_ms
+            worst = max(d["latency_ms"] for d in hits)
+            outcome.details["detection_latency_ms"] = worst
+            outcome.details["detection_bound_ms"] = bound
+            if worst > bound:
+                outcome.violations.append(
+                    f"detection took {worst:.2f} ms, over the "
+                    f"{bound:.2f} ms bound"
+                )
+    outcome.details["makespan_ms"] = result.makespan_ms
+    if result.makespan_ms > 0:
+        outcome.details["availability"] = baseline_makespan / result.makespan_ms
+    outcome.details["restarts"] = result.n_restarts
+    outcome.ok = not outcome.violations
+
+
+def _qp_scenario(
+    arch: str, seed: int, n: int, baseline_makespan: float, rng
+) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(arch, "qp-fail", ok=False)
+    at = (0.2 + 0.4 * rng.random()) * baseline_makespan
+    target = rng.randrange(MachineConfig().n_query_processors)
+    spec = FaultSpec(FaultKind.QP_FAIL, at_time=at, target=target)
+    machine, health, result, txns = _build_and_run(arch, seed, n, specs=(spec,))
+    if machine.qps.alive_count != machine.qps.capacity - 1:
+        outcome.violations.append(
+            f"expected exactly one dead processor, pool reports "
+            f"{machine.qps.alive_count}/{machine.qps.capacity} alive"
+        )
+    outcome.details["failed_at_ms"] = at
+    outcome.details["target"] = target
+    _survival_checks(
+        outcome, machine, health, result, txns, baseline_makespan, "qp"
+    )
+    return outcome
+
+
+def _lp_scenario(
+    arch: str, seed: int, n: int, baseline_makespan: float, rng
+) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(arch, "lp-fail", ok=False)
+    at = (0.2 + 0.4 * rng.random()) * baseline_makespan
+    target = rng.randrange(3)
+    spec = FaultSpec(FaultKind.LP_FAIL, at_time=at, target=target)
+    machine, health, result, txns = _build_and_run(arch, seed, n, specs=(spec,))
+    alive = machine.arch.alive_mask()
+    if alive.count(True) != len(alive) - 1:
+        outcome.violations.append(f"expected one dead log processor, got {alive}")
+    outcome.details["failed_at_ms"] = at
+    outcome.details["target"] = target
+    outcome.details["fragments_reshipped"] = machine.arch.fragments_reshipped.count
+    _survival_checks(
+        outcome, machine, health, result, txns, baseline_makespan, "lp"
+    )
+    return outcome
+
+
+def _mirrored_disk_scenario(
+    arch: str, seed: int, n: int, rng
+) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(arch, "disk-fail-mirrored", ok=False)
+    # Mirrored baseline: mirroring changes service-time draws, so the
+    # availability figure compares against the fault-free *mirrored* run.
+    _m, _h, base, _t = _build_and_run(
+        arch, seed, n, mirrored=True, monitor=False
+    )
+    at = (0.2 + 0.4 * rng.random()) * base.makespan_ms
+    target = rng.randrange(MachineConfig().n_data_disks)
+    spec = FaultSpec(
+        FaultKind.DISK_FAIL, at_time=at, target=target, repair_after=100.0
+    )
+    machine, health, result, txns = _build_and_run(
+        arch, seed, n, specs=(spec,), mirrored=True
+    )
+    lost = result.counters.get("mirror_lost_requests", 0)
+    if lost:
+        outcome.violations.append(f"{lost} requests lost behind the mirror")
+    disk = machine.data_disks[target]
+    outcome.details["failed_at_ms"] = at
+    outcome.details["target"] = target
+    outcome.details["fallback_reads"] = result.counters.get(
+        "mirror_fallback_reads", 0
+    )
+    outcome.details["rebuilt_pages"] = result.counters.get(
+        "mirror_rebuilt_pages", 0
+    )
+    outcome.details["rebuild_completed"] = bool(disk.rebuilds_completed.count)
+    _survival_checks(
+        outcome, machine, health, result, txns, base.makespan_ms, "disk"
+    )
+    return outcome
+
+
+# -- functional media scenarios -----------------------------------------------
+def run_media_scenario(
+    arch: str,
+    seed: int,
+    fail_index: Optional[int] = None,
+    n_transactions: int = MEDIA_TRANSACTIONS,
+    n_pages: int = MEDIA_PAGES,
+    dump_every: int = MEDIA_DUMP_EVERY,
+    crash_during_restore: bool = False,
+) -> ScenarioOutcome:
+    """Dump / media-failure / restore against one recovery manager.
+
+    Drives the crashtest's seeded op script with archive dumps woven in
+    every ``dump_every`` ops, loses the data disks before op
+    ``fail_index`` (sampled from the seed when None), restores from the
+    archive, re-begins the in-flight transactions, and completes the
+    workload.  Oracle: the final database equals the committed state the
+    architecture *can* guarantee — everything, for WAL (dump + archive
+    log roll forward); the archived prefix plus post-restore commits for
+    the no-log managers — and a final dump/restore round-trip is exact.
+
+    With ``crash_during_restore`` the restore is additionally crashed at
+    its first ``media.*`` fault point and re-run; convergence to the
+    same state is part of the oracle.
+    """
+    ops = generate_ops(seed, n_transactions, n_pages, checkpoint_every=None)
+    rng = RandomStreams(seed).stream("survivetest.media")
+    if fail_index is None:
+        fail_index = rng.randrange(dump_every + 1, len(ops))
+    if not dump_every < fail_index <= len(ops):
+        raise ValueError(
+            f"fail_index {fail_index} outside ({dump_every}, {len(ops)}]"
+        )
+    outcome = ScenarioOutcome(arch, "media-restore", ok=False)
+    outcome.details["fail_index"] = fail_index
+    outcome.details["crash_during_restore"] = crash_during_restore
+    manager = make_manager(arch)
+    is_wal = isinstance(manager, DistributedWalManager)
+    tids: Dict[int, int] = {}
+    pending: Dict[int, Dict[int, bytes]] = {}
+    committed: Dict[int, bytes] = {}
+    archived: Optional[Dict[int, bytes]] = None
+    dumps = 0
+
+    def apply(op: Tuple) -> None:
+        kind = op[0]
+        if kind == "begin":
+            tids[op[1]] = manager.begin()
+            pending[op[1]] = {}
+        elif kind == "write":
+            _k, slot, page, data = op
+            manager.write(tids[slot], page, data)
+            pending[slot][page] = data
+        elif kind == "flush":
+            flush = getattr(manager, "flush_page", None)
+            if flush is not None:
+                flush(op[1])
+        elif kind == "commit":
+            slot = op[1]
+            manager.commit(tids[slot])
+            committed.update(pending.pop(slot))
+            del tids[slot]
+        elif kind == "abort":
+            slot = op[1]
+            manager.abort(tids[slot])
+            pending.pop(slot)
+            del tids[slot]
+        else:  # pragma: no cover - generate_ops emits nothing else here
+            raise ValueError(f"unknown op {op!r}")
+
+    def restore() -> None:
+        if crash_during_restore:
+            injector = FaultInjector(
+                FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="media.*"), seed=seed)
+            )
+            manager.set_fault_callback(injector.reached)
+            try:
+                manager.recover_from_media_failure()
+                outcome.violations.append(
+                    "restore crossed no media.* fault point to crash at"
+                )
+            except InjectedCrash:
+                manager.set_fault_callback(None)
+                manager.crash()
+                manager.recover_from_media_failure()
+            manager.set_fault_callback(None)
+        else:
+            manager.recover_from_media_failure()
+
+    for index, op in enumerate(ops):
+        if index and index % dump_every == 0:
+            manager.dump()
+            dumps += 1
+            archived = dict(committed)
+        if is_wal and dumps:
+            # Continuous archiving: the archive log keeps up with the
+            # online logs, so restore loses nothing (the WAL advantage).
+            manager.archive_append()
+        if index == fail_index:
+            restore()
+            # The no-log managers roll back to the archive point; WAL
+            # rolls forward through the archive log.
+            if not is_wal:
+                committed = dict(archived or {})
+            # In-flight transactions were erased by the restart
+            # discipline; the BEC re-submits them (fresh tids, same
+            # writes) and the workload continues.
+            for slot in sorted(tids):
+                tids[slot] = manager.begin()
+                for page in sorted(pending[slot]):
+                    manager.write(tids[slot], page, pending[slot][page])
+        apply(op)
+    if tids:
+        outcome.violations.append(
+            f"workload did not complete: slots {sorted(tids)} left active"
+        )
+    expected = {page: committed.get(page, b"") for page in range(n_pages)}
+    actual = {page: manager.read_committed(page) for page in range(n_pages)}
+    if actual != expected:
+        for page in range(n_pages):
+            if actual[page] != expected[page]:
+                outcome.violations.append(
+                    f"page {page}: expected {expected[page]!r}, "
+                    f"found {actual[page]!r}"
+                )
+    # Round-trip: a fresh dump followed by a restore must be exact for
+    # every manager (nothing is in flight now).
+    manager.dump()
+    manager.recover_from_media_failure()
+    after = {page: manager.read_committed(page) for page in range(n_pages)}
+    if after != expected:
+        outcome.violations.append("final dump/restore round-trip diverged")
+    outcome.details["dumps"] = dumps
+    outcome.details["rolled_back_to_archive"] = not is_wal
+    outcome.ok = not outcome.violations
+    return outcome
+
+
+# -- the full sweep -----------------------------------------------------------
+def run_survivetest(
+    arch: str,
+    seed: int = 1985,
+    n_transactions: int = DEFAULT_TRANSACTIONS,
+) -> SurviveReport:
+    """Inject every permanent-failure kind against one architecture.
+
+    ``arch`` is a crashtest architecture name (``wal``, ``shadow``,
+    ``versions``, ``overwrite``, ``differential``); the sim scenarios run
+    its simulated counterpart, the media scenarios its functional
+    recovery manager.
+    """
+    if arch not in ARCHITECTURES:
+        raise ValueError(
+            f"unknown architecture {arch!r}; pick one of {sorted(ARCHITECTURES)}"
+        )
+    rng = RandomStreams(seed).stream("survivetest.points")
+    _m, _h, baseline, base_txns = _build_and_run(
+        arch, seed, n_transactions, monitor=False
+    )
+    report = SurviveReport(
+        architecture=arch,
+        seed=seed,
+        n_transactions=n_transactions,
+        baseline_makespan_ms=baseline.makespan_ms,
+    )
+    not_committed = [
+        t.tid for t in base_txns if t.status is not TransactionStatus.COMMITTED
+    ]
+    if not_committed:
+        report.scenarios.append(
+            ScenarioOutcome(
+                arch,
+                "baseline",
+                ok=False,
+                violations=[f"fault-free baseline left {not_committed} uncommitted"],
+            )
+        )
+        return report
+    report.scenarios.append(
+        _qp_scenario(arch, seed, n_transactions, baseline.makespan_ms, rng)
+    )
+    if arch == "wal":
+        report.scenarios.append(
+            _lp_scenario(arch, seed, n_transactions, baseline.makespan_ms, rng)
+        )
+    report.scenarios.append(
+        _mirrored_disk_scenario(arch, seed, n_transactions, rng)
+    )
+    report.scenarios.append(run_media_scenario(arch, seed))
+    report.scenarios.append(
+        run_media_scenario(arch, seed, crash_during_restore=True)
+    )
+    return report

@@ -106,6 +106,38 @@ class Resource:
         except ValueError:
             pass
 
+    def retire(self, request: Request) -> None:
+        """Remove a granted request *and* its slot (the server died).
+
+        Unlike :meth:`release`, no waiter is promoted: the returned slot
+        no longer exists.  Capacity shrinks by one.
+        """
+        self.users.remove(request)
+        self.capacity -= 1
+
+    def add_capacity(self, n: int = 1) -> None:
+        """Grow the pool by ``n`` servers, granting waiters that now fit."""
+        if n < 1:
+            raise SimulationError(f"capacity increment must be >= 1, got {n}")
+        self.capacity += n
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            if nxt.triggered:  # cancelled/interrupted leftover
+                continue
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def remove_capacity(self, n: int = 1) -> None:
+        """Shrink the pool by ``n`` *idle* servers (a free unit died)."""
+        if n < 1:
+            raise SimulationError(f"capacity decrement must be >= 1, got {n}")
+        if self.capacity - n < len(self.users):
+            raise SimulationError(
+                f"cannot remove {n} slots: {len(self.users)} of "
+                f"{self.capacity} are held (retire the holder instead)"
+            )
+        self.capacity -= n
+
 
 class PriorityRequest(Request):
     """A resource claim with a priority key."""

@@ -24,6 +24,7 @@ of operations, crashes, and recoveries, every committed transaction's
 effects are durable and no uncommitted effect is visible.
 """
 
+from repro.storage.archive import ArchiveDumpMixin
 from repro.storage.btree import BTree, KeyTooLargeError
 from repro.storage.differential import DifferentialFileManager
 from repro.storage.errors import (
@@ -44,6 +45,7 @@ from repro.storage.versions import VersionSelectionManager
 from repro.storage.wal import DistributedWalManager
 
 __all__ = [
+    "ArchiveDumpMixin",
     "BTree",
     "Database",
     "DifferentialFileManager",

@@ -1,0 +1,107 @@
+"""Archive dumps and media restore for the non-logging managers.
+
+The paper's Section 5 observation: every architecture needs a *media*
+recovery story (the data disks themselves can die), and for the
+architectures that keep no log the only possible baseline is a periodic
+archive dump — after a media failure the database rolls back to the most
+recent dump, because there is no redo log to roll forward with.  (The
+distributed-WAL manager has the richer dump-plus-archive-log scheme in
+:meth:`repro.storage.wal.DistributedWalManager.recover_from_media_failure`;
+this mixin gives the shadow, version, overwrite, and differential managers
+the dump-only counterpart with the same method names, so harnesses can
+drive all five uniformly.)
+
+Semantics:
+
+* :meth:`ArchiveDumpMixin.dump` snapshots the *entire* stable image —
+  every page (with its sequence number) and every non-archive file —
+  into the reserved ``archive_pages`` / ``archive_files`` files, which
+  model the archive medium (tape, or reserved cylinders on separate
+  spindles) and survive the media failure.
+* :meth:`ArchiveDumpMixin.recover_from_media_failure` wipes the stable
+  image (the data disks are gone), restores the archived snapshot, and
+  runs the architecture's normal restart algorithm against it — so
+  transactions active *at dump time* are erased by the same crash
+  discipline that erases them at restart.
+
+Both operations are restartable: a crash mid-dump leaves either the old
+or a partially-rewritten archive, and re-running ``dump()`` rewrites it
+whole; a crash mid-restore leaves the archive intact, and re-running
+``recover_from_media_failure()`` converges (the survivetest harness
+exercises exactly this via the ``media.*`` fault points).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.storage.errors import RecoveryStateError
+
+__all__ = ["ARCHIVE_FILES", "ARCHIVE_PAGES", "ArchiveDumpMixin"]
+
+#: Reserved archive file holding ``(page, data, seq)`` triples.
+ARCHIVE_PAGES = "archive_pages"
+
+#: Reserved archive file holding ``(file_name, records)`` pairs.
+ARCHIVE_FILES = "archive_files"
+
+#: Files that live on the archive medium, not the data disks.
+_ARCHIVE_SET = (ARCHIVE_PAGES, ARCHIVE_FILES)
+
+
+class ArchiveDumpMixin:
+    """Dump-only media recovery (mix in before :class:`RecoveryManager`)."""
+
+    def dump(self) -> Dict[str, int]:
+        """Archive the full stable image; returns ``{"pages", "files"}``.
+
+        The snapshot is sharp with respect to stable storage: it copies
+        exactly what is on disk, including slots/versions written by
+        transactions still active — restore erases those through the
+        normal restart algorithm, just as a crash would.
+        """
+        snapshot: List[Tuple[int, bytes, int]] = [
+            (page, data, self.stable.page_seq(page))
+            for page, data in sorted(self.stable.pages.items())
+        ]
+        self.stable.truncate(ARCHIVE_PAGES, snapshot)
+        self._fault_point("media.dump.pages")
+        files: List[Tuple[str, List[Any]]] = [
+            (name, self.stable.read_file(name))
+            for name in self.stable.files()
+            if name not in _ARCHIVE_SET
+        ]
+        self.stable.truncate(ARCHIVE_FILES, files)
+        self._fault_point("media.dump.files")
+        return {"pages": len(snapshot), "files": len(files)}
+
+    def recover_from_media_failure(self) -> None:
+        """Rebuild from the archive after losing the data disks.
+
+        Wipes every stable page and non-archive file, restores the dump,
+        and runs ``crash()`` + ``recover()`` so volatile state is rebuilt
+        by the architecture's own restart algorithm.  The database rolls
+        back to the dump point: with no log there is nothing to roll
+        forward with (the paper's cost of the no-log architectures).
+        """
+        if ARCHIVE_PAGES not in self.stable.files():
+            raise RecoveryStateError(
+                f"media recovery on {self.name!r} manager with no archive dump; "
+                "call dump() first"
+            )
+        # The data disks are gone: drop every page and non-archive file.
+        for page in sorted(self.stable.pages):
+            self.stable.delete_page(page)
+        for name in self.stable.files():
+            if name not in _ARCHIVE_SET:
+                self.stable.truncate(name)
+        self._fault_point("media.restore.wipe")
+        for page, data, seq in self.stable.read_file(ARCHIVE_PAGES):
+            self.stable.write_page(page, data, seq)
+        self._fault_point("media.restore.pages")
+        for name, records in self.stable.read_file(ARCHIVE_FILES):
+            self.stable.truncate(name, records)
+        self._fault_point("media.restore.files")
+        self.crash()
+        self.recover()
+        self._fault_point("media.restore.restart")

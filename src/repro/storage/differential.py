@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.checkpoint import SnapshotCheckpoint
+from repro.storage.archive import ArchiveDumpMixin
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -36,7 +37,7 @@ __all__ = ["DifferentialFileManager"]
 Tuple_ = Tuple  # readability alias in signatures
 
 
-class DifferentialFileManager(RecoveryManager):
+class DifferentialFileManager(ArchiveDumpMixin, RecoveryManager):
     """A/D differential files over a read-only base; see module docstring."""
 
     name = "differential-files"

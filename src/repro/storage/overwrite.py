@@ -21,6 +21,7 @@ import enum
 from typing import Dict, Optional, Set
 
 from repro.checkpoint import FuzzyCheckpoint
+from repro.storage.archive import ArchiveDumpMixin
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
@@ -32,7 +33,7 @@ class OverwriteVariant(enum.Enum):
     NO_REDO = "no-redo"
 
 
-class OverwritingManager(RecoveryManager):
+class OverwritingManager(ArchiveDumpMixin, RecoveryManager):
     """Scratch-ring overwriting; see module docstring."""
 
     name = "overwriting"

@@ -21,13 +21,14 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.checkpoint import SnapshotCheckpoint
+from repro.storage.archive import ArchiveDumpMixin
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
 
 __all__ = ["ShadowPageTableManager"]
 
 
-class ShadowPageTableManager(RecoveryManager):
+class ShadowPageTableManager(ArchiveDumpMixin, RecoveryManager):
     """Copy-on-write slots + atomic root swap; see module docstring."""
 
     name = "shadow-page-table"

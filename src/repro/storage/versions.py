@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.checkpoint import QuiescentCheckpoint
+from repro.storage.archive import ArchiveDumpMixin
 from repro.storage.errors import RecoveryStateError
 from repro.storage.interface import RecoveryManager
 from repro.storage.stable import StableStorage
@@ -24,7 +25,7 @@ __all__ = ["VersionSelectionManager"]
 GENESIS = 0
 
 
-class VersionSelectionManager(RecoveryManager):
+class VersionSelectionManager(ArchiveDumpMixin, RecoveryManager):
     """Adjacent-block versions chosen by commit timestamp at read time."""
 
     name = "version-selection"

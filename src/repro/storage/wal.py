@@ -361,11 +361,13 @@ class DistributedWalManager(RecoveryManager):
             for page, data in sorted(self.stable.pages.items())
         ]
         self.stable.truncate("archive_pages", snapshot)
+        self._fault_point("media.dump.pages")
         # Archive the logs as of the dump; later records keep appending.
         archived = []
         for log in self._logs:
             archived.extend(log.stable_records())
         self.stable.truncate("archive_log", archived)
+        self._fault_point("media.dump.log")
         return {"pages": len(snapshot), "log_records": len(archived)}
 
     def archive_append(self) -> None:
@@ -397,18 +399,25 @@ class DistributedWalManager(RecoveryManager):
         dump = self.stable.read_file("archive_pages")
         archive = self.stable.read_file("archive_log")
         # The data disks are gone.
-        for page in list(self.stable.pages):
+        for page in sorted(self.stable.pages):
             self.stable.write_page(page, b"", 0)
+        self._fault_point("media.restore.wipe")
         for page, data, seq in dump:
             self.stable.write_page(page, data, seq)
+        self._fault_point("media.restore.pages")
         # Replay the archive through the restart algorithm: stage the
         # records into the online logs and run recovery.
         for log in self._logs:
             self.stable.truncate(log.name)
         if archive:
             self.stable.truncate(self._logs[0].name, archive)
-        self._on_crash()
-        self._on_recover()
+        self._fault_point("media.restore.staged")
+        # Media failure is a full restart: the public crash()/recover()
+        # pair also clears the lock table and active-transaction set, so
+        # survivors re-begin cleanly on the restored store.
+        self.crash()
+        self.recover()
+        self._fault_point("media.restore.restart")
 
     # -- inspection ----------------------------------------------------------------------
     def read_committed(self, page: int) -> bytes:

@@ -23,15 +23,20 @@ __all__ = [
     "CATALOGUE",
     "CHECKPOINT",
     "COMMIT",
+    "COMPONENT_FAIL",
     "DATA_READ",
     "AUX_READ",
     "DISK_SERVICE",
+    "FAILOVER_LP",
+    "FAILOVER_QP",
     "FAULT_POINT",
+    "HEALTH_DETECT",
     "INDIRECTION",
     "LINK_TRANSFER",
     "LOCK_WAIT",
     "LOG_SHIP",
     "MACHINE_CRASH",
+    "MIRROR_REBUILD",
     "OTHER_PHASE",
     "OVERWRITE",
     "PAGE_DURABLE",
@@ -96,6 +101,9 @@ CHECKPOINT = "checkpoint"
 DISK_SERVICE = "disk.service"
 #: A message occupying an interconnect channel.
 LINK_TRANSFER = "link.transfer"
+#: A mirrored disk's background rebuild copying the survivor onto the
+#: replacement side (track = the logical mirror name).
+MIRROR_REBUILD = "mirror.rebuild"
 
 # -- instants -----------------------------------------------------------------
 #: A simulation-layer fault point was crossed (``machine.*`` hooks).
@@ -104,6 +112,16 @@ FAULT_POINT = "fault.point"
 MACHINE_CRASH = "machine.crash"
 #: An updated page reached stable storage.
 PAGE_DURABLE = "page.durable"
+#: A permanent single-component failure fired (args: kind = qp/lp/disk).
+COMPONENT_FAIL = "component.fail"
+#: The health monitor declared a component dead after its suspicion window.
+HEALTH_DETECT = "health.detect"
+#: QP failover: the transaction caught on the dead processor aborts via
+#: normal undo and restarts on the survivors.
+FAILOVER_QP = "failover.qp"
+#: LP failover: surviving log processors take ownership of the dead one's
+#: stream (orphans re-shipped, survivors forced).
+FAILOVER_LP = "failover.lp"
 
 #: Every name the recorder accepts.
 CATALOGUE: FrozenSet[str] = frozenset(
@@ -130,9 +148,14 @@ CATALOGUE: FrozenSet[str] = frozenset(
         CHECKPOINT,
         DISK_SERVICE,
         LINK_TRANSFER,
+        MIRROR_REBUILD,
         FAULT_POINT,
         MACHINE_CRASH,
         PAGE_DURABLE,
+        COMPONENT_FAIL,
+        HEALTH_DETECT,
+        FAILOVER_QP,
+        FAILOVER_LP,
     }
 )
 

@@ -32,6 +32,15 @@ class TestFaultSpec:
         )
         assert FaultSpec.from_dict(spec.to_dict()) == spec
 
+    def test_qp_fail_with_repair_roundtrip(self):
+        spec = FaultSpec(
+            FaultKind.QP_FAIL, at_time=40.0, target=3, repair_after=250.0
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        text = FaultPlan.of(spec, seed=1).describe()
+        assert "qp-fail" in text
+        assert "repair+250.0" in text
+
 
 class TestFaultPlan:
     def test_json_roundtrip(self):

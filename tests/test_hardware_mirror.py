@@ -1,0 +1,145 @@
+"""Unit tests for the mirrored data disk."""
+
+import pytest
+
+from repro.hardware import IBM_3350, DiskAddress
+from repro.hardware.mirror import MirroredDisk
+from repro.sim import Environment, RandomStreams, SimulationError
+
+#: Three cylinders keep rebuild runs fast while exercising the loop.
+SMALL = IBM_3350.with_overrides(cylinders=3)
+
+
+def make_mirror(**over):
+    env = Environment()
+    mirror = MirroredDisk(env, SMALL, RandomStreams(5), name="d0", **over)
+    return env, mirror
+
+
+def run_request(env, mirror, kind, addresses):
+    request = mirror.submit(kind, addresses)
+    env.run(until=request.done)
+    return request
+
+
+ADDR = [DiskAddress(0, 0, 0)]
+
+
+class TestHealthyMirror:
+    def test_starts_fully_redundant(self):
+        _env, mirror = make_mirror()
+        assert not mirror.failed
+        assert not mirror.degraded
+        assert not mirror.rebuilding
+
+    def test_read_served_by_primary(self):
+        env, mirror = make_mirror()
+        request = run_request(env, mirror, "read", ADDR)
+        assert request.error is None
+        assert mirror.fallback_reads.count == 0
+
+    def test_write_lands_on_both_sides(self):
+        env, mirror = make_mirror()
+        request = run_request(env, mirror, "write", ADDR)
+        assert request.error is None
+        assert all(side.accesses.count == 1 for side in mirror.sides)
+
+    def test_share_validated(self):
+        with pytest.raises(SimulationError):
+            make_mirror(rebuild_io_share=0.0)
+        with pytest.raises(SimulationError):
+            make_mirror(rebuild_io_share=1.5)
+
+    def test_deterministic_given_streams(self):
+        times = []
+        for _ in range(2):
+            env, mirror = make_mirror()
+            run_request(env, mirror, "write", ADDR)
+            run_request(env, mirror, "read", ADDR)
+            times.append(env.now)
+        assert times[0] == times[1]
+
+
+class TestDegradedMirror:
+    def test_one_side_down_keeps_serving(self):
+        env, mirror = make_mirror()
+        mirror.fail()
+        assert mirror.degraded and not mirror.failed
+        request = run_request(env, mirror, "read", ADDR)
+        assert request.error is None
+        assert mirror.fallback_reads.count == 1  # served off the twin
+
+    def test_writes_survive_one_side(self):
+        env, mirror = make_mirror()
+        mirror.fail()
+        request = run_request(env, mirror, "write", ADDR)
+        assert request.error is None
+
+    def test_both_sides_down_fails_requests(self):
+        env, mirror = make_mirror()
+        mirror.fail()
+        mirror.fail()
+        assert mirror.failed
+        request = run_request(env, mirror, "read", ADDR)
+        assert request.error == "mirror-failed"
+        assert mirror.failed_requests.count == 1
+
+
+class TestRebuild:
+    def test_replacement_needs_a_dead_side(self):
+        _env, mirror = make_mirror()
+        with pytest.raises(SimulationError):
+            mirror.attach_replacement()
+
+    def test_replacement_is_stale_until_rebuilt(self):
+        env, mirror = make_mirror()
+        mirror.fail(side=0)
+        mirror.attach_replacement()
+        assert mirror.rebuilding
+        # Reads keep coming off the surviving clean side meanwhile.
+        request = run_request(env, mirror, "read", ADDR)
+        assert request.error is None
+
+    def test_rebuild_restores_redundancy(self):
+        env, mirror = make_mirror()
+        mirror.fail(side=0)
+        mirror.attach_replacement()
+        env.run()
+        assert not mirror.degraded
+        assert not mirror.rebuilding
+        assert mirror.rebuilds_completed.count == 1
+        assert mirror.rebuilt_pages.count == SMALL.capacity_pages
+
+    def test_rebuild_share_bounds_duration(self):
+        durations = {}
+        for share in (1.0, 0.5):
+            env, mirror = make_mirror(rebuild_io_share=share)
+            mirror.fail(side=0)
+            mirror.attach_replacement()
+            env.run()
+            durations[share] = env.now
+        # Half the I/O share means (roughly) twice the wall time.
+        assert durations[0.5] > 1.5 * durations[1.0]
+
+    def test_degraded_window_closed_by_rebuild(self):
+        env, mirror = make_mirror()
+        mirror.fail(side=0)
+        mirror.attach_replacement()
+        env.run()
+        assert mirror.degraded_since is None
+        assert mirror.degraded_ms > 0.0
+
+    def test_extra_counters_shape(self):
+        env, mirror = make_mirror()
+        mirror.fail(side=0)
+        mirror.attach_replacement()
+        env.run()
+        counters = mirror.extra_counters()
+        assert counters["mirror_rebuilds"] == 1
+        assert counters["mirror_lost_requests"] == 0
+        assert sorted(counters) == [
+            "mirror_fallback_reads",
+            "mirror_lost_requests",
+            "mirror_rebuilds",
+            "mirror_rebuilt_pages",
+        ]

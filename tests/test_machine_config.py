@@ -44,3 +44,34 @@ class TestMachineConfig:
 
         config = MachineConfig(cost=CostModel(scan_page=1000))
         assert config.cost.scan_page == 1000
+
+
+class TestResilienceFields:
+    def test_defaults(self):
+        config = MachineConfig()
+        assert not config.mirrored_data_disks
+        assert config.mirror_rebuild_io_share == 0.5
+        assert config.log_ship_max_attempts == 4
+        assert config.log_ship_backoff_ms == 2.0
+
+    def test_round_trip_through_overrides(self):
+        config = MachineConfig().with_overrides(
+            mirrored_data_disks=True,
+            mirror_rebuild_io_share=0.25,
+            log_ship_max_attempts=7,
+            log_ship_backoff_ms=0.5,
+        )
+        assert config.mirrored_data_disks
+        assert config.mirror_rebuild_io_share == 0.25
+        assert config.log_ship_max_attempts == 7
+        assert config.log_ship_backoff_ms == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(mirror_rebuild_io_share=0.0)
+        with pytest.raises(ValueError):
+            MachineConfig(mirror_rebuild_io_share=1.5)
+        with pytest.raises(ValueError):
+            MachineConfig(log_ship_max_attempts=0)
+        with pytest.raises(ValueError):
+            MachineConfig(log_ship_backoff_ms=-1.0)

@@ -1,0 +1,170 @@
+"""Machine-level failover: permanent component failures mid-run.
+
+Covers the degraded-mode survival paths: a query processor dying (its
+in-flight transaction aborts through normal undo and restarts on the
+survivors, its page locks are released), a log processor dying (orphaned
+fragments re-ship, survivors take the stream over), and a mirrored data
+disk losing one side (the twin serves, a replacement rebuilds).
+"""
+
+import pytest
+
+from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.core import LoggingConfig, ParallelLoggingArchitecture
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.machine import DeadlockAbort, LockManager, LockMode
+from repro.sim import Environment, RandomStreams
+from repro.workload import Transaction, TransactionStatus
+
+
+def build(arch=None, n=6, **over):
+    config = MachineConfig(seed=4242, parallel_data_disks=True, **over)
+    txns = generate_transactions(
+        WorkloadConfig(n_transactions=n, max_pages=60),
+        config.db_pages,
+        RandomStreams(11).stream("workload"),
+    )
+    return DatabaseMachine(config, arch), txns
+
+
+def run_with_fault(machine, txns, *specs):
+    injector = FaultInjector(FaultPlan.of(*specs, seed=0))
+    injector.arm(machine)
+    return machine.run(txns)
+
+
+class TestQueryProcessorFailover:
+    def test_workload_survives_dead_qp(self):
+        machine, txns = build()
+        result = run_with_fault(
+            machine, txns, FaultSpec(FaultKind.QP_FAIL, at_time=50.0, target=0)
+        )
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert result.counter("qp_failures") == 1
+        assert machine.qps.alive_count == machine.config.n_query_processors - 1
+
+    def test_dead_qp_releases_its_page_locks(self):
+        machine, txns = build()
+        run_with_fault(
+            machine, txns, FaultSpec(FaultKind.QP_FAIL, at_time=50.0, target=0)
+        )
+        assert machine.locks._table == {}
+
+    def test_repair_rejoins_the_pool(self):
+        machine, txns = build()
+        run_with_fault(
+            machine,
+            txns,
+            FaultSpec(FaultKind.QP_FAIL, at_time=50.0, target=3, repair_after=200.0),
+        )
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert machine.qps.alive_count == machine.config.n_query_processors
+
+    def test_failover_is_deterministic(self):
+        makespans = []
+        for _ in range(2):
+            machine, txns = build()
+            result = run_with_fault(
+                machine, txns, FaultSpec(FaultKind.QP_FAIL, at_time=50.0, target=0)
+            )
+            makespans.append(result.makespan_ms)
+        assert makespans[0] == makespans[1]
+
+
+class TestLogProcessorFailover:
+    def test_workload_survives_dead_lp(self):
+        machine, txns = build(
+            ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3))
+        )
+        run_with_fault(
+            machine, txns, FaultSpec(FaultKind.LP_FAIL, at_time=50.0, target=1)
+        )
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        mask = machine.arch.alive_mask()
+        assert mask == [True, False, True]
+
+
+class TestMirroredDiskFailover:
+    def test_workload_survives_one_side_and_rebuilds(self):
+        machine, txns = build(mirrored_data_disks=True)
+        result = run_with_fault(
+            machine,
+            txns,
+            FaultSpec(
+                FaultKind.DISK_FAIL, at_time=50.0, target=0, repair_after=100.0
+            ),
+        )
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert result.counter("mirror_lost_requests") == 0
+        assert result.counter("mirror_fallback_reads") > 0
+
+
+class TestDeadQpLockCleanup:
+    """Satellite of the failover path: the lock manager's behaviour when a
+    processor dies while its transaction holds page locks."""
+
+    def make_locks(self):
+        return LockManager(Environment())
+
+    def test_release_all_frees_every_waiter_of_dead_holder(self):
+        locks = self.make_locks()
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(1, 200, LockMode.X)
+        w100 = locks.acquire(2, 100, LockMode.X)
+        w200 = locks.acquire(3, 200, LockMode.S)
+        locks.release_all(1)  # QP holding txn 1 died; undo released its locks
+        assert w100.triggered and w200.triggered
+        assert locks.holds(2, 100, LockMode.X)
+        assert locks.holds(3, 200)
+
+    def test_release_all_dissolves_wait_edges(self):
+        locks = self.make_locks()
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 100, LockMode.X)
+        assert locks.active_waiters == 1
+        locks.release_all(1)
+        assert locks.active_waiters == 0
+
+    def test_dead_holder_breaks_a_brewing_cycle(self):
+        locks = self.make_locks()
+        locks.acquire(1, 100, LockMode.X)
+        locks.acquire(2, 200, LockMode.X)
+        blocked = locks.acquire(1, 200, LockMode.X)  # 1 waits on 2
+        locks.release_all(1)  # 1's QP dies before 2 ever requests 100
+        victim = locks.acquire(2, 100, LockMode.X)  # no cycle left
+        assert victim.triggered and victim.ok
+        assert not blocked.triggered  # the dead txn's request evaporated
+
+    def test_victim_selection_is_deterministic(self):
+        """The requester that closes the cycle is always the victim — the
+        same interleaving names the same victim on every run."""
+        victims = []
+        for _ in range(3):
+            locks = self.make_locks()
+            locks.acquire(1, 100, LockMode.X)
+            locks.acquire(2, 200, LockMode.X)
+            locks.acquire(1, 200, LockMode.X)
+            event = locks.acquire(2, 100, LockMode.X)
+            assert isinstance(event.value, DeadlockAbort)
+            victims.append((event.value.tid, event.value.cycle))
+            event.defuse()
+        assert victims[0] == victims[1] == victims[2]
+        assert victims[0][0] == 2  # the closing requester
+
+    def test_contended_run_with_dead_qp_ends_clean(self):
+        """Hot-page contention plus a mid-run QP death: everything still
+        commits and the lock table drains."""
+        config = MachineConfig(mpl=4, seed=4242)
+        rng = RandomStreams(13).stream("workload")
+        txns = []
+        for tid in range(8):
+            reads = tuple(rng.sample(range(200), 30))
+            writes = frozenset(rng.sample(reads, 6))
+            txns.append(Transaction(tid=tid, read_pages=reads, write_pages=writes))
+        machine = DatabaseMachine(config, None)
+        result = run_with_fault(
+            machine, txns, FaultSpec(FaultKind.QP_FAIL, at_time=100.0, target=0)
+        )
+        assert all(t.status is TransactionStatus.COMMITTED for t in txns)
+        assert machine.locks._table == {}
+        assert result.counter("qp_failures") == 1
