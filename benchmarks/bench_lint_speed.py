@@ -1,0 +1,80 @@
+"""Lint throughput: serial vs ``--jobs N`` fan-out over the repo tree.
+
+The flow-sensitive rules (PROTO01/02, FP01, TR02) build CFGs and run
+interprocedural fixpoints, so a full-tree lint is no longer free; the
+``--jobs`` flag fans per-module checking out over worker processes via
+``repro.jobs.map_jobs``.  This benchmark times both paths on the real
+``src`` tree and asserts the contract that makes the flag safe to use in
+CI: the parallel findings are identical to the serial ones.
+
+Wall-clock note: the tree is small enough that process start-up can eat
+the win — the point of the benchmark is tracking the serial cost as rules
+accrete, with the parallel row showing the fan-out overhead/benefit at
+today's size.
+"""
+
+import json
+import os
+import time
+
+from benchmarks._harness import OUTPUT_DIR
+from repro.lint.engine import LintEngine
+
+#: Linting is deterministic; the seed exists so the harness treats this
+#: file like every other benchmark (BENCH01) and to pin any future
+#: sampling a rule might grow.
+SEED = 1985
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT_PATHS = [os.path.join(REPO_ROOT, "src")]
+JOBS = 4
+
+
+def _run(jobs):
+    engine = LintEngine(root=REPO_ROOT)
+    project = engine.load(LINT_PATHS)
+    start = time.perf_counter()
+    if jobs > 1:
+        findings = engine.run_project_parallel(project, LINT_PATHS, jobs)
+    else:
+        findings = engine.run_project(project)
+    elapsed = time.perf_counter() - start
+    return findings, len(project.modules), elapsed
+
+
+def test_lint_speed(benchmark):
+    serial, n_files, serial_s = benchmark.pedantic(
+        lambda: _run(jobs=1), rounds=1, iterations=1
+    )
+    parallel, _, parallel_s = _run(jobs=JOBS)
+
+    assert [f.as_dict() for f in parallel] == [f.as_dict() for f in serial], (
+        "parallel lint must produce exactly the serial findings"
+    )
+
+    lines = [
+        f"lint speed over src ({n_files} files, seed {SEED})",
+        f"  serial:        {serial_s * 1000:8.1f} ms",
+        f"  --jobs {JOBS}:      {parallel_s * 1000:8.1f} ms",
+        f"  findings:      {len(serial)} (identical serial vs parallel)",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, "lint_speed.txt"), "w") as handle:
+        handle.write(text + "\n")
+    with open(os.path.join(OUTPUT_DIR, "lint_speed.json"), "w") as handle:
+        json.dump(
+            {
+                "seed": SEED,
+                "files": n_files,
+                "serial_ms": serial_s * 1000,
+                "parallel_ms": parallel_s * 1000,
+                "jobs": JOBS,
+                "findings": len(serial),
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")

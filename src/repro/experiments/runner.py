@@ -6,6 +6,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
 
 from repro.core.base import RecoveryArchitecture
+from repro.jobs import map_jobs
 from repro.machine.config import MachineConfig
 from repro.machine.machine import DatabaseMachine
 from repro.metrics.collectors import RunResult
@@ -98,21 +99,3 @@ def run_configuration(
         tracer=tracer,
     )
     return machine.run(transactions)
-
-
-def map_jobs(func: Callable, items, jobs: int = 1) -> list:
-    """Order-preserving map, optionally fanned out over worker processes.
-
-    ``jobs <= 1`` runs serially in-process.  With more jobs a
-    ``multiprocessing`` pool maps ``func`` over ``items`` — results come
-    back in input order, and each cell is seeded independently of the
-    others, so the output is byte-identical to the serial path.  ``func``
-    and the items must be picklable (module-level functions, plain data).
-    """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    import multiprocessing
-
-    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(func, items)

@@ -1,0 +1,199 @@
+"""A module-level call graph over the linted project.
+
+The interprocedural rules (PROTO01/02 checking protection through
+helpers, FP01 computing which methods are reachable from the
+commit/recover/checkpoint entry points) need to know "which function does
+this call land in?"  This resolver is deliberately modest — it answers
+only the cases that appear in this codebase and that the rules rely on:
+
+* ``self.helper(...)`` / ``cls.helper(...)`` — the method on the caller's
+  class or, failing that, any ancestor class (by name, project-wide, via
+  :meth:`Project.class_bases` — this is how mixin methods resolve).
+* ``helper(...)`` — a module-level function of the caller's own module,
+  or a function imported ``from repro.x import helper`` when the target
+  module is part of the project.
+* ``SomeClass.helper(...)`` — the method on a project class named
+  ``SomeClass``.
+
+Anything else (calls on arbitrary objects, dynamic dispatch through
+variables) is unresolved and simply yields no edge — the rules treat
+unresolved calls as opaque.  Qualified names are
+``<package>:<Class>.<method>`` or ``<package>:<function>``.
+
+:meth:`CallGraph.to_json` serializes nodes and edges; the CLI's
+``--call-graph PATH`` writes it and CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.astutil import ImportMap, attribute_chain
+
+__all__ = ["CallGraph", "FunctionInfo", "project_callgraph"]
+
+
+def project_callgraph(project) -> "CallGraph":
+    """The project's call graph, built once and cached on the project
+    (several rules walk it; building it is the expensive part)."""
+    cached = getattr(project, "_reprolint_callgraph", None)
+    if cached is None:
+        cached = CallGraph(project)
+        project._reprolint_callgraph = cached
+    return cached
+
+
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    __slots__ = ("qualname", "package", "cls", "name", "node", "module")
+
+    def __init__(self, package: str, cls: Optional[str], node: ast.FunctionDef, module):
+        self.package = package
+        self.cls = cls
+        self.name = node.name
+        self.node = node
+        self.module = module
+        local = f"{cls}.{node.name}" if cls else node.name
+        self.qualname = f"{package}:{local}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+def _walk_calls(func: ast.FunctionDef) -> Iterator[ast.Call]:
+    """Every call expression in ``func``, not descending into nested
+    function/class definitions (they get their own FunctionInfo)."""
+
+    def walk(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from walk(child)
+
+    yield from walk(func)
+
+
+class CallGraph:
+    """Functions, methods, and resolved call edges across a project."""
+
+    def __init__(self, project):
+        self.project = project
+        #: qualname -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class name -> {method name -> qualname}
+        self._class_methods: Dict[str, Dict[str, str]] = {}
+        #: package -> {function name -> qualname} (module-level only)
+        self._module_functions: Dict[str, Dict[str, str]] = {}
+        #: caller qualname -> set of callee qualnames
+        self.edges: Dict[str, Set[str]] = {}
+        self._import_maps: Dict[str, ImportMap] = {}
+        self._index()
+        self._link()
+
+    # -- construction ------------------------------------------------------
+    def _index(self) -> None:
+        for module in self.project.modules:
+            if module.tree is None or not module.package:
+                continue
+            self._import_maps[module.package] = ImportMap(module.tree)
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(module.package, None, stmt, module)
+                    self.functions[info.qualname] = info
+                    self._module_functions.setdefault(module.package, {})[
+                        stmt.name
+                    ] = info.qualname
+                elif isinstance(stmt, ast.ClassDef):
+                    for item in stmt.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            info = FunctionInfo(module.package, stmt.name, item, module)
+                            self.functions[info.qualname] = info
+                            self._class_methods.setdefault(stmt.name, {})[
+                                item.name
+                            ] = info.qualname
+
+    def _link(self) -> None:
+        for info in self.functions.values():
+            targets = self.edges.setdefault(info.qualname, set())
+            for call in _walk_calls(info.node):
+                callee = self.resolve_call(info, call)
+                if callee is not None:
+                    targets.add(callee)
+
+    # -- resolution --------------------------------------------------------
+    def _method_on_class_or_ancestors(
+        self, class_name: str, method: str
+    ) -> Optional[str]:
+        bases_map = self.project.class_bases()
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            cls = queue.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            hit = self._class_methods.get(cls, {}).get(method)
+            if hit is not None:
+                return hit
+            queue.extend(sorted(bases_map.get(cls, ())))
+        return None
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> Optional[str]:
+        """Qualname of the function ``call`` lands in, or None if unknown."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Local module function, else a from-import of a project function.
+            local = self._module_functions.get(caller.package, {}).get(func.id)
+            if local is not None:
+                return local
+            origin = self._import_maps[caller.package].origins.get(func.id)
+            if origin and "." in origin:
+                pkg, name = origin.rsplit(".", 1)
+                return self._module_functions.get(pkg, {}).get(name)
+            return None
+        chain = attribute_chain(func)
+        if not chain or len(chain) != 2:
+            return None
+        base, method = chain
+        if base in ("self", "cls") and caller.cls is not None:
+            return self._method_on_class_or_ancestors(caller.cls, method)
+        if base in self._class_methods:
+            return self._method_on_class_or_ancestors(base, method)
+        return None
+
+    # -- queries -----------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return set(self.edges.get(qualname, ()))
+
+    def callers(self, qualname: str) -> Set[str]:
+        return {
+            src for src, dsts in self.edges.items() if qualname in dsts
+        }
+
+    def reachable_from(self, roots) -> Set[str]:
+        """Transitive closure of callees from the given qualnames."""
+        seen: Set[str] = set()
+        queue = list(roots)
+        while queue:
+            qualname = queue.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            queue.extend(self.edges.get(qualname, ()))
+        return seen
+
+    def to_json(self) -> Dict:
+        """A stable, artifact-friendly serialization."""
+        return {
+            "version": 1,
+            "functions": sorted(self.functions),
+            "edges": sorted(
+                [src, dst]
+                for src, dsts in self.edges.items()
+                for dst in dsts
+            ),
+        }

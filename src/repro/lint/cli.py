@@ -6,6 +6,8 @@ Examples::
     python -m repro.lint --format json src
     python -m repro.lint --list-rules
     python -m repro.lint --rules DET01,API01 src
+    python -m repro.lint --jobs 4 src tests benchmarks
+    python -m repro.lint --call-graph callgraph.json src
 """
 
 from __future__ import annotations
@@ -45,6 +47,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint with N worker processes (output identical to serial)",
+    )
+    parser.add_argument(
+        "--call-graph",
+        metavar="PATH",
+        help="also write the module-level call graph as JSON to PATH",
+    )
     return parser
 
 
@@ -75,8 +89,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}")
         return 2
 
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1")
+        return 2
+
     project = engine.load(args.paths)
-    findings = engine.run_project(project)
+    if args.jobs > 1:
+        findings = engine.run_project_parallel(project, args.paths, args.jobs)
+    else:
+        findings = engine.run_project(project)
+
+    if args.call_graph:
+        import json
+
+        from repro.lint.callgraph import project_callgraph
+
+        with open(args.call_graph, "w", encoding="utf-8") as handle:
+            json.dump(project_callgraph(project).to_json(), handle, indent=2)
+            handle.write("\n")
+
     renderer = render_json if args.format == "json" else render_text
     print(renderer(findings, checked_files=len(project.modules)))
     return 1 if findings else 0

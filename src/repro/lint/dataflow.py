@@ -1,0 +1,96 @@
+"""Forward dataflow over the lint CFGs.
+
+The flow-sensitive rules all reduce to the same question: "which abstract
+states can execution be in when it reaches this element?"  The state
+spaces are tiny and finite (a frozenset of established protections, a
+mutated/faulted bit pair, an open-span marker), so instead of a lattice
+with widening we track the *exact set* of reachable states per block —
+the union-merge fixpoint converges because states are drawn from a finite
+domain and the set only grows.
+
+Two entry points:
+
+* :func:`block_states` — the fixpoint: entry-state set per block.
+* :func:`iter_element_states` — post-fixpoint replay: for each reachable
+  block, step the transfer function through its elements and yield
+  ``(block, element, states_before_element)``.  Rules anchor findings
+  here ("this home write can be reached with no force established").
+
+The transfer function signature is ``transfer(state, element) -> state``;
+it must be pure and return a hashable state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterator, Tuple
+
+import ast
+
+from repro.lint.cfg import CFG, BasicBlock
+
+__all__ = ["block_states", "iter_element_states", "states_at_exit"]
+
+State = Hashable
+Transfer = Callable[[State, ast.AST], State]
+
+
+def _apply_block(
+    states: FrozenSet[State], block: BasicBlock, transfer: Transfer
+) -> FrozenSet[State]:
+    out = set(states)
+    for element in block.elements:
+        # sorted-by-repr keeps the iteration order deterministic (DET02);
+        # states are heterogeneous hashables, so repr is the common key.
+        out = {transfer(s, element) for s in sorted(out, key=repr)}
+    return frozenset(out)
+
+
+def block_states(
+    cfg: CFG, transfer: Transfer, init: State
+) -> Dict[int, FrozenSet[State]]:
+    """Entry-state sets per reachable block id (worklist fixpoint)."""
+    blocks = {b.bid: b for b in cfg.reachable()}
+    entry: Dict[int, FrozenSet[State]] = {bid: frozenset() for bid in blocks}
+    entry[cfg.entry.bid] = frozenset([init])
+    work = [cfg.entry]
+    while work:
+        block = work.pop()
+        out = _apply_block(entry[block.bid], block, transfer)
+        for succ in block.succs:
+            if succ.bid not in entry:
+                continue
+            merged = entry[succ.bid] | out
+            if merged != entry[succ.bid]:
+                entry[succ.bid] = merged
+                work.append(succ)
+    return entry
+
+
+def iter_element_states(
+    cfg: CFG, transfer: Transfer, init: State
+) -> Iterator[Tuple[BasicBlock, ast.AST, FrozenSet[State]]]:
+    """Replay the converged fixpoint: yield each reachable element with the
+    set of states execution may hold just before evaluating it."""
+    entry = block_states(cfg, transfer, init)
+    for block in cfg.reachable():
+        states = set(entry[block.bid])
+        for element in block.elements:
+            yield block, element, frozenset(states)
+            states = {transfer(s, element) for s in sorted(states, key=repr)}
+
+
+def states_at_exit(
+    cfg: CFG, transfer: Transfer, init: State, exceptional: bool = False
+) -> FrozenSet[State]:
+    """States reaching the normal exit (or the raise exit).
+
+    ``exceptional=False`` answers "what can hold when the function completes
+    without raising" — the FP01 question.
+    """
+    entry = block_states(cfg, transfer, init)
+    target = cfg.raise_exit if exceptional else cfg.exit
+    out: set = set()
+    for pred in target.preds:
+        if pred.bid in entry:
+            out |= _apply_block(entry[pred.bid], pred, transfer)
+    return frozenset(out)

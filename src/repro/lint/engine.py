@@ -232,20 +232,77 @@ class LintEngine:
     def run_project(self, project: Project) -> List[Finding]:
         findings: List[Finding] = []
         for module in project.modules:
-            if module.syntax_error is not None:
-                err = module.syntax_error
-                findings.append(
-                    Finding(
-                        path=module.display_path,
-                        line=err.lineno or 1,
-                        col=(err.offset or 0) + 1,
-                        rule="PARSE",
-                        message=f"syntax error: {err.msg}",
-                    )
-                )
-                continue
-            for rule in self.rules:
-                for finding in rule.check(module, project):
-                    if not module.is_suppressed(finding.rule, finding.line):
-                        findings.append(finding)
+            findings.extend(self.check_module(module, project))
         return sorted(findings)
+
+    def check_module(self, module: ModuleContext, project: Project) -> List[Finding]:
+        """Every (unsuppressed) finding for one module — the unit of work
+        the ``--jobs`` fan-out distributes."""
+        if module.syntax_error is not None:
+            err = module.syntax_error
+            return [
+                Finding(
+                    path=module.display_path,
+                    line=err.lineno or 1,
+                    col=(err.offset or 0) + 1,
+                    rule="PARSE",
+                    message=f"syntax error: {err.msg}",
+                )
+            ]
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module, project):
+                if not module.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        return findings
+
+    def run_project_parallel(
+        self, project: Project, paths: Sequence[str], jobs: int
+    ) -> List[Finding]:
+        """``run_project`` fanned out over worker processes.
+
+        Output is byte-identical to the serial path: each module is
+        checked exactly once (project-wide rules attribute their findings
+        to one defining module), and the merged findings get the same
+        final sort.  On fork platforms workers inherit the parent's
+        parsed project through a module global; on spawn platforms each
+        worker rebuilds it from ``paths`` (same sorted file walk, so the
+        module list and indexes match).
+        """
+        if jobs <= 1 or len(project.modules) <= 1:
+            return self.run_project(project)
+        from repro.jobs import map_jobs
+
+        global _WORKER_PROJECT
+        codes = tuple(rule.code for rule in self.rules)
+        indexes = list(range(len(project.modules)))
+        chunks = [indexes[i::jobs] for i in range(jobs) if indexes[i::jobs]]
+        tasks = [
+            (self.root, tuple(paths), codes, tuple(chunk)) for chunk in chunks
+        ]
+        _WORKER_PROJECT = project
+        try:
+            results = map_jobs(_lint_chunk, tasks, jobs=len(tasks))
+        finally:
+            _WORKER_PROJECT = None
+        return sorted(finding for chunk in results for finding in chunk)
+
+
+#: The parent's parsed project, inherited by forked lint workers so they
+#: skip re-parsing; ``None`` inside spawn-platform workers (they rebuild).
+_WORKER_PROJECT: Optional[Project] = None
+
+
+def _lint_chunk(task: Tuple) -> List[Finding]:
+    """Worker entry: lint one slice of the project's module list."""
+    global _WORKER_PROJECT
+    root, paths, rule_codes, indexes = task
+    engine = LintEngine(rules=list(rule_codes), root=root)
+    project = _WORKER_PROJECT
+    if project is None:
+        project = engine.load(list(paths))
+        _WORKER_PROJECT = project
+    findings: List[Finding] = []
+    for index in indexes:
+        findings.extend(engine.check_module(project.modules[index], project))
+    return findings

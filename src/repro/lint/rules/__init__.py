@@ -4,6 +4,14 @@ To add a rule: subclass :class:`repro.lint.engine.Rule`, decorate it with
 :func:`repro.lint.engine.register`, and import its module here.
 """
 
-from repro.lint.rules import api, architecture, bench, determinism, trace
+from repro.lint.rules import (
+    api,
+    architecture,
+    bench,
+    determinism,
+    protocol,
+    rng,
+    trace,
+)
 
-__all__ = ["api", "architecture", "bench", "determinism", "trace"]
+__all__ = ["api", "architecture", "bench", "determinism", "protocol", "rng", "trace"]

@@ -121,6 +121,7 @@ class Api01DunderAll(Rule):
 #: Subpackage -> layer.  A module may import repro.<x> only when <x> is its
 #: own subpackage or a strictly lower layer.
 _LAYERS = {
+    "jobs": -1,  # pure-stdlib fan-out utility: below everything
     "sim": 0,
     "lint": 0,
     "checkpoint": 0,

@@ -8,12 +8,10 @@ typos (a misspelled ``on_commit`` silently never runs — the transaction
 simply loses its recovery work), ``attach`` overrides must chain to
 ``super().attach``, and every architecture must name itself.
 
-ARCH02 is the write-ahead/shadow discipline: inside the architecture
-layer, a cache frame may reach its stable home (``tag="writeback"``) only
-after the code path has secured the recovery data — forced a log, waited
-on a fragment's ``durable`` event, written the scratch/shadow copy, or
-installed a page-table entry.  The walk is per code path (function body in
-statement order, one module at a time); see docs/LINT.md for limits.
+The write-ahead/shadow ordering discipline that used to live here as
+ARCH02 (a source-order walk) is superseded by the flow-sensitive
+PROTO01/PROTO02 rules in :mod:`repro.lint.rules.protocol`, which check
+the same contract on every CFG path and through helper calls.
 
 ARCH03 keeps the checkpoint contract total over the functional engines
 (``repro.storage``): every ``RecoveryManager`` subclass must declare its
@@ -29,10 +27,10 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.lint.astutil import edit_distance, keyword_value, ordered_walk
+from repro.lint.astutil import edit_distance
 from repro.lint.engine import ModuleContext, Project, Rule, register
 
-__all__ = ["Arch01HookSurface", "Arch02WalDiscipline", "Arch03CheckpointCapability"]
+__all__ = ["Arch01HookSurface", "Arch03CheckpointCapability"]
 
 _BASE_MODULE = "repro.core.base"
 _BASE_CLASS = "RecoveryArchitecture"
@@ -233,64 +231,3 @@ class Arch03CheckpointCapability(Rule):
         return False
 
 
-#: Calls that secure recovery data before a home write.
-_PROTECTIVE_CALLS = {"force", "update_entry", "install"}
-
-
-def _is_protection(node: ast.AST) -> bool:
-    if isinstance(node, ast.Call):
-        tag = keyword_value(node, "tag")
-        if (
-            tag is not None
-            and isinstance(tag, ast.Constant)
-            and tag.value == "scratch"
-        ):
-            return True  # shadow/scratch copy written (or read back)
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr in _PROTECTIVE_CALLS
-        ):
-            return True
-    if isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
-        value = node.value
-        if isinstance(value, ast.Attribute) and value.attr == "durable":
-            return True  # waiting out the WAL barrier
-    return False
-
-
-def _is_home_write(node: ast.AST) -> bool:
-    if not isinstance(node, ast.Call):
-        return False
-    tag = keyword_value(node, "tag")
-    return isinstance(tag, ast.Constant) and tag.value == "writeback"
-
-
-@register
-class Arch02WalDiscipline(Rule):
-    code = "ARCH02"
-    summary = (
-        "in repro.core, a tag='writeback' stable write must be preceded by a "
-        "log force / durable wait / scratch or page-table install on the same path"
-    )
-
-    def check(self, module: ModuleContext, project: Project) -> Iterator:
-        if not _in_scope(module):
-            return
-        for func in (
-            node
-            for node in ast.walk(module.tree)
-            if isinstance(node, ast.FunctionDef)
-        ):
-            protected = False
-            for node in ordered_walk(func):
-                if _is_protection(node):
-                    protected = True
-                elif _is_home_write(node) and not protected:
-                    yield module.finding(
-                        self.code,
-                        node,
-                        f"{func.name}() writes a frame home (tag='writeback') "
-                        "with no preceding log-force/durable-wait/shadow-install "
-                        "on this path",
-                    )
-                    protected = True  # one finding per path is enough

@@ -1,0 +1,104 @@
+"""RNG01 — named-stream aliasing across components.
+
+The paired-run methodology (common random numbers: the same seed must
+produce the same arrival process under every architecture) only works
+while each named :class:`~repro.sim.rng.RandomStreams` stream has exactly
+one consumer.  Two components drawing from the same *ambient* stream —
+the machine-owned ``machine.streams`` / an injected ``self.streams`` —
+interleave their draws, so adding a draw in one component silently
+perturbs the other and every paired comparison downstream.
+
+The rule collects every ``.stream("literal")`` draw in the ``repro``
+package and classifies the receiver:
+
+* **fresh** — the chain is rooted at a ``RandomStreams(...)`` constructor
+  call (including ``.fork()`` chains): a private generator, aliasing is
+  impossible, exempt.
+* **ambient** — anything else.  Ambient draws of the same literal name
+  from two or more different modules are all flagged.
+
+Computed stream names (f-strings, concatenation) are ignored — they are
+per-instance by construction in this codebase (``f"disk.{index}"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.engine import ModuleContext, Project, Rule, register
+
+__all__ = ["Rng01StreamAliasing"]
+
+_CTOR = "RandomStreams"
+
+
+def _rooted_in_ctor(expr: ast.AST) -> bool:
+    """True when the receiver chain bottoms out at ``RandomStreams(...)``."""
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name):
+            return func.id == _CTOR
+        if isinstance(func, ast.Attribute):
+            return _rooted_in_ctor(func.value)
+    return False
+
+
+def _ambient_draws(module: ModuleContext) -> List[Tuple[str, ast.Call]]:
+    """(stream name, call node) for each ambient literal draw in the module."""
+    out: List[Tuple[str, ast.Call]] = []
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream"
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue  # computed name: per-instance by construction
+        if _rooted_in_ctor(node.func.value):
+            continue  # private generator, cannot alias
+        out.append((first.value, node))
+    return out
+
+
+@register
+class Rng01StreamAliasing(Rule):
+    code = "RNG01"
+    summary = (
+        "each ambient RandomStreams stream name is drawn by exactly one "
+        "module (protects common-random-number pairing)"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if module.tree is None or not module.in_package("repro"):
+            return
+        owners = self._owners(project)
+        for name, node in _ambient_draws(module):
+            modules = owners.get(name, set())
+            if len(modules) > 1:
+                others = sorted(modules - {module.package})
+                yield module.finding(
+                    self.code,
+                    node,
+                    f"ambient stream {name!r} is also drawn by "
+                    f"{', '.join(others)}; two consumers on one stream break "
+                    "the common-random-number pairing — fork a private "
+                    "RandomStreams or rename the stream",
+                )
+
+    @staticmethod
+    def _owners(project: Project) -> Dict[str, Set[str]]:
+        """Stream name -> set of module packages with ambient draws."""
+        cached = getattr(project, "_reprolint_rng01", None)
+        if cached is None:
+            cached = {}
+            for mod in project.modules:
+                if mod.tree is None or not mod.in_package("repro"):
+                    continue
+                for name, _node in _ambient_draws(mod):
+                    cached.setdefault(name, set()).add(mod.package)
+            project._reprolint_rng01 = cached
+        return cached

@@ -1,4 +1,4 @@
-"""Trace-span hygiene: span names come from the registered catalogue.
+"""Trace-span hygiene: catalogued names (TRACE01) and balance (TR02).
 
 The tracing subsystem validates names at record time, but a span only
 recorded on a rare path (an abort, a crash, a checkpoint) would blow up
@@ -8,6 +8,16 @@ in production instead of in review.  TRACE01 statically requires every
 first argument, and, when the linted tree contains the catalogue module
 (``repro.trace.names``), one of the names registered there.
 
+TR02 is flow-sensitive: a span begun and bound to a local variable must
+be ended on every CFG path to the function's *normal* exit (``finally``
+blocks count — the CFG routes early returns and raises through them).
+Exceptional exits are exempt: a machine crash legitimately cuts spans
+open (``Tracer.open_spans`` documents them).  A span variable used for
+anything besides ending it — returned, stored, passed on — escapes the
+function's responsibility and is exempt too.  An unbalanced span breaks
+the "breakdowns sum exactly" invariant the critical-path analysis rests
+on (see docs/TRACE.md).
+
 The catalogue is extracted from the module's AST (top-level string
 constants), never imported: the linter sits at layer 0 and must not
 execute higher-layer code.
@@ -16,11 +26,13 @@ execute higher-layer code.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import block_states
 from repro.lint.engine import ModuleContext, Project, Rule, register
 
-__all__ = ["Trace01CataloguedSpanNames"]
+__all__ = ["Trace01CataloguedSpanNames", "Tr02SpanBalance"]
 
 #: Methods on a tracer that take a span name as the first argument.
 _TRACER_METHODS = ("begin", "instant")
@@ -108,3 +120,163 @@ class Trace01CataloguedSpanNames(Rule):
                     f"span name {first.value!r} is not registered in "
                     f"{_CATALOGUE_MODULE}; add it to the catalogue first",
                 )
+
+
+# ---------------------------------------------------------------------------
+# TR02 — span balance on all CFG paths.
+# ---------------------------------------------------------------------------
+
+#: Span-opening calls: the machine helper, or ``<tracer>.begin``.
+_BEGIN_METHODS = ("_tspan",)
+#: Span-closing calls: the machine helper, or ``<tracer>.end``.
+_END_METHODS = ("_tend",)
+
+
+def _is_begin_call(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr in _BEGIN_METHODS:
+        return True
+    return node.func.attr == "begin" and _is_tracer_receiver(node.func.value)
+
+
+def _is_end_call(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr in _END_METHODS:
+        return True
+    return node.func.attr == "end" and _is_tracer_receiver(node.func.value)
+
+
+def _is_tracer_receiver(receiver: ast.AST) -> bool:
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "tracer"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "tracer"
+    return False
+
+
+def _begin_assignments(func: ast.FunctionDef) -> Dict[str, List[ast.Assign]]:
+    """Variable name -> its ``var = <begin call>`` assignment statements."""
+    out: Dict[str, List[ast.Assign]] = {}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _is_begin_call(node.value)
+        ):
+            out.setdefault(node.targets[0].id, []).append(node)
+    return out
+
+
+def _escapes(func: ast.FunctionDef, var: str) -> bool:
+    """True when ``var`` is used beyond begin-assign / end-call-argument —
+    returned, stored elsewhere, reassigned, passed along: the span's
+    lifetime escapes this function and TR02 cannot judge it."""
+    allowed_loads = set()
+    allowed_stores = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and target.id == var and _is_begin_call(
+                node.value
+            ):
+                allowed_stores.add(id(target))
+        if _is_end_call(node) and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id == var:
+                allowed_loads.add(id(first))
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id == var:
+            if isinstance(node.ctx, ast.Load) and id(node) not in allowed_loads:
+                return True
+            if isinstance(node.ctx, ast.Store) and id(node) not in allowed_stores:
+                return True
+            if isinstance(node.ctx, ast.Del):
+                return True
+    return False
+
+
+def _span_name(assign: ast.Assign) -> str:
+    call = assign.value
+    if call.args and isinstance(call.args[0], ast.Constant):
+        return repr(call.args[0].value)
+    return "<computed>"
+
+
+@register
+class Tr02SpanBalance(Rule):
+    code = "TR02"
+    summary = (
+        "a span bound to a local must be ended on every non-exceptional CFG "
+        "path (finally-aware); crash-cut exceptional paths are exempt"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if module.tree is None:
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            begins = _begin_assignments(func)
+            if not begins:
+                continue
+            cfg = None
+            for var, assigns in sorted(begins.items()):
+                if _escapes(func, var):
+                    continue
+                if cfg is None:
+                    cfg = build_cfg(func)
+                yield from self._check_var(module, func, cfg, var, assigns)
+
+    def _check_var(self, module, func, cfg, var, assigns) -> Iterator:
+        assign_ids = {id(a) for a in assigns}
+
+        def transfer(state: bool, element: ast.AST) -> bool:
+            if id(element) in assign_ids:
+                return True
+            for node in ast.walk(element):
+                if _is_end_call(node) and node.args:
+                    first = node.args[0]
+                    if isinstance(first, ast.Name) and first.id == var:
+                        return False
+            return state
+
+        entry = block_states(cfg, transfer, False)
+        # Re-begin while open (a loop body that begins without ending).
+        for block in cfg.reachable():
+            if block.bid not in entry:
+                continue
+            for start in sorted(entry[block.bid]):
+                state = start
+                for element in block.elements:
+                    if id(element) in assign_ids and state:
+                        yield module.finding(
+                            self.code,
+                            element,
+                            f"{func.name}() re-begins span {var!r} "
+                            f"({_span_name(element)}) while a previous begin "
+                            "is still open on this path",
+                        )
+                    state = transfer(state, element)
+        # Open at the normal exit.
+        open_at_exit = False
+        for pred in cfg.exit.preds:
+            if pred.bid not in entry:
+                continue
+            for state in entry[pred.bid]:
+                for element in pred.elements:
+                    state = transfer(state, element)
+                if state:
+                    open_at_exit = True
+        if open_at_exit:
+            anchor = min(assigns, key=lambda a: a.lineno)
+            yield module.finding(
+                self.code,
+                anchor,
+                f"{func.name}() can return with span {var!r} "
+                f"({_span_name(anchor)}) still open; end it on every "
+                "non-exceptional path (a finally block keeps early returns "
+                "balanced)",
+            )

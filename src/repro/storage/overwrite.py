@@ -133,7 +133,9 @@ class OverwritingManager(ArchiveDumpMixin, RecoveryManager):
 
     def _drop_scratch(self, tid: int) -> None:
         keep = [r for r in self.stable.read_file(self._SCRATCH) if r[1] != tid]
+        self._fault_point("overwrite.scratch.pre-drop")
         self.stable.truncate(self._SCRATCH, keep)
+        self._fault_point("overwrite.scratch.post-drop")
 
     # -- crash / restart ----------------------------------------------------------------
     def _on_crash(self) -> None:

@@ -1,11 +1,15 @@
 """Gate: the repository's own tree must be reprolint-clean.
 
 This is the test CI leans on — a rule violation anywhere in ``src``,
-``tests``, or ``benchmarks`` fails the suite with the same report the CLI
-prints, so the determinism and recovery-discipline invariants cannot rot.
+``tests``, or ``benchmarks`` fails the suite, and the failure message is
+the finding list itself (rule, location, message, one per line — the same
+report the CLI prints), so the offending lines are readable straight from
+the pytest output without re-running the linter.
 """
 
 from pathlib import Path
+
+import pytest
 
 from repro.lint import LintEngine, render_text
 
@@ -22,4 +26,10 @@ def test_repository_is_lint_clean():
     engine = LintEngine(root=str(REPO_ROOT))
     project = engine.load(paths)
     findings = engine.run_project(project)
-    assert not findings, "\n" + render_text(findings, checked_files=len(project.modules))
+    if findings:
+        lines = [f"the tree is not lint-clean ({len(findings)} finding(s)):"]
+        for finding in findings:
+            lines.append(f"  {finding.rule} {finding.location()}: {finding.message}")
+        lines.append("")
+        lines.append(render_text(findings, checked_files=len(project.modules)))
+        pytest.fail("\n".join(lines), pytrace=False)

@@ -24,12 +24,16 @@ EXPECTED_RULES = {
     "API01",
     "API02",
     "ARCH01",
-    "ARCH02",
     "ARCH03",
     "BENCH01",
     "DET01",
     "DET02",
     "DET03",
+    "FP01",
+    "PROTO01",
+    "PROTO02",
+    "RNG01",
+    "TR02",
     "TRACE01",
 }
 
@@ -386,7 +390,7 @@ class TestArch01HookSurface:
         assert findings == []
 
 
-class TestArch02WalDiscipline:
+class TestProto01WalOrdering:
     def test_unprotected_writeback_flagged(self, tmp_path):
         findings = lint(
             tmp_path,
@@ -397,10 +401,10 @@ class TestArch02WalDiscipline:
                     yield request.done
                 """
             },
-            rules=["ARCH02"],
+            rules=["PROTO01"],
         )
-        assert codes(findings) == ["ARCH02"]
-        assert "no preceding log-force" in findings[0].message
+        assert codes(findings) == ["PROTO01"]
+        assert "no log force" in findings[0].message
 
     def test_durable_wait_protects(self, tmp_path):
         findings = lint(
@@ -413,7 +417,7 @@ class TestArch02WalDiscipline:
                     yield request.done
                 """
             },
-            rules=["ARCH02"],
+            rules=["PROTO01"],
         )
         assert findings == []
 
@@ -428,25 +432,120 @@ class TestArch02WalDiscipline:
                     yield request.done
                 """
             },
-            rules=["ARCH02"],
+            rules=["PROTO01"],
         )
         assert findings == []
 
-    def test_scratch_write_protects(self, tmp_path):
+    def test_branch_local_force_does_not_cover_other_path(self, tmp_path):
+        # The source-order walk this rule replaced (ARCH02) was blind to
+        # exactly this: the force only happens on the hot-frame branch.
         findings = lint(
             tmp_path,
             {
                 "src/repro/core/toy.py": """
-                def writeback(machine, addr, scratch_addr):
-                    saved = machine.disks[0].write([scratch_addr], tag="scratch")
-                    yield saved.done
+                def writeback(machine, log, frame, addr):
+                    if frame.hot:
+                        log.force()
                     request = machine.disks[0].write([addr], tag="writeback")
                     yield request.done
                 """
             },
-            rules=["ARCH02"],
+            rules=["PROTO01"],
+        )
+        assert codes(findings) == ["PROTO01"]
+
+    def test_force_on_all_branches_protects(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/toy.py": """
+                def writeback(machine, log, frame, addr):
+                    if frame.hot:
+                        log.force()
+                    else:
+                        yield frame.durable
+                    request = machine.disks[0].write([addr], tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO01"],
         )
         assert findings == []
+
+    def test_durable_triggered_guard_protects(self, tmp_path):
+        # ``if not fragment.durable.triggered: yield`` — consulting the
+        # barrier covers both branches (either it fired or we wait).
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/toy.py": """
+                def writeback(machine, fragment, addr):
+                    if not fragment.durable.triggered:
+                        yield fragment.durable
+                    request = machine.disks[0].write([addr], tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO01"],
+        )
+        assert findings == []
+
+    def test_helper_that_forces_counts_at_call_site(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/toy.py": """
+                class Arch:
+                    def writeback(self, frame, addr):
+                        self._secure(frame)
+                        request = self.disks[0].write([addr], tag="writeback")
+                        yield request.done
+
+                    def _secure(self, frame):
+                        self.log.force()
+                """
+            },
+            rules=["PROTO01"],
+        )
+        assert findings == []
+
+    def test_helper_entered_protected_not_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/toy.py": """
+                class Arch:
+                    def writeback(self, frame, addr):
+                        self.log.force()
+                        yield from self._home(addr)
+
+                    def _home(self, addr):
+                        request = self.disks[0].write([addr], tag="writeback")
+                        yield request.done
+                """
+            },
+            rules=["PROTO01"],
+        )
+        assert findings == []
+
+    def test_helper_entered_unprotected_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/toy.py": """
+                class Arch:
+                    def writeback(self, frame, addr):
+                        yield from self._home(addr)
+
+                    def _home(self, addr):
+                        request = self.disks[0].write([addr], tag="writeback")
+                        yield request.done
+                """
+            },
+            rules=["PROTO01"],
+        )
+        assert codes(findings) == ["PROTO01"]
+        assert "_home" in findings[0].message
 
     def test_outside_core_ignored(self, tmp_path):
         findings = lint(
@@ -458,7 +557,418 @@ class TestArch02WalDiscipline:
                     yield request.done
                 """
             },
-            rules=["ARCH02"],
+            rules=["PROTO01"],
+        )
+        assert findings == []
+
+
+class TestProto02ShadowOrdering:
+    def test_unprotected_overwrite_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/shadow/toy.py": """
+                def on_commit(machine, addr):
+                    request = machine.disks[0].write([addr], tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO02"],
+        )
+        assert codes(findings) == ["PROTO02"]
+        assert "no shadow install" in findings[0].message
+
+    def test_scratch_write_protects(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/shadow/toy.py": """
+                def on_commit(machine, addr, scratch_addr):
+                    saved = machine.disks[0].write([scratch_addr], tag="scratch")
+                    yield saved.done
+                    request = machine.disks[0].write([addr], tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO02"],
+        )
+        assert findings == []
+
+    def test_install_protects_and_loop_paths_checked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/shadow/toy.py": """
+                def on_commit(machine, table, pages):
+                    for page in pages:
+                        table.install(page)
+                    request = machine.disks[0].write(pages, tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO02"],
+        )
+        # The zero-iteration path skips install: flagged.
+        assert codes(findings) == ["PROTO02"]
+
+    def test_wal_scope_not_checked_here(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/core/logging/toy.py": """
+                def writeback(machine, addr):
+                    request = machine.disks[0].write([addr], tag="writeback")
+                    yield request.done
+                """
+            },
+            rules=["PROTO02"],
+        )
+        assert findings == []
+
+
+FP01_BASE_PY = """
+class RecoveryManager:
+    name = "abstract"
+
+    def commit(self, tid):
+        self._do_commit(tid)
+
+    def _fault_point(self, name):
+        pass
+"""
+
+
+class TestFp01FaultPointCoverage:
+    def test_commit_without_fault_point_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        self.stable.append("commits", tid)
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert codes(findings) == ["FP01"]
+        assert "ToyManager._do_commit" in findings[0].message
+        assert "_fault_point" in findings[0].message
+
+    def test_fault_point_on_path_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        self._fault_point("toy.commit.pre-record")
+                        self.stable.append("commits", tid)
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert findings == []
+
+    def test_branch_missing_fault_point_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        if tid % 2:
+                            self._fault_point("toy.commit.odd")
+                        self.stable.append("commits", tid)
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert codes(findings) == ["FP01"]
+
+    def test_helper_reached_from_entry_checked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        self._fault_point("toy.commit.pre")
+                        self._record(tid)
+
+                    def _record(self, tid):
+                        self.stable.append("commits", tid)
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert codes(findings) == ["FP01"]
+        assert "_record" in findings[0].message
+
+    def test_always_faulting_helper_discharges(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        self._pause()
+                        self.stable.append("commits", tid)
+
+                    def _pause(self):
+                        self._fault_point("toy.commit.pre-record")
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert findings == []
+
+    def test_method_not_reachable_from_entries_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def debug_poke(self):
+                        self.stable.append("scratch", 0)
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert findings == []
+
+    def test_raising_path_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/storage/interface.py": FP01_BASE_PY,
+                "src/repro/storage/toy.py": """
+                from repro.storage.interface import RecoveryManager
+
+                class ToyManager(RecoveryManager):
+                    def _do_commit(self, tid):
+                        self.stable.append("commits", tid)
+                        raise RuntimeError("commit path always aborts")
+                """,
+            },
+            rules=["FP01"],
+        )
+        assert findings == []
+
+
+class TestTr02SpanBalance:
+    def test_early_return_leaves_span_open(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def run(self, work):
+                        span = self._tspan("service.cpu")
+                        if not work:
+                            return 0
+                        self._tend(span)
+                        return 1
+                """
+            },
+            rules=["TR02"],
+        )
+        assert codes(findings) == ["TR02"]
+        assert "still open" in findings[0].message
+
+    def test_finally_balances_early_return(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def run(self, work):
+                        span = self._tspan("service.cpu")
+                        try:
+                            if not work:
+                                return 0
+                            return 1
+                        finally:
+                            self._tend(span)
+                """
+            },
+            rules=["TR02"],
+        )
+        assert findings == []
+
+    def test_exceptional_exit_exempt(self, tmp_path):
+        # A crash cut-off legitimately leaves the span open.
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def run(self, work):
+                        span = self._tspan("service.cpu")
+                        if not work:
+                            raise RuntimeError("machine crashed")
+                        self._tend(span)
+                        return 1
+                """
+            },
+            rules=["TR02"],
+        )
+        assert findings == []
+
+    def test_rebegin_while_open_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def run(self, jobs):
+                        for job in jobs:
+                            span = self._tspan("service.cpu")
+                            job.go()
+                        self._tend(span)
+                """
+            },
+            rules=["TR02"],
+        )
+        assert any("re-begins" in f.message for f in findings)
+
+    def test_balanced_loop_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def run(self, jobs):
+                        for job in jobs:
+                            span = self._tspan("service.cpu")
+                            job.go()
+                            self._tend(span)
+                """
+            },
+            rules=["TR02"],
+        )
+        assert findings == []
+
+    def test_escaping_span_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/machine/toy.py": """
+                class M:
+                    def open_span(self):
+                        span = self._tspan("service.cpu")
+                        return span
+                """
+            },
+            rules=["TR02"],
+        )
+        assert findings == []
+
+    def test_tracer_begin_end_tracked(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/trace/toy.py": """
+                def record(tracer, work):
+                    span = tracer.begin("txn")
+                    if work:
+                        tracer.end(span)
+                """
+            },
+            rules=["TR02"],
+        )
+        assert codes(findings) == ["TR02"]
+
+
+class TestRng01StreamAliasing:
+    def test_two_modules_sharing_a_stream_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/workload/gen.py": """
+                def arrivals(machine):
+                    return machine.streams.stream("shared.alias").random()
+                """,
+                "src/repro/faults/jitter.py": """
+                def jitter(machine):
+                    return machine.streams.stream("shared.alias").random()
+                """,
+            },
+            rules=["RNG01"],
+        )
+        assert codes(findings) == ["RNG01", "RNG01"]
+        assert "shared.alias" in findings[0].message
+
+    def test_single_consumer_clean(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/workload/gen.py": """
+                def arrivals(machine):
+                    return machine.streams.stream("workload.arrivals").random()
+                """,
+                "src/repro/faults/jitter.py": """
+                def jitter(machine):
+                    return machine.streams.stream("faults.jitter").random()
+                """,
+            },
+            rules=["RNG01"],
+        )
+        assert findings == []
+
+    def test_fresh_private_streams_exempt(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/workload/gen.py": """
+                from repro.sim.rng import RandomStreams
+
+                def arrivals(seed):
+                    return RandomStreams(seed).stream("shared.name").random()
+                """,
+                "src/repro/analysis/check.py": """
+                from repro.sim.rng import RandomStreams
+
+                def replay(seed):
+                    return RandomStreams(seed).fork("replay").stream("shared.name").random()
+                """,
+            },
+            rules=["RNG01"],
+        )
+        assert findings == []
+
+    def test_computed_names_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "src/repro/hardware/disk.py": """
+                def lane(machine, index):
+                    return machine.streams.stream(f"disk.{index}")
+                """,
+                "src/repro/hardware/mirror.py": """
+                def lane(machine, index):
+                    return machine.streams.stream(f"disk.{index}")
+                """,
+            },
+            rules=["RNG01"],
         )
         assert findings == []
 
