@@ -13,8 +13,9 @@ Run the whole harness with::
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.experiments import ExperimentSettings
 from repro.experiments.tables import render
@@ -52,6 +53,24 @@ def run_table(
     with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
     return result
+
+
+#: Repository root — machine-readable benchmark artifacts land here (and
+#: in ``benchmarks/output/``) as ``BENCH_<name>.json`` so CI can diff and
+#: archive them without parsing the human tables.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Write ``payload`` as ``BENCH_<name>.json`` at the repo root and in
+    ``benchmarks/output/``; returns the root path."""
+    text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    root_path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    for path in (root_path, os.path.join(OUTPUT_DIR, f"BENCH_{name}.json")):
+        with open(path, "w") as handle:
+            handle.write(text)
+    return root_path
 
 
 def paper_block(title: str, lines) -> str:

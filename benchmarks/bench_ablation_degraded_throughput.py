@@ -14,7 +14,7 @@ graceful.
 
 import os
 
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block, write_bench_json
 from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
 from repro.core import LoggingConfig, ParallelLoggingArchitecture
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
@@ -113,6 +113,21 @@ def test_ablation_degraded_throughput(benchmark):
     path = os.path.join(OUTPUT_DIR, "ablation_degraded_throughput.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    write_bench_json(
+        "degraded_throughput",
+        {
+            "seed": SEED,
+            "n_transactions": N_TRANSACTIONS,
+            "baseline_makespan_ms": baseline,
+            "states": {
+                label: {
+                    **cell,
+                    "availability": baseline / cell["makespan_ms"],
+                }
+                for label, cell in cells.items()
+            },
+        },
+    )
 
     # The mirror masks its dead side completely: no request is ever lost.
     for label in ("mirror degraded", "LP dead + mirror degraded"):

@@ -50,6 +50,9 @@ from repro.experiments.tracing import (
     run_traced,
     trace_diff,
 )
+from repro.loadgen.arrivals import PROCESSES, ArrivalConfig
+from repro.loadgen.loadtest import DEFAULT_MULTIPLIERS, run_loadtest
+from repro.loadgen.runner import DEGRADED_STATES
 from repro.machine import MachineConfig
 from repro.resilience import run_survivetest
 from repro.trace import (
@@ -205,6 +208,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         dest="json_path",
         help="write the availability report(s) to this JSON file",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="open-system offered-load sweep: goodput vs load, collapse "
+        "knee, degraded-state comparison (see docs/LOADGEN.md)",
+    )
+    loadtest.add_argument("--seed", type=int, default=1985, help="machine seed")
+    loadtest.add_argument(
+        "--arch",
+        default="all",
+        choices=sorted(ARCHITECTURES) + ["all"],
+        help="recovery architecture to sweep (default: all five)",
+    )
+    loadtest.add_argument(
+        "-n",
+        "--transactions",
+        type=int,
+        default=24,
+        help="transactions offered per sweep cell (default 24)",
+    )
+    loadtest.add_argument(
+        "--loads",
+        default=",".join(f"{m:g}" for m in DEFAULT_MULTIPLIERS),
+        help="comma list of offered-load multiples of calibrated capacity",
+    )
+    loadtest.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=sorted(PROCESSES),
+        help="arrival process per cell (default: poisson)",
+    )
+    loadtest.add_argument(
+        "--policy",
+        default="drop",
+        choices=("drop", "block", "token-bucket"),
+        help="admission policy of the bounded queue (default: drop)",
+    )
+    loadtest.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="goodput SLO in ms (default: 2.5x closed-batch mean completion)",
+    )
+    loadtest.add_argument(
+        "--states",
+        default="healthy,dead-lp,mirrored-degraded",
+        help="comma list of machine states to sweep "
+        f"(subset of {','.join(DEGRADED_STATES)}; dead-lp is wal-only "
+        "and skipped elsewhere)",
+    )
+    loadtest.add_argument(
+        "--json",
+        dest="json_path",
+        help="write every sweep report to this JSON file",
     )
 
     sweep = sub.add_parser(
@@ -380,6 +438,58 @@ def _run_survivetest(args) -> int:
     if args.json_path:
         with open(args.json_path, "w") as handle:
             json.dump(reports, handle, sort_keys=True, indent=2)
+        print(f"wrote {args.json_path}")
+    return 1 if failed else 0
+
+
+def _run_loadtest(args) -> int:
+    try:
+        multipliers = [float(tok) for tok in args.loads.split(",") if tok.strip()]
+        if not multipliers or any(m <= 0 for m in multipliers):
+            raise ValueError
+    except ValueError:
+        print(f"bad --loads {args.loads!r}: need positive numbers", file=sys.stderr)
+        return 2
+    states = [tok.strip() for tok in args.states.split(",") if tok.strip()]
+    unknown = [s for s in states if s not in DEGRADED_STATES]
+    if unknown or not states:
+        print(
+            f"bad --states {args.states!r}: pick from "
+            f"{','.join(DEGRADED_STATES)}",
+            file=sys.stderr,
+        )
+        return 2
+    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    reports = []
+    failed = False
+    for arch in archs:
+        for state in states:
+            if state == "dead-lp" and arch != "wal":
+                continue
+            report = run_loadtest(
+                arch,
+                seed=args.seed,
+                n_per_cell=args.transactions,
+                multipliers=multipliers,
+                arrival=ArrivalConfig(process=args.arrival),
+                policy=args.policy,
+                slo_ms=args.slo_ms,
+                state=state,
+            )
+            reports.append(report)
+            print(report.summary())
+            print()
+            # The sweep contract: oracles hold in every cell AND the
+            # swept range actually exhibits the overload collapse.
+            failed = failed or not report.ok or report.knee() is None
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(
+                [report.to_dict() for report in reports],
+                handle,
+                sort_keys=True,
+                indent=2,
+            )
         print(f"wrote {args.json_path}")
     return 1 if failed else 0
 
@@ -561,6 +671,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "survivetest":
         return _run_survivetest(args)
+
+    if args.command == "loadtest":
+        return _run_loadtest(args)
 
     if args.command == "checkpoint-sweep":
         return _run_checkpoint_sweep(args)

@@ -136,6 +136,7 @@ _LAYERS = {
     "analysis": 4,
     "resilience": 4,
     "experiments": 4,
+    "loadgen": 4,
     "cli": 5,
 }
 

@@ -6,6 +6,7 @@ page-level-locking scheduler; an I/O processor moves pages between the data
 disks and the cache.
 """
 
+from repro.machine.admission import AdmissionQueue, BackpressureMonitor
 from repro.machine.cache import DiskCache
 from repro.machine.config import MachineConfig
 from repro.machine.locks import DeadlockAbort, LockManager, LockMode
@@ -13,6 +14,8 @@ from repro.machine.machine import DatabaseMachine
 from repro.machine.processors import ProcessorPool
 
 __all__ = [
+    "AdmissionQueue",
+    "BackpressureMonitor",
     "DatabaseMachine",
     "DeadlockAbort",
     "DiskCache",

@@ -1,0 +1,305 @@
+"""Overload protection: bounded admission, token buckets, backpressure.
+
+The paper drives its machine with a closed batch, so the back-end
+controller never has to say *no*.  An open system must: when offered
+load exceeds capacity, the admitted work must stay bounded or the lock
+table and cache thrash and goodput collapses.  This module is the
+machine-layer half of the open-system story (the arrival processes live
+in :mod:`repro.loadgen`):
+
+* :class:`AdmissionQueue` — a bounded queue in front of the machine with
+  three policies (``drop``, ``block``-with-timeout, ``token-bucket``),
+  client-side retry with capped exponential backoff, and deadline-based
+  shedding.  Every offered transaction ends in exactly one disposition:
+  **admitted**, **rejected** (turned away, retries exhausted), or
+  **shed** (client deadline expired first) — the accounting oracle
+  ``admitted + rejected + shed = offered`` is checked by the loadtest.
+* :class:`BackpressureMonitor` — watches the lock table and buffer cache
+  against high/low watermarks; while asserted, arrivals are turned away
+  at the door regardless of queue room.
+
+Everything here is deterministic — backoffs are computed, never drawn —
+so an open-system run is exactly reproducible from its arrival schedule.
+Closed-batch ``DatabaseMachine.run()`` never constructs these objects,
+keeping pre-existing traces byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.sim.core import Event
+from repro.sim.monitor import CounterStat
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.machine.machine import DatabaseMachine
+    from repro.workload.transaction import Transaction
+
+__all__ = ["AdmissionQueue", "BackpressureMonitor"]
+
+#: Final dispositions of an offered transaction.
+ADMITTED = "admitted"
+REJECTED = "rejected"
+SHED = "shed"
+
+
+class BackpressureMonitor:
+    """Hysteresis watermark monitor over the lock table and cache.
+
+    ``update()`` is called at every admission attempt and every
+    transaction completion; it flips :attr:`active` when the cache
+    occupancy or the count of blocked lock requests crosses the high
+    watermark, and releases only when *both* signals drain below their
+    low watermarks (classic hysteresis, so the signal does not flap).
+    """
+
+    def __init__(self, machine: "DatabaseMachine"):
+        self.machine = machine
+        config = machine.config
+        self._cache_high = config.backpressure_cache_high
+        self._cache_low = config.backpressure_cache_low
+        self._lock_high = config.backpressure_lock_high
+        self._lock_low = config.backpressure_lock_low
+        self.active = False
+        self.transitions = CounterStat("backpressure.transitions")
+        #: Total simulated time spent with backpressure asserted.
+        self.asserted_ms = 0.0
+        self._asserted_at: Optional[float] = None
+
+    def _cache_fraction(self) -> float:
+        cache = self.machine.cache
+        return cache.in_use / cache.capacity
+
+    def update(self) -> bool:
+        """Re-evaluate the signals; returns the (possibly new) state."""
+        machine = self.machine
+        waiting = machine.locks.waiting_requests
+        cache_frac = self._cache_fraction()
+        if not self.active:
+            if cache_frac >= self._cache_high or waiting >= self._lock_high:
+                self.active = True
+                self.transitions.increment()
+                self._asserted_at = machine.env.now
+                machine._tinstant(
+                    "backpressure.on",
+                    cache_fraction=round(cache_frac, 4),
+                    lock_waiters=waiting,
+                )
+                machine.fault_hook("machine.backpressure.on")
+        else:
+            if cache_frac <= self._cache_low and waiting <= self._lock_low:
+                self.active = False
+                self.transitions.increment()
+                if self._asserted_at is not None:
+                    self.asserted_ms += machine.env.now - self._asserted_at
+                    self._asserted_at = None
+                machine._tinstant(
+                    "backpressure.off",
+                    cache_fraction=round(cache_frac, 4),
+                    lock_waiters=waiting,
+                )
+                machine.fault_hook("machine.backpressure.off")
+        return self.active
+
+    def finish(self) -> None:
+        """Close an open assertion window at the end of the run."""
+        if self._asserted_at is not None:
+            self.asserted_ms += self.machine.env.now - self._asserted_at
+            self._asserted_at = None
+
+
+class _SlotQueue:
+    """Bounded admission slots with cancellable FIFO waiters.
+
+    ``Container`` cannot back this: its getter queue is strictly FIFO and
+    an abandoned (timed-out) getter at the head would wedge everyone
+    behind it.  Here a timed-out waiter is cancelled and skipped.
+    """
+
+    def __init__(self, env, capacity: int):
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def depth(self) -> int:
+        return self.in_use
+
+    def try_acquire(self) -> bool:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
+    def wait(self) -> Event:
+        """An event granted (FIFO) when a slot frees up."""
+        evt = self.env.event()
+        self._waiters.append(evt)
+        return evt
+
+    def cancel(self, evt: Event) -> None:
+        try:
+            self._waiters.remove(evt)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        while self._waiters:
+            nxt = self._waiters.popleft()
+            if nxt.triggered:
+                continue
+            # The slot passes directly to the waiter; occupancy unchanged.
+            nxt.succeed()
+            return
+        self.in_use -= 1
+
+
+class AdmissionQueue:
+    """The bounded admission queue in front of the multiprogramming level.
+
+    One instance serves one open-system run (:meth:`DatabaseMachine.run_open`).
+    ``admit(txn, arrival_ms)`` is a simulation generator driving the whole
+    client-side protocol — policy check, retries with capped exponential
+    backoff, deadline shedding — and returns the final disposition.
+    """
+
+    def __init__(self, machine: "DatabaseMachine"):
+        self.machine = machine
+        config = machine.config
+        self.policy = config.admission_policy
+        self.queue = _SlotQueue(machine.env, config.admission_queue_limit)
+        self.backpressure = BackpressureMonitor(machine)
+        self.offered = CounterStat("admission.offered")
+        self.admitted = CounterStat("admission.admitted")
+        self.rejected = CounterStat("admission.rejected")
+        self.shed = CounterStat("admission.shed")
+        self.retries = CounterStat("admission.retries")
+        #: Token bucket state (lazily refilled; exact, no process needed).
+        self._tokens = float(config.admission_token_burst)
+        self._tokens_at = machine.env.now
+
+    # ------------------------------------------------------------------ tokens
+    def _refill_tokens(self) -> None:
+        config = self.machine.config
+        now = self.machine.env.now
+        if config.admission_tokens_per_s > 0:
+            self._tokens = min(
+                float(config.admission_token_burst),
+                self._tokens
+                + config.admission_tokens_per_s * (now - self._tokens_at) / 1000.0,
+            )
+        self._tokens_at = now
+
+    def _take_token(self) -> bool:
+        self._refill_tokens()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    # ------------------------------------------------------------------ protocol
+    def _deadline_of(self, arrival_ms: float) -> Optional[float]:
+        deadline = self.machine.config.admission_deadline_ms
+        return arrival_ms + deadline if deadline > 0 else None
+
+    def _backoff_ms(self, attempt: int) -> float:
+        """Capped exponential client backoff after the ``attempt``-th try."""
+        config = self.machine.config
+        return min(
+            config.admission_retry_cap_ms,
+            config.admission_retry_base_ms * (2.0 ** (attempt - 1)),
+        )
+
+    def _try_once(self, txn: "Transaction"):
+        """Generator: one admission attempt; returns True when a slot is held."""
+        machine = self.machine
+        if self.backpressure.update():
+            return False
+        if self.policy == "token-bucket" and not self._take_token():
+            return False
+        if self.queue.try_acquire():
+            return True
+        if self.policy != "block":
+            return False
+        timeout_ms = machine.config.admission_block_timeout_ms
+        if timeout_ms <= 0:
+            return False
+        waiter = self.queue.wait()
+        timeout = machine.env.timeout(timeout_ms)
+        yield machine.env.any_of([waiter, timeout])
+        if waiter.triggered:
+            return True
+        self.queue.cancel(waiter)
+        return False
+
+    def admit(self, txn: "Transaction", arrival_ms: float):
+        """Generator: run the client protocol; returns the disposition.
+
+        On ``ADMITTED`` the caller holds one queue slot and must call
+        :meth:`start` when the transaction begins executing (freeing the
+        slot for the next arrival) — or :meth:`queue.release` directly.
+        """
+        machine = self.machine
+        self.offered.increment()
+        deadline = self._deadline_of(arrival_ms)
+        max_attempts = machine.config.admission_retry_max_attempts
+        attempt = 0
+        while True:
+            if deadline is not None and machine.env.now >= deadline:
+                self.shed.increment()
+                machine._tinstant("admission.shed", tid=txn.tid, attempts=attempt)
+                machine.fault_hook("machine.admission.shed")
+                return SHED
+            attempt += 1
+            got = yield from self._try_once(txn)
+            if got:
+                self.admitted.increment()
+                machine._tinstant(
+                    "admission.enqueue",
+                    tid=txn.tid,
+                    attempts=attempt,
+                    depth=self.queue.depth,
+                )
+                machine.fault_hook("machine.admission.enqueue")
+                return ADMITTED
+            if attempt >= max_attempts:
+                self.rejected.increment()
+                machine._tinstant("admission.reject", tid=txn.tid, attempts=attempt)
+                machine.fault_hook("machine.admission.reject")
+                return REJECTED
+            self.retries.increment()
+            backoff = self._backoff_ms(attempt)
+            if deadline is not None:
+                backoff = min(backoff, max(0.0, deadline - machine.env.now))
+            if backoff > 0:
+                yield machine.env.timeout(backoff)
+
+    def start(self) -> None:
+        """An admitted transaction left the queue for a processor slot."""
+        self.queue.release()
+
+    def note_completion(self) -> None:
+        """A transaction finished; pressure may have drained."""
+        self.backpressure.update()
+
+    # ------------------------------------------------------------------ results
+    def counters(self) -> Dict[str, int]:
+        """The accounting counters, folded into ``RunResult.counters``."""
+        return {
+            "admission_offered": self.offered.count,
+            "admission_admitted": self.admitted.count,
+            "admission_rejected": self.rejected.count,
+            "admission_shed": self.shed.count,
+            "admission_retries": self.retries.count,
+            "backpressure_transitions": self.backpressure.transitions.count,
+        }
+
+    @property
+    def accounted(self) -> bool:
+        """The conservation oracle: every offered txn has one disposition."""
+        return (
+            self.offered.count
+            == self.admitted.count + self.rejected.count + self.shed.count
+        )

@@ -53,6 +53,41 @@ class MachineConfig:
     log_ship_max_attempts: int = 4
     #: Linear backoff between fragment-shipping attempts, in ms.
     log_ship_backoff_ms: float = 2.0
+    #: Depth of the bounded admission queue in front of the machine
+    #: (admitted-but-not-yet-running transactions).  Only open-system runs
+    #: (:meth:`DatabaseMachine.run_open`) consult the admission knobs;
+    #: closed-batch ``run()`` is untouched and stays byte-identical.
+    admission_queue_limit: int = 16
+    #: Admission policy when an offered transaction arrives:
+    #: ``drop`` (turn away instantly when the queue is full),
+    #: ``block`` (wait up to ``admission_block_timeout_ms`` for room), or
+    #: ``token-bucket`` (admit only while tokens remain; they refill at
+    #: ``admission_tokens_per_s`` up to ``admission_token_burst``).
+    admission_policy: str = "drop"
+    #: How long a ``block``-policy arrival waits for queue room before the
+    #: attempt counts as a turn-away, in ms.
+    admission_block_timeout_ms: float = 250.0
+    #: Token refill rate for ``token-bucket`` admission (tokens/second).
+    admission_tokens_per_s: float = 0.0
+    #: Token bucket capacity (burst size) for ``token-bucket`` admission.
+    admission_token_burst: int = 8
+    #: Client-side attempts per offered transaction (first try + retries);
+    #: a turned-away client retries with capped exponential backoff.
+    admission_retry_max_attempts: int = 3
+    #: Base of the capped exponential client backoff, in ms.
+    admission_retry_base_ms: float = 50.0
+    #: Cap on the exponential client backoff, in ms.
+    admission_retry_cap_ms: float = 400.0
+    #: Client deadline from arrival to admission, in ms; a transaction not
+    #: admitted by its deadline is shed (0 disables deadline shedding).
+    admission_deadline_ms: float = 0.0
+    #: Cache-occupancy fraction at which backpressure asserts (arrivals
+    #: are turned away) and the fraction below which it releases.
+    backpressure_cache_high: float = 0.95
+    backpressure_cache_low: float = 0.75
+    #: Waiting lock requests at which backpressure asserts / releases.
+    backpressure_lock_high: int = 48
+    backpressure_lock_low: int = 12
     seed: int = 1985
 
     def __post_init__(self) -> None:
@@ -86,6 +121,37 @@ class MachineConfig:
             raise ValueError("need at least one log-ship attempt")
         if self.log_ship_backoff_ms < 0:
             raise ValueError("log-ship backoff must be >= 0")
+        if self.admission_queue_limit < 1:
+            raise ValueError("admission queue needs at least one slot")
+        if self.admission_policy not in ("drop", "block", "token-bucket"):
+            raise ValueError(
+                f"unknown admission policy {self.admission_policy!r}"
+            )
+        if self.admission_block_timeout_ms < 0:
+            raise ValueError("admission block timeout must be >= 0")
+        if self.admission_policy == "token-bucket" and self.admission_tokens_per_s <= 0:
+            raise ValueError(
+                "token-bucket admission needs admission_tokens_per_s > 0"
+            )
+        if self.admission_token_burst < 1:
+            raise ValueError("token bucket needs a burst of at least 1")
+        if self.admission_retry_max_attempts < 1:
+            raise ValueError("need at least one admission attempt")
+        if self.admission_retry_base_ms < 0 or self.admission_retry_cap_ms < 0:
+            raise ValueError("admission retry backoff must be >= 0")
+        if self.admission_deadline_ms < 0:
+            raise ValueError("admission deadline must be >= 0 (0 disables)")
+        if not 0.0 < self.backpressure_cache_low <= self.backpressure_cache_high <= 1.0:
+            raise ValueError(
+                "backpressure cache watermarks need "
+                "0 < low <= high <= 1, got "
+                f"{self.backpressure_cache_low}/{self.backpressure_cache_high}"
+            )
+        if not 0 <= self.backpressure_lock_low <= self.backpressure_lock_high:
+            raise ValueError(
+                "backpressure lock watermarks need 0 <= low <= high, got "
+                f"{self.backpressure_lock_low}/{self.backpressure_lock_high}"
+            )
 
     @property
     def usable_pages_per_disk(self) -> int:

@@ -61,6 +61,11 @@ class LockManager:
         self.deadlocks = CounterStat("lock.deadlocks")
 
     # -- public API -----------------------------------------------------------
+    @property
+    def waiting_requests(self) -> int:
+        """Lock requests currently blocked (the backpressure signal)."""
+        return len(self._edges)
+
     def acquire(self, tid: int, page: int, mode: LockMode) -> Event:
         """Request a lock; the event fires on grant, fails on deadlock."""
         event = self.env.event()

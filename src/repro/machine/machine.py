@@ -25,6 +25,7 @@ from repro.core.base import AuxRead, DataPage, RecoveryArchitecture, WorkItem
 from repro.hardware.disk import Disk, DiskAddress, make_disk, split_by_cylinder
 from repro.hardware.mirror import MirroredDisk
 from repro.hardware.placement import ClusteredPlacement, Placement
+from repro.machine.admission import ADMITTED, AdmissionQueue
 from repro.machine.cache import DiskCache
 from repro.machine.config import MachineConfig
 from repro.machine.locks import DeadlockAbort, LockManager, LockMode
@@ -150,6 +151,9 @@ class DatabaseMachine:
         #: itself here); with one attached, component failover waits for
         #: the monitor's detection instead of firing instantly.
         self.health = None
+        #: Bounded admission queue; built by :meth:`run_open` only, so the
+        #: closed-batch path never touches the overload-protection code.
+        self.admission: Optional[AdmissionQueue] = None
         #: Fires when an injected whole-machine crash halts the run.
         self._crash_event: Event = self.env.event()
         self.crashed = False
@@ -350,6 +354,76 @@ class DatabaseMachine:
         else:
             self.env.run(until=done)
         return self._collect(transactions)
+
+    def run_open(
+        self,
+        transactions: Sequence[Transaction],
+        arrival_times_ms: Sequence[float],
+        spike_times_ms: Sequence[float] = (),
+    ) -> RunResult:
+        """Open-system run: one client per transaction, arriving on schedule.
+
+        Each offered transaction arrives at its scheduled instant and runs
+        the admission protocol (:mod:`repro.machine.admission`): it ends
+        **admitted** (and then always executes to commit), **rejected**,
+        or **shed**.  Admitted transactions wait in the bounded admission
+        queue for a multiprogramming slot; backpressure turns arrivals
+        away while the lock table or cache is saturated.  The accounting
+        counters land in ``RunResult.counters`` (``admission_*``).
+
+        ``spike_times_ms`` marks scripted load-spike starts with
+        ``arrival.spike`` trace instants (schedule generation itself lives
+        in :mod:`repro.loadgen`).
+        """
+        if not transactions:
+            raise ValueError("empty transaction load")
+        if len(arrival_times_ms) != len(transactions):
+            raise ValueError(
+                f"{len(transactions)} transactions but "
+                f"{len(arrival_times_ms)} arrival times"
+            )
+        self.admission = AdmissionQueue(self)
+        done = self.env.process(
+            self._open_driver(transactions, arrival_times_ms, spike_times_ms),
+            name="open-driver",
+        )
+        if self.faults is not None:
+            self.env.run(until=self.env.any_of([done, self._crash_event]))
+        else:
+            self.env.run(until=done)
+        return self._collect(transactions)
+
+    def _open_driver(self, transactions, arrival_times_ms, spike_times_ms):
+        mpl = Resource(self.env, capacity=self.config.mpl)
+        if self.tracer is not None:
+            for at in spike_times_ms:
+                self.env.process(self._spike_marker(at), name="spike")
+        clients = [
+            self.env.process(
+                self._open_client(txn, at, mpl), name=f"client{txn.tid}"
+            )
+            for txn, at in zip(transactions, arrival_times_ms)
+        ]
+        yield self.env.all_of(clients)
+
+    def _spike_marker(self, at_ms: float):
+        yield self.env.timeout(max(0.0, at_ms - self.env.now))
+        self._tinstant("arrival.spike", at=at_ms)
+
+    def _open_client(self, txn: Transaction, arrival_ms: float, mpl: Resource):
+        """One open-system client: arrive, seek admission, execute."""
+        if arrival_ms > self.env.now:
+            yield self.env.timeout(arrival_ms - self.env.now)
+        disposition = yield from self.admission.admit(txn, arrival_ms)
+        if disposition is not ADMITTED:
+            return
+        grant = mpl.request()
+        yield grant
+        # The multiprogramming slot is granted: the transaction leaves the
+        # admission queue, freeing a slot for the next arrival.
+        self.admission.start()
+        yield from self._run_transaction(txn, mpl, grant)
+        self.admission.note_completion()
 
     def _driver(self, transactions: Sequence[Transaction]):
         mpl = Resource(self.env, capacity=self.config.mpl)
@@ -568,7 +642,12 @@ class DatabaseMachine:
         utilizations.update(self.arch.extra_utilizations(t_end))
         counters.update(self.arch.extra_counters())
         averages.update(self.arch.extra_averages(t_end))
+        if self.admission is not None:
+            self.admission.backpressure.finish()
+            counters.update(self.admission.counters())
         extras: Dict[str, float] = {}
+        if self.admission is not None:
+            extras["backpressure_ms"] = self.admission.backpressure.asserted_ms
         if self.crashed:
             extras["crashed_at"] = t_end
         percentiles = {

@@ -53,6 +53,27 @@ class RunResult:
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
 
+    #: Resilience and overload counters surfaced uniformly by ``summary()``
+    #: whenever the run recorded them: component failures and log-ship
+    #: retries on one side, admission dispositions on the other.
+    RESILIENCE_COUNTERS = (
+        "qp_failures",
+        "log_ship_retries",
+        "log_fragments_reshipped",
+        "log_fragments_orphaned",
+        "mirror_fallback_reads",
+        "mirror_rebuilt_pages",
+        "mirror_lost_requests",
+    )
+    OVERLOAD_COUNTERS = (
+        "admission_offered",
+        "admission_admitted",
+        "admission_rejected",
+        "admission_shed",
+        "admission_retries",
+        "backpressure_transitions",
+    )
+
     def summary(self) -> str:
         """A one-paragraph human-readable digest."""
         lines = [
@@ -74,4 +95,16 @@ class RunResult:
             )
         for name in sorted(self.utilizations):
             lines.append(f"util[{name}] : {self.utilizations[name]:.2f}")
+        resilience = [n for n in self.RESILIENCE_COUNTERS if n in self.counters]
+        if resilience:
+            lines.append(
+                "resilience            : "
+                + "  ".join(f"{n}={self.counters[n]}" for n in resilience)
+            )
+        overload = [n for n in self.OVERLOAD_COUNTERS if n in self.counters]
+        if overload:
+            lines.append(
+                "overload              : "
+                + "  ".join(f"{n}={self.counters[n]}" for n in overload)
+            )
         return "\n".join(lines)

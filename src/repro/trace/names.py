@@ -18,7 +18,13 @@ from typing import Dict, FrozenSet
 
 __all__ = [
     "ABORT",
+    "ADMISSION_ENQUEUE",
+    "ADMISSION_REJECT",
+    "ADMISSION_SHED",
     "APPEND",
+    "ARRIVAL_SPIKE",
+    "BACKPRESSURE_OFF",
+    "BACKPRESSURE_ON",
     "CACHE_WAIT",
     "CATALOGUE",
     "CHECKPOINT",
@@ -122,6 +128,20 @@ FAILOVER_QP = "failover.qp"
 #: LP failover: surviving log processors take ownership of the dead one's
 #: stream (orphans re-shipped, survivors forced).
 FAILOVER_LP = "failover.lp"
+#: An offered transaction entered the bounded admission queue.
+ADMISSION_ENQUEUE = "admission.enqueue"
+#: The admission controller turned an offered transaction away for good
+#: (queue full / no token / backpressure, retries exhausted).
+ADMISSION_REJECT = "admission.reject"
+#: The client gave up before admission (deadline-based shedding).
+ADMISSION_SHED = "admission.shed"
+#: The lock table or buffer cache crossed its high watermark; arrivals
+#: are turned away until the pressure drains below the low watermark.
+BACKPRESSURE_ON = "backpressure.on"
+#: Pressure drained below the low watermark; admission reopened.
+BACKPRESSURE_OFF = "backpressure.off"
+#: A scripted load spike began (the arrival process multiplies its rate).
+ARRIVAL_SPIKE = "arrival.spike"
 
 #: Every name the recorder accepts.
 CATALOGUE: FrozenSet[str] = frozenset(
@@ -156,6 +176,12 @@ CATALOGUE: FrozenSet[str] = frozenset(
         HEALTH_DETECT,
         FAILOVER_QP,
         FAILOVER_LP,
+        ADMISSION_ENQUEUE,
+        ADMISSION_REJECT,
+        ADMISSION_SHED,
+        BACKPRESSURE_ON,
+        BACKPRESSURE_OFF,
+        ARRIVAL_SPIKE,
     }
 )
 

@@ -1,0 +1,176 @@
+"""Tests for the open-system arrival processes (repro.loadgen.arrivals)."""
+
+import math
+
+import pytest
+
+from repro.loadgen.arrivals import ArrivalConfig, Spike, generate_arrivals
+from repro.sim.rng import RandomStreams
+
+
+def schedule(**kwargs):
+    seed = kwargs.pop("seed", 1985)
+    return generate_arrivals(
+        ArrivalConfig(**kwargs), RandomStreams(seed).fork("arrivals")
+    )
+
+
+class TestPoisson:
+    def test_interarrival_mean_matches_rate(self):
+        # 400 samples at 10 tps: the mean inter-arrival should sit near
+        # 100 ms (standard error ~5 ms; the fixed seed pins the draw).
+        sched = schedule(process="poisson", rate_tps=10.0, n_arrivals=400)
+        gaps = sched.interarrivals_ms()
+        mean = sum(gaps) / len(gaps)
+        assert 85.0 <= mean <= 115.0
+
+    def test_interarrival_cv_is_exponential(self):
+        # Exponential inter-arrivals have CV = 1.
+        sched = schedule(process="poisson", rate_tps=10.0, n_arrivals=400)
+        gaps = sched.interarrivals_ms()
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+        cv = math.sqrt(var) / mean
+        assert 0.8 <= cv <= 1.2
+
+    def test_times_strictly_ordered_and_positive(self):
+        sched = schedule(process="poisson", n_arrivals=100)
+        assert all(t > 0 for t in sched.times_ms)
+        assert list(sched.times_ms) == sorted(sched.times_ms)
+
+
+class TestBursty:
+    def test_arrivals_confined_to_on_windows(self):
+        sched = schedule(process="bursty", rate_tps=8.0, n_arrivals=200)
+        assert sched.on_windows_ms
+        for t in sched.times_ms:
+            assert any(start <= t <= end for start, end in sched.on_windows_ms)
+
+    def test_duty_cycle_matches_config(self):
+        # Equal on/off means: about half the elapsed time should be ON.
+        sched = schedule(
+            process="bursty",
+            rate_tps=8.0,
+            n_arrivals=300,
+            burst_on_ms=400.0,
+            burst_off_ms=400.0,
+        )
+        span = sched.times_ms[-1]
+        on_time = sum(
+            max(0.0, min(end, span) - start)
+            for start, end in sched.on_windows_ms
+            if start < span
+        )
+        assert 0.35 <= on_time / span <= 0.65
+
+    def test_long_run_rate_preserved(self):
+        # The ON-state rate is scaled by (on+off)/on, so the long-run
+        # offered rate stays near rate_tps despite the silent gaps.
+        sched = schedule(process="bursty", rate_tps=8.0, n_arrivals=400)
+        rate = 1000.0 * sched.offered / sched.times_ms[-1]
+        assert 6.0 <= rate <= 10.0
+
+
+class TestDiurnal:
+    def test_profile_integral_preserves_rate(self):
+        # The sinusoid integrates to zero over a full period, so over
+        # many periods the empirical rate matches rate_tps.
+        sched = schedule(
+            process="diurnal",
+            rate_tps=10.0,
+            n_arrivals=500,
+            diurnal_period_ms=5_000.0,
+            diurnal_amplitude=0.8,
+        )
+        rate = 1000.0 * sched.offered / sched.times_ms[-1]
+        assert 8.0 <= rate <= 12.0
+
+    def test_first_half_period_busier_than_second(self):
+        # sin is positive on the first half-period, negative on the
+        # second: arrivals concentrate in the rising half.
+        period = 10_000.0
+        sched = schedule(
+            process="diurnal",
+            rate_tps=10.0,
+            n_arrivals=500,
+            diurnal_period_ms=period,
+            diurnal_amplitude=0.8,
+        )
+        first = sum(1 for t in sched.times_ms if (t % period) < period / 2)
+        second = sched.offered - first
+        assert first > 1.5 * second
+
+
+class TestSpikesAndClients:
+    def test_spike_window_concentrates_arrivals(self):
+        spike = Spike(start_ms=1_000.0, duration_ms=1_000.0, multiplier=6.0)
+        sched = schedule(
+            process="poisson", rate_tps=4.0, n_arrivals=300, spikes=(spike,)
+        )
+        in_window = sum(1 for t in sched.times_ms if spike.covers(t))
+        span = sched.times_ms[-1]
+        base_expectation = 300 * spike.duration_ms / span
+        assert in_window > 2.0 * base_expectation
+        assert sched.spike_starts_ms == (1_000.0,)
+
+    def test_client_pacing_enforces_think_gaps(self):
+        sched = schedule(
+            process="poisson",
+            rate_tps=50.0,
+            n_arrivals=60,
+            n_clients=3,
+            think_time_ms=200.0,
+        )
+        assert len(sched.clients) == 60
+        assert set(sched.clients) <= {0, 1, 2}
+        # Sorted overall, and the pacing stretches the schedule well
+        # beyond what 50 tps alone would produce.
+        assert list(sched.times_ms) == sorted(sched.times_ms)
+        unpaced = schedule(process="poisson", rate_tps=50.0, n_arrivals=60)
+        assert sched.times_ms[-1] > unpaced.times_ms[-1]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("process", ["poisson", "bursty", "diurnal"])
+    def test_same_seed_same_schedule(self, process):
+        a = schedule(process=process, n_arrivals=80, seed=7)
+        b = schedule(process=process, n_arrivals=80, seed=7)
+        assert a.times_ms == b.times_ms
+        assert a.on_windows_ms == b.on_windows_ms
+
+    def test_different_seed_different_schedule(self):
+        a = schedule(process="poisson", n_arrivals=80, seed=7)
+        b = schedule(process="poisson", n_arrivals=80, seed=8)
+        assert a.times_ms != b.times_ms
+
+    def test_processes_draw_distinct_streams(self):
+        # Each process owns a named stream; schedules differ by process.
+        a = schedule(process="poisson", n_arrivals=40)
+        b = schedule(process="diurnal", n_arrivals=40, diurnal_amplitude=0.0)
+        # amplitude 0 makes diurnal a homogeneous Poisson too, but the
+        # draws come from a different named stream.
+        assert a.times_ms != b.times_ms
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"process": "lunar"},
+            {"rate_tps": 0.0},
+            {"n_arrivals": 0},
+            {"burst_on_ms": 0.0},
+            {"diurnal_amplitude": 1.0},
+            {"n_clients": 0},
+            {"think_time_ms": -1.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ArrivalConfig(**kwargs)
+
+    def test_bad_spike_rejected(self):
+        with pytest.raises(ValueError):
+            Spike(start_ms=-1.0, duration_ms=10.0)
+        with pytest.raises(ValueError):
+            Spike(start_ms=0.0, duration_ms=10.0, multiplier=0.0)
