@@ -10,60 +10,62 @@ parallel-sequential machine collapses when frames are scarce (its cylinder
 batches shrink), while conventional-random barely notices.
 """
 
-from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from typing import Any, Dict
+
+from benchmarks._harness import (
+    BENCH_SEED,
+    BENCH_SETTINGS,
+    paper_block,
+    run_grid_bench,
+)
+from repro.bench import Grid
 from repro.experiments import CONFIGURATIONS
 from repro.experiments.sweeps import sweep_machine
-from repro.metrics import format_table
-
-SEED = BENCH_SEED
-SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
 
 FRAME_COUNTS = (40, 70, 100, 150)
 
+PAPER_TEXT = paper_block(
+    "Paper (Sections 4.1.1-4.1.2):",
+    [
+        "'more cache frames were available for anticipatory paging than",
+        " the disks could feed' (baseline machine)",
+        "'availability of fewer cache frames severely affects the",
+        " performance of the parallel-access disks'",
+    ],
+)
+
+
+def cache_frames_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    rows = sweep_machine(
+        CONFIGURATIONS[params["configuration"]],
+        field="cache_frames",
+        values=[params["cache_frames"]],
+        settings=BENCH_SETTINGS.with_overrides(seed=seed),
+    )
+    return {"exec_ms_per_page": float(rows[0]["exec_ms_per_page"])}
+
+
+GRID = Grid(
+    name="ablation_cache_frames",
+    title="Ablation: execution time per page vs cache frames",
+    seed=BENCH_SEED,
+    runner=cache_frames_cell,
+    parameters={
+        "configuration": ["conventional-random", "parallel-sequential"],
+        "cache_frames": list(FRAME_COUNTS),
+    },
+    primary_metric="exec_ms_per_page",
+)
+
 
 def test_ablation_cache_frames(benchmark):
-    rows_by_config = {}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
 
-    def run_all():
-        for name in ("conventional-random", "parallel-sequential"):
-            rows_by_config[name] = sweep_machine(
-                CONFIGURATIONS[name],
-                field="cache_frames",
-                values=FRAME_COUNTS,
-                settings=SETTINGS,
-            )
-        return rows_by_config
+    def exec_ms(config, frames):
+        return result.metric(configuration=config, cache_frames=frames)
 
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    table_rows = []
-    for name, rows in rows_by_config.items():
-        table_rows.append(
-            [name] + [row["exec_ms_per_page"] for row in rows]
-        )
-    text = format_table(
-        ["configuration"] + [f"{n} frames" for n in FRAME_COUNTS],
-        table_rows,
-        title="Ablation: execution time per page vs cache frames",
+    assert exec_ms("parallel-sequential", FRAME_COUNTS[0]) > 1.2 * exec_ms(
+        "parallel-sequential", FRAME_COUNTS[-1]
     )
-    text += "\n\n" + paper_block(
-        "Paper (Sections 4.1.1-4.1.2):",
-        [
-            "'more cache frames were available for anticipatory paging than",
-            " the disks could feed' (baseline machine)",
-            "'availability of fewer cache frames severely affects the",
-            " performance of the parallel-access disks'",
-        ],
-    )
-    print()
-    print(text)
-    import os
-
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "ablation_cache_frames.txt"), "w") as handle:
-        handle.write(text + "\n")
-
-    parseq = rows_by_config["parallel-sequential"]
-    assert parseq[0]["exec_ms_per_page"] > 1.2 * parseq[-1]["exec_ms_per_page"]
-    convrand = rows_by_config["conventional-random"]
-    values = [row["exec_ms_per_page"] for row in convrand]
+    values = [exec_ms("conventional-random", n) for n in FRAME_COUNTS]
     assert max(values) < 1.10 * min(values)

@@ -9,10 +9,22 @@ one forced partial log page plus one checkpoint page per log disk, fully
 overlapped with data-page processing.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_checkpointing
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_checkpointing",
+    ablation_checkpointing,
+    primary_metric="mean.every_500ms",
+    seed=BENCH_SEED,
+    title="Ablation (Sec 3.1): checkpointing in parallel with processing",
+)
 
 PAPER_TEXT = paper_block(
     "Paper (Section 3.1, details in ref [13]):",
@@ -25,8 +37,6 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_checkpointing(benchmark):
-    result = run_table(
-        benchmark, "ablation_checkpointing", ablation_checkpointing, PAPER_TEXT, seed=SEED
-    )
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         assert row["every_500ms"] <= 1.06 * row["no_checkpoints"], row

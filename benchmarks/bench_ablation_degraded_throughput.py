@@ -2,49 +2,50 @@
 
 The paper sizes the architectures for fault-free throughput; this
 ablation prices *survival*.  The same seeded workload runs on the
-parallel-logging machine in four states: healthy, one log processor dead
-(survivors absorb its fragment stream), mirrored data disks with one
-side dead and rebuilding at a bounded I/O share, and both at once.
-Expected shape: every degraded cell still commits every transaction
-(that is the point of the resilience layer); losing one of three log
-processors costs some throughput; the mirror masks a dead side with no
-lost requests while the rebuild's bounded share keeps the slowdown
-graceful.
+parallel-logging machine with two component toggles ablated in full
+product mode: ``lp0`` (log processor 0 alive; off = survivors absorb its
+fragment stream) and ``mirror_side`` (both mirror sides healthy; off =
+mirrored data disks with one side dead and rebuilding at a bounded I/O
+share).  The four cells are the four machine states.  Expected shape:
+every degraded cell still commits every transaction (that is the point
+of the resilience layer); losing one of three log processors costs some
+throughput; the mirror masks a dead side with no lost requests while the
+rebuild's bounded share keeps the slowdown graceful.
 """
 
-import os
+from typing import Any, Dict
 
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block, write_bench_json
+from benchmarks._harness import BENCH_SEED, paper_block, run_grid_bench
 from repro import DatabaseMachine, MachineConfig, WorkloadConfig, generate_transactions
+from repro.bench import ComponentToggle, Grid
 from repro.core import LoggingConfig, ParallelLoggingArchitecture
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
-from repro.metrics import format_table
 from repro.sim import RandomStreams
 from repro.workload import TransactionStatus
-
-SEED = BENCH_SEED
 
 N_TRANSACTIONS = 8
 FAIL_AT_MS = 100.0
 REPAIR_AFTER_MS = 200.0
 
-#: label -> (failed LPs, mirrored data disks)
-STATES = {
-    "healthy": (0, False),
-    "1 LP dead": (1, False),
-    "mirror degraded": (0, True),
-    "LP dead + mirror degraded": (1, True),
-}
+PAPER_TEXT = paper_block(
+    "Paper (Section 5):",
+    [
+        "'the failure of a single component ... should not render",
+        " the entire system inoperable'",
+    ],
+)
 
 
-def degraded_run(n_dead_lps: int, mirrored: bool) -> dict:
+def degraded_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    n_dead_lps = 0 if params["lp0"] else 1
+    mirrored = not params["mirror_side"]
     config = MachineConfig(
-        seed=SEED, parallel_data_disks=True, mirrored_data_disks=mirrored
+        seed=seed, parallel_data_disks=True, mirrored_data_disks=mirrored
     )
     txns = generate_transactions(
         WorkloadConfig(n_transactions=N_TRANSACTIONS, max_pages=60),
         config.db_pages,
-        RandomStreams(SEED).stream("workload"),
+        RandomStreams(seed).stream("workload"),
     )
     machine = DatabaseMachine(
         config, ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3))
@@ -62,80 +63,41 @@ def degraded_run(n_dead_lps: int, mirrored: bool) -> dict:
             )
         )
     if specs:
-        FaultInjector(FaultPlan.of(*specs, seed=SEED)).arm(machine)
+        FaultInjector(FaultPlan.of(*specs, seed=seed)).arm(machine)
     result = machine.run(txns)
     assert all(t.status is TransactionStatus.COMMITTED for t in txns)
     return {
-        "makespan_ms": result.makespan_ms,
-        "throughput": 1000.0 * N_TRANSACTIONS / result.makespan_ms,
+        "makespan_ms": round(result.makespan_ms, 6),
+        "throughput": round(1000.0 * N_TRANSACTIONS / result.makespan_ms, 6),
         "lost_requests": result.counter("mirror_lost_requests"),
         "reshipped": result.counter("log_fragments_reshipped"),
     }
 
 
+GRID = Grid(
+    name="degraded_throughput",
+    title="Ablation: throughput in degraded mode (parallel logging, 3 LPs)",
+    seed=BENCH_SEED,
+    runner=degraded_cell,
+    toggles=(
+        ComponentToggle("lp0", "log processor 0 alive"),
+        ComponentToggle("mirror_side", "both mirror sides healthy"),
+    ),
+    toggle_mode="product",
+    primary_metric="makespan_ms",
+)
+
+
 def test_ablation_degraded_throughput(benchmark):
-    cells = {}
-
-    def run_all():
-        for label, (n_dead, mirrored) in STATES.items():
-            cells[label] = degraded_run(n_dead, mirrored)
-        return cells
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    baseline = cells["healthy"]["makespan_ms"]
-    rows = []
-    for label in STATES:
-        cell = cells[label]
-        rows.append(
-            [
-                label,
-                f"{cell['makespan_ms']:.0f}",
-                f"{cell['throughput']:.2f}",
-                f"{baseline / cell['makespan_ms']:.3f}",
-                str(cell["reshipped"]),
-            ]
-        )
-    text = format_table(
-        ["machine state", "makespan (ms)", "txn/s", "availability", "reshipped"],
-        rows,
-        title="Ablation: throughput in degraded mode (parallel logging, 3 LPs)",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 5):",
-        [
-            "'the failure of a single component ... should not render",
-            " the entire system inoperable'",
-        ],
-    )
-    print()
-    print(text)
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    path = os.path.join(OUTPUT_DIR, "ablation_degraded_throughput.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
-    write_bench_json(
-        "degraded_throughput",
-        {
-            "seed": SEED,
-            "n_transactions": N_TRANSACTIONS,
-            "baseline_makespan_ms": baseline,
-            "states": {
-                label: {
-                    **cell,
-                    "availability": baseline / cell["makespan_ms"],
-                }
-                for label, cell in cells.items()
-            },
-        },
-    )
-
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
+    baseline = result.metric()  # all components on = healthy
     # The mirror masks its dead side completely: no request is ever lost.
-    for label in ("mirror degraded", "LP dead + mirror degraded"):
-        assert cells[label]["lost_requests"] == 0, label
+    for toggles_off in (("mirror_side",), ("lp0", "mirror_side")):
+        assert result.metric("lost_requests", toggles_off) == 0, toggles_off
     # Losing a log processor re-homes its fragment stream.
-    for label in ("1 LP dead", "LP dead + mirror degraded"):
-        assert cells[label]["reshipped"] >= 0, label
+    for toggles_off in (("lp0",), ("lp0", "mirror_side")):
+        assert result.metric("reshipped", toggles_off) >= 0, toggles_off
     # Degradation is graceful, not collapse: no degraded state may cost
     # more than 3x the healthy makespan on this small workload.
-    for label, cell in cells.items():
-        assert cell["makespan_ms"] <= 3.0 * baseline, label
+    for cell in result.cells:
+        assert cell.metric("makespan_ms") <= 3.0 * baseline, cell.cell

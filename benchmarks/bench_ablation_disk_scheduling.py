@@ -8,10 +8,22 @@ ones — but the gain is modest because the multiprogramming level keeps
 queues short.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_disk_scheduling
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_disk_scheduling",
+    ablation_disk_scheduling,
+    primary_metric="mean.sstf",
+    seed=BENCH_SEED,
+    title="Ablation (extension): FCFS vs SSTF disk scheduling",
+)
 
 PAPER_TEXT = paper_block(
     "Paper:",
@@ -20,8 +32,6 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_disk_scheduling(benchmark):
-    result = run_table(
-        benchmark, "ablation_disk_scheduling", ablation_disk_scheduling, PAPER_TEXT, seed=SEED
-    )
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         assert row["sstf"] <= 1.03 * row["fcfs"], row

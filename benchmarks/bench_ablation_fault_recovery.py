@@ -11,9 +11,10 @@ truncation across three logs); shadow paging and version selection restart
 almost for free; a re-crash never costs more than double a single pass.
 """
 
-import os
+from typing import Any, Dict
 
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, paper_block, run_grid_bench
+from repro.bench import Grid
 from repro.faults import (
     ARCHITECTURES,
     FaultInjector,
@@ -25,32 +26,39 @@ from repro.faults import (
     make_manager,
 )
 from repro.faults.harness import _apply_op
-from repro.metrics import format_table
 
-SEED = BENCH_SEED
+PAPER_TEXT = paper_block(
+    "Paper (Section 3):",
+    [
+        "'a recovery mechanism may make collection of recovery data",
+        " relatively less expensive at the price of making recovery",
+        " from failures costly'",
+    ],
+)
 
 #: fault label -> plan factory (the harness's hook grammar; docs/FAULTS.md).
-FAULT_TYPES = {
-    "clean-crash": lambda: FaultPlan.of(
-        FaultSpec(FaultKind.CRASH, hook="op-boundary", occurrence=20), seed=SEED
-    ),
-    "mid-commit": lambda: FaultPlan.of(
-        FaultSpec(FaultKind.CRASH, hook="*.commit.*", occurrence=3), seed=SEED
-    ),
-    "recrash": lambda: FaultPlan.of(
-        FaultSpec(FaultKind.CRASH, hook="op-boundary", occurrence=20), seed=SEED
-    ),
-}
+FAULT_TYPES = ("clean-crash", "mid-commit", "recrash")
 
 
-def recovery_work(arch: str, fault: str) -> dict:
+def _fault_plan(fault: str, seed: int) -> FaultPlan:
+    if fault == "mid-commit":
+        return FaultPlan.of(
+            FaultSpec(FaultKind.CRASH, hook="*.commit.*", occurrence=3), seed=seed
+        )
+    return FaultPlan.of(
+        FaultSpec(FaultKind.CRASH, hook="op-boundary", occurrence=20), seed=seed
+    )
+
+
+def fault_recovery_cell(params: Dict[str, Any], seed: int) -> Dict[str, int]:
     """Run the seeded workload to the fault, recover, count the work."""
+    arch, fault = params["architecture"], params["fault"]
     manager = make_manager(arch)
-    injector = FaultInjector(FAULT_TYPES[fault]())
+    injector = FaultInjector(_fault_plan(fault, seed))
     manager.set_fault_callback(injector.reached)
     tids, committed, pending = {}, {}, {}
     try:
-        for op in generate_ops(SEED, n_transactions=12):
+        for op in generate_ops(seed, n_transactions=12):
             injector.reached("op-boundary")
             _apply_op(manager, op, tids, committed, pending)
     except InjectedCrash:
@@ -61,7 +69,7 @@ def recovery_work(arch: str, fault: str) -> dict:
     before = (stable.page_writes, stable.page_reads, stable.records_appended)
     if fault == "recrash":
         recrash = FaultInjector(
-            FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="*"), seed=SEED)
+            FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="*"), seed=seed)
         )
         manager.set_fault_callback(recrash.reached)
         try:
@@ -80,53 +88,33 @@ def recovery_work(arch: str, fault: str) -> dict:
     }
 
 
+GRID = Grid(
+    name="ablation_fault_recovery",
+    title="Ablation: stable-storage work during recovery, by fault type",
+    seed=BENCH_SEED,
+    runner=fault_recovery_cell,
+    parameters={
+        "architecture": sorted(ARCHITECTURES),
+        "fault": list(FAULT_TYPES),
+    },
+    primary_metric="page_writes",
+)
+
+
 def test_ablation_fault_recovery(benchmark):
-    work = {}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
 
-    def run_all():
-        for arch in sorted(ARCHITECTURES):
-            for fault in FAULT_TYPES:
-                work[(arch, fault)] = recovery_work(arch, fault)
-        return work
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    rows = []
-    for arch in sorted(ARCHITECTURES):
-        row = [arch]
-        for fault in FAULT_TYPES:
-            counts = work[(arch, fault)]
-            row.append(
-                f"{counts['page_writes']}w/{counts['page_reads']}r"
-                f"/{counts['records']}a"
-            )
-        rows.append(row)
-    text = format_table(
-        ["architecture"] + [f"{fault} (writes/reads/appends)" for fault in FAULT_TYPES],
-        rows,
-        title="Ablation: stable-storage work during recovery, by fault type",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 3):",
-        [
-            "'a recovery mechanism may make collection of recovery data",
-            " relatively less expensive at the price of making recovery",
-            " from failures costly'",
-        ],
-    )
-    print()
-    print(text)
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "ablation_fault_recovery.txt"), "w") as handle:
-        handle.write(text + "\n")
+    def work(arch, fault):
+        return result.cell(architecture=arch, fault=fault).metrics
 
     # The WAL restart (scan + two-phase truncation of three logs) touches
     # more stable records than the shadow restart, which only drops the
     # alternate table.
-    wal = work[("wal", "clean-crash")]
-    shadow = work[("shadow", "clean-crash")]
+    wal = work("wal", "clean-crash")
+    shadow = work("shadow", "clean-crash")
     assert wal["records"] + wal["page_writes"] >= shadow["records"] + shadow["page_writes"]
     # A crash during recovery at most doubles the single-pass bill.
     for arch in sorted(ARCHITECTURES):
-        single = work[(arch, "clean-crash")]
-        double = work[(arch, "recrash")]
+        single = work(arch, "clean-crash")
+        double = work(arch, "recrash")
         assert double["page_writes"] <= 2 * max(single["page_writes"], 1) + 2, arch

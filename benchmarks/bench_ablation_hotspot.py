@@ -7,10 +7,23 @@ unchanged (the machine is I/O-pattern-bound, not contention-bound); only a
 pathologically small hot set drives up lock conflicts and restarts.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_hotspot
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_hotspot",
+    ablation_hotspot,
+    primary_metric="mean.exec_ms_per_page",
+    seed=BENCH_SEED,
+    label_field="workload",
+    title="Ablation (extension): hotspot skew under parallel logging",
+)
 
 PAPER_TEXT = paper_block(
     "Paper:",
@@ -19,8 +32,8 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_hotspot(benchmark):
-    result = run_table(benchmark, "ablation_hotspot", ablation_hotspot, PAPER_TEXT, seed=SEED)
-    rows = {row["workload"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {row["workload"]: row for row in result.cells[0].detail["rows"]}
     # A pathologically small hot set (0.5 % of the database) drives up
     # conflicts and restarts...
     assert rows["hot_0.005"]["lock_blocks"] > rows["uniform"]["lock_blocks"]

@@ -8,10 +8,22 @@ frames are the binding constraint.  Expected shape: all columns within a
 few percent of each other.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_interconnect
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_interconnect",
+    ablation_interconnect,
+    primary_metric="mean.through_cache",
+    seed=BENCH_SEED,
+    title="Ablation (Sec 4.1.3): QP-LP interconnect bandwidth and routing",
+)
 
 PAPER_TEXT = paper_block(
     "Paper (Section 4.1.3, no table given):",
@@ -23,7 +35,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_interconnect(benchmark):
-    result = run_table(benchmark, "ablation_interconnect", ablation_interconnect, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         values = [v for k, v in row.items() if k != "configuration"]
         assert max(values) <= 1.12 * min(values), row

@@ -12,75 +12,69 @@ with the paper's decision that per-run merge effects were ignorable, while
 confirming its warning that letting the files grow past ~10 % is ruinous.
 """
 
-from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from typing import Any, Dict
+
+from benchmarks._harness import (
+    BENCH_SEED,
+    BENCH_SETTINGS,
+    paper_block,
+    run_grid_bench,
+)
 from repro.analysis.merge_policy import (
     merge_cost_ms,
     optimal_merge_interval,
     overhead_slope_ms_per_txn,
 )
+from repro.bench import Grid
 from repro.core import DifferentialConfig, DifferentialFileArchitecture
 from repro.experiments import CONFIGURATIONS, run_configuration
 from repro.machine import MachineConfig
-from repro.metrics import format_table
 
-SEED = BENCH_SEED
-SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
+PAPER_TEXT = paper_block(
+    "Paper (Section 4.3.3):",
+    [
+        "'the differential relations will have to be frequently merged",
+        " with the base relation.  In our simulation, we have not",
+        " modeled the effect of merging'",
+    ],
+)
+
+
+def merge_policy_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    config = MachineConfig()
+    settings = BENCH_SETTINGS.with_overrides(seed=seed)
+    small = run_configuration(
+        CONFIGURATIONS["conventional-random"],
+        lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.10)),
+        settings,
+    )
+    large = run_configuration(
+        CONFIGURATIONS["conventional-random"],
+        lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.20)),
+        settings,
+    )
+    appends_per_txn = large.counter("pages_appended") / large.n_transactions
+    slope = overhead_slope_ms_per_txn(small, large, appends_per_txn, config.db_pages)
+    merge = merge_cost_ms(config)
+    return {
+        "merge_cost_ms": round(merge, 6),
+        "appends_per_txn": round(appends_per_txn, 6),
+        "overhead_slope_ms_per_txn2": round(slope, 9),
+        "optimal_interval_txns": round(optimal_merge_interval(merge, slope), 6),
+    }
+
+
+GRID = Grid(
+    name="ablation_merge_policy",
+    title="Ablation: differential-file merge policy (square-root law)",
+    seed=BENCH_SEED,
+    runner=merge_policy_cell,
+    primary_metric="optimal_interval_txns",
+    higher_is_better=True,
+)
 
 
 def test_ablation_merge_policy(benchmark):
-    config = MachineConfig()
-    outcome = {}
-
-    def run_all():
-        small = run_configuration(
-            CONFIGURATIONS["conventional-random"],
-            lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.10)),
-            SETTINGS,
-        )
-        large = run_configuration(
-            CONFIGURATIONS["conventional-random"],
-            lambda: DifferentialFileArchitecture(DifferentialConfig(size_fraction=0.20)),
-            SETTINGS,
-        )
-        appends_per_txn = large.counter("pages_appended") / large.n_transactions
-        slope = overhead_slope_ms_per_txn(
-            small, large, appends_per_txn, config.db_pages
-        )
-        merge = merge_cost_ms(config)
-        outcome.update(
-            slope=slope,
-            merge=merge,
-            interval=optimal_merge_interval(merge, slope),
-            appends=appends_per_txn,
-        )
-        return outcome
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    text = format_table(
-        ["quantity", "value"],
-        [
-            ["merge cost (sequential sweep)", f"{outcome['merge'] / 1000:.1f} s"],
-            ["A/D pages appended per txn", f"{outcome['appends']:.1f}"],
-            ["overhead slope", f"{outcome['slope']:.3f} ms/txn^2"],
-            ["optimal merge interval", f"{outcome['interval']:.0f} txns"],
-        ],
-        title="Ablation: differential-file merge policy (square-root law)",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 4.3.3):",
-        [
-            "'the differential relations will have to be frequently merged",
-            " with the base relation.  In our simulation, we have not",
-            " modeled the effect of merging'",
-        ],
-    )
-    print()
-    print(text)
-    import os
-
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "ablation_merge_policy.txt"), "w") as handle:
-        handle.write(text + "\n")
-
-    assert outcome["merge"] > 60_000        # minutes of simulated time
-    assert outcome["interval"] > 100        # merges are rare events
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
+    assert result.metric("merge_cost_ms") > 60_000   # minutes of simulated time
+    assert result.metric("optimal_interval_txns") > 100  # merges are rare events

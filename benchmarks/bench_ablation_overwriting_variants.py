@@ -10,10 +10,22 @@ transaction's lifetime, no-undo 3 concentrated at commit but batchable on
 parallel-access drives).
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_overwriting_variants
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_overwriting_variants",
+    ablation_overwriting_variants,
+    primary_metric="mean.no_undo",
+    seed=BENCH_SEED,
+    title="Ablation (Sec 3.2.2.2): overwriting no-undo vs no-redo",
+)
 
 PAPER_TEXT = paper_block(
     "Paper (Section 3.2.2.2 describes both; Tables 7-8 evaluate no-undo):",
@@ -25,12 +37,6 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_overwriting_variants(benchmark):
-    result = run_table(
-        benchmark,
-        "ablation_overwriting_variants",
-        ablation_overwriting_variants,
-        PAPER_TEXT,
-        seed=SEED,
-    )
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         assert row["no_undo"] > 0 and row["no_redo"] > 0

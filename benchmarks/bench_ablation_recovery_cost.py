@@ -17,9 +17,10 @@ spectrum.
 """
 
 import random
+from typing import Any, Dict
 
-from benchmarks._harness import OUTPUT_DIR, paper_block
-from repro.metrics import format_table
+from benchmarks._harness import paper_block, run_grid_bench
+from repro.bench import Grid
 from repro.storage import (
     DifferentialFileManager,
     DistributedWalManager,
@@ -40,9 +41,20 @@ MANAGERS = {
     "differential": lambda: DifferentialFileManager(),
 }
 
+PAPER_TEXT = paper_block(
+    "Paper (Section 3):",
+    [
+        "'the focus of an implementation should be on making the normal",
+        " case efficient ... even if it meant making recovery from a",
+        " failure more expensive'",
+    ],
+)
 
-def run_history(manager, n_txns=40, pages=32, seed=SEED):
+
+def recovery_cost_cell(params: Dict[str, Any], seed: int) -> Dict[str, int]:
     """Committed transfers plus an in-flight loser, then a crash."""
+    manager = MANAGERS[params["manager"]]()
+    n_txns, pages = 40, 32
     rng = random.Random(seed)
     for _ in range(n_txns):
         tid = manager.begin()
@@ -59,45 +71,27 @@ def run_history(manager, n_txns=40, pages=32, seed=SEED):
     manager.crash()
     before = manager.stable.page_writes
     manager.recover()
-    restart_writes = manager.stable.page_writes - before
-    return collection_writes, collection_appends, restart_writes
+    return {
+        "collection_page_writes": collection_writes,
+        "collection_appends": collection_appends,
+        "restart_page_writes": manager.stable.page_writes - before,
+    }
+
+
+GRID = Grid(
+    name="ablation_recovery_cost",
+    title="Ablation: collection work vs restart work (identical history)",
+    seed=SEED,
+    runner=recovery_cost_cell,
+    parameters={"manager": list(MANAGERS)},
+    primary_metric="restart_page_writes",
+)
 
 
 def test_ablation_recovery_cost(benchmark):
-    rows = []
-    results = {}
-
-    def run_all():
-        for name, factory in MANAGERS.items():
-            results[name] = run_history(factory())
-        return results
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for name, (coll_w, coll_a, restart_w) in results.items():
-        rows.append([name, coll_w, coll_a, restart_w])
-    text = format_table(
-        ["manager", "collection page-writes", "collection appends", "restart page-writes"],
-        rows,
-        title="Ablation: collection work vs restart work (identical history)",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 3):",
-        [
-            "'the focus of an implementation should be on making the normal",
-            " case efficient ... even if it meant making recovery from a",
-            " failure more expensive'",
-        ],
-    )
-    print()
-    print(text)
-    import os
-
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "ablation_recovery_cost.txt"), "w") as handle:
-        handle.write(text + "\n")
-
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
     # Shadow / version selection restart without touching data pages.
-    assert results["shadow-pt"][2] == 0
-    assert results["version-selection"][2] == 0
+    assert result.metric(manager="shadow-pt") == 0
+    assert result.metric(manager="version-selection") == 0
     # WAL must do restart work here (redo of unflushed committed pages).
-    assert results["wal-3-logs"][2] > 0
+    assert result.metric(manager="wal-3-logs") > 0

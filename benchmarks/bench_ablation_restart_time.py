@@ -9,10 +9,17 @@ parallel logging, the normal-case winner, pays the largest restart bill;
 shadow paging and version selection restart essentially for free.
 """
 
-from benchmarks._harness import BENCH_SEED, BENCH_SETTINGS, OUTPUT_DIR, paper_block
+from typing import Any, Dict
+
+from benchmarks._harness import (
+    BENCH_SEED,
+    BENCH_SETTINGS,
+    paper_block,
+    run_grid_bench,
+)
 from repro.analysis import estimate_restart
+from repro.bench import Grid
 from repro.core import (
-    BareArchitecture,
     DifferentialFileArchitecture,
     LoggingConfig,
     OverwritingArchitecture,
@@ -23,10 +30,6 @@ from repro.core import (
 )
 from repro.experiments import CONFIGURATIONS, run_configuration
 from repro.machine import MachineConfig
-from repro.metrics import format_table
-
-SEED = BENCH_SEED
-SETTINGS = BENCH_SETTINGS.with_overrides(seed=SEED)
 
 ARCHITECTURES = {
     "logging (1 log disk)": (
@@ -49,55 +52,48 @@ ARCHITECTURES = {
     "differential": (lambda: DifferentialFileArchitecture(), {}),
 }
 
+PAPER_TEXT = paper_block(
+    "Paper (Section 3):",
+    [
+        "'a recovery mechanism may make collection of recovery data",
+        " relatively less expensive at the price of making recovery",
+        " from failures costly'",
+    ],
+)
+
+
+def restart_time_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    factory, kwargs = ARCHITECTURES[params["architecture"]]
+    result = run_configuration(
+        CONFIGURATIONS["conventional-random"],
+        factory,
+        BENCH_SETTINGS.with_overrides(seed=seed),
+    )
+    estimate = estimate_restart(result, MachineConfig(), **kwargs)
+    return {
+        "scan_ms": round(estimate.scan_ms, 6),
+        "redo_ms": round(estimate.redo_ms, 6),
+        "undo_ms": round(estimate.undo_ms, 6),
+        "total_ms": round(estimate.total_ms, 6),
+    }
+
+
+GRID = Grid(
+    name="ablation_restart_time",
+    title="Ablation: estimated restart time after a crash (conv-random run)",
+    seed=BENCH_SEED,
+    runner=restart_time_cell,
+    parameters={"architecture": list(ARCHITECTURES)},
+    primary_metric="total_ms",
+)
+
 
 def test_ablation_restart_time(benchmark):
-    config = MachineConfig()
-    rows = []
-    estimates = {}
-
-    def run_all():
-        for label, (factory, kwargs) in ARCHITECTURES.items():
-            result = run_configuration(
-                CONFIGURATIONS["conventional-random"], factory, SETTINGS
-            )
-            estimates[label] = estimate_restart(result, config, **kwargs)
-        return estimates
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for label, estimate in estimates.items():
-        rows.append(
-            [
-                label,
-                round(estimate.scan_ms, 1),
-                round(estimate.redo_ms, 1),
-                round(estimate.undo_ms, 1),
-                round(estimate.total_ms, 1),
-            ]
-        )
-    text = format_table(
-        ["architecture", "scan (ms)", "redo (ms)", "undo (ms)", "total (ms)"],
-        rows,
-        title="Ablation: estimated restart time after a crash (conv-random run)",
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
+    assert result.metric(architecture="logging (1 log disk)") > result.metric(
+        architecture="shadow-pt"
     )
-    text += "\n\n" + paper_block(
-        "Paper (Section 3):",
-        [
-            "'a recovery mechanism may make collection of recovery data",
-            " relatively less expensive at the price of making recovery",
-            " from failures costly'",
-        ],
-    )
-    print()
-    print(text)
-    import os
-
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "ablation_restart_time.txt"), "w") as handle:
-        handle.write(text + "\n")
-
-    assert estimates["logging (1 log disk)"].total_ms > estimates["shadow-pt"].total_ms
-    assert (
-        estimates["logging (3 log disks)"].scan_ms
-        < estimates["logging (1 log disk)"].scan_ms
-    )
-    assert estimates["differential"].total_ms < 100.0
+    assert result.metric(
+        "scan_ms", architecture="logging (3 log disks)"
+    ) < result.metric("scan_ms", architecture="logging (1 log disk)")
+    assert result.metric(architecture="differential") < 100.0

@@ -11,10 +11,22 @@ Disk space doubling is honoured: the database is halved so both versions
 of every page fit the same two drives.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import ablation_version_selection
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "ablation_version_selection",
+    ablation_version_selection,
+    primary_metric="mean.version_selection",
+    seed=BENCH_SEED,
+    title="Ablation (Sec 4.2.5): version selection vs thru page-table",
+)
 
 PAPER_TEXT = paper_block(
     "Paper (Section 4.2.5, no table given):",
@@ -27,9 +39,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_ablation_version_selection(benchmark):
-    result = run_table(
-        benchmark, "ablation_version_selection", ablation_version_selection, PAPER_TEXT, seed=SEED
-    )
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         if "random" in row["configuration"]:
             assert row["version_selection"] > row["bare"], row

@@ -12,95 +12,80 @@ the cadence-only analytic envelope, and the overhead bill moves the
 other way.
 """
 
-import os
+from typing import Any, Dict
 
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block
+from benchmarks._harness import BENCH_SEED, paper_block, run_grid_bench
 from repro.analysis import checkpoint_interval_sweep
+from repro.bench import Grid
 from repro.faults import ARCHITECTURES
-from repro.metrics import format_table
 
-SEED = BENCH_SEED
-
-#: Widest cadence first; None is the never-checkpoint baseline.
-INTERVALS = [None, 16, 8, 4]
+#: Widest cadence first; "never" is the never-checkpoint baseline.
+INTERVALS = ["never", 16, 8, 4]
 N_TRANSACTIONS = 40
 #: Noise slack on the monotonicity check: one extra recovery-data page
 #: read (the sweep is deterministic, but residue sizes quantize).
 SLACK_MS = 30.0
 
+PAPER_TEXT = paper_block(
+    "Paper (Section 6):",
+    [
+        "'the frequency of checkpointing bounds the amount of log",
+        " data which must be processed at restart, at the cost of",
+        " additional work during normal operation'",
+    ],
+)
+
+
+def checkpoint_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    arch = params["architecture"]
+    interval = None if params["interval"] == "never" else params["interval"]
+    row = checkpoint_interval_sweep(
+        seed, [interval], archs=[arch], n_transactions=N_TRANSACTIONS
+    )[arch][0]
+    return {
+        "checkpoints_taken": row.checkpoints_taken,
+        "overhead_records": row.overhead_records,
+        "overhead_page_writes": row.overhead_page_writes,
+        "restart_records": row.restart_records,
+        "restart_pages_touched": row.restart_pages_touched,
+        "restart_ms": round(row.measured.total_ms, 6),
+        "bound_ms": round(row.analytic.total_ms, 6),
+    }
+
+
+GRID = Grid(
+    name="checkpoint_interval",
+    title=f"Restart cost vs checkpoint interval "
+    f"(seed {BENCH_SEED}, {N_TRANSACTIONS} txns)",
+    seed=BENCH_SEED,
+    runner=checkpoint_cell,
+    parameters={
+        "architecture": sorted(ARCHITECTURES),
+        "interval": INTERVALS,
+    },
+    primary_metric="restart_ms",
+)
+
 
 def test_checkpoint_interval(benchmark):
-    results = {}
-
-    def run_sweep():
-        results.update(
-            checkpoint_interval_sweep(
-                SEED, INTERVALS, n_transactions=N_TRANSACTIONS
-            )
-        )
-        return results
-
-    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-
-    rows = []
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
     for arch in sorted(ARCHITECTURES):
-        for row in results[arch]:
-            rows.append(
-                [
-                    arch,
-                    "never" if row.checkpoint_every is None
-                    else row.checkpoint_every,
-                    row.checkpoints_taken,
-                    row.overhead_records,
-                    row.overhead_page_writes,
-                    row.restart_records,
-                    row.restart_pages_touched,
-                    round(row.measured.total_ms, 1),
-                    round(row.analytic.total_ms, 1),
-                ]
-            )
-    text = format_table(
-        [
-            "architecture",
-            "ckpt every",
-            "taken",
-            "run records",
-            "run pg-writes",
-            "restart records",
-            "restart pages",
-            "restart ms",
-            "bound ms",
-        ],
-        rows,
-        title=f"Restart cost vs checkpoint interval "
-        f"(seed {SEED}, {N_TRANSACTIONS} txns)",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 6):",
-        [
-            "'the frequency of checkpointing bounds the amount of log",
-            " data which must be processed at restart, at the cost of",
-            " additional work during normal operation'",
-        ],
-    )
-    print()
-    print(text)
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "checkpoint_interval.txt"), "w") as handle:
-        handle.write(text + "\n")
-
-    for arch in sorted(ARCHITECTURES):
-        costs = [row.measured.total_ms for row in results[arch]]
+        costs = [
+            result.metric("restart_ms", architecture=arch, interval=interval)
+            for interval in INTERVALS
+        ]
         # Restart never grows (within noise) as the interval shrinks...
         for wider, tighter in zip(costs, costs[1:]):
             assert tighter <= wider + SLACK_MS, (arch, costs)
         # ...checkpointing buys a real reduction against the baseline...
         assert costs[-1] <= costs[0] + 1e-9, (arch, costs)
-        for row in results[arch]:
+        for interval in INTERVALS:
+            cell = result.cell(architecture=arch, interval=interval)
             # ...stays under the cadence-only analytic envelope...
-            assert row.measured.total_ms <= row.analytic.total_ms + 1e-9, arch
+            assert cell.metric("restart_ms") <= cell.metric("bound_ms") + 1e-9, arch
         # ...and the normal-case overhead moves the other way.
-        assert (
-            results[arch][-1].overhead_records
-            > results[arch][0].overhead_records
+        assert result.metric(
+            "overhead_records", architecture=arch, interval=INTERVALS[-1]
+        ) > result.metric(
+            "overhead_records", architecture=arch, interval=INTERVALS[0]
         ), arch

@@ -5,83 +5,69 @@ invisible: the multiprogramming level caps the work in flight and the
 machine simply takes longer.  The loadtest harness offers load on an
 open arrival schedule instead; this benchmark sweeps two architectures —
 parallel logging (the paper's headline) and shadow paging (its
-structural opposite) — healthy and mirrored-degraded, and records where
-goodput (commits within the SLO per second) peaks and where it
-collapses.  Expected shape: goodput tracks offered load up to roughly
-calibrated capacity, then the admission queue saturates, sojourn times
-blow through the SLO, and goodput drops ≥20 % below its peak — the knee.
-The machine-readable sweep lands in ``BENCH_loadtest.json``.
+structural opposite) — with the mirror-health toggle ablated (off =
+mirrored-degraded state), and records where goodput (commits within the
+SLO per second) peaks and where it collapses.  Expected shape: goodput
+tracks offered load up to roughly calibrated capacity, then the
+admission queue saturates, sojourn times blow through the SLO, and
+goodput drops ≥20 % below its peak — the knee.  The full sweep detail
+lands in ``BENCH_loadtest.json``.
 """
 
-import os
+from typing import Any, Dict, Tuple
 
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR, paper_block, write_bench_json
+from benchmarks._harness import BENCH_SEED, paper_block, run_grid_bench
+from repro.bench import ComponentToggle, Grid
 from repro.loadgen import run_loadtest
-from repro.metrics import format_table
 
-SEED = BENCH_SEED
 N_PER_CELL = 24
 
-#: (architecture, machine state) pairs priced by the sweep.
-SWEEPS = (
-    ("wal", "healthy"),
-    ("wal", "mirrored-degraded"),
-    ("shadow", "healthy"),
-    ("shadow", "mirrored-degraded"),
+PAPER_TEXT = paper_block(
+    "Paper (Section 4):",
+    [
+        "the paper's closed batch caps work in flight at the MPL;",
+        "an open system must instead survive offered load above",
+        "capacity — bounded admission turns overload into rejections",
+        "instead of collapse, and the knee prices where that starts.",
+    ],
+)
+
+
+def loadtest_cell(
+    params: Dict[str, Any], seed: int
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    state = "healthy" if params["mirror"] else "mirrored-degraded"
+    report = run_loadtest(
+        params["architecture"], seed=seed, n_per_cell=N_PER_CELL, state=state
+    )
+    peak = report.peak
+    knee = report.knee()
+    metrics = {
+        "capacity_tps": round(report.calibration.capacity_tps, 6),
+        "peak_goodput_tps": round(peak.run.goodput_tps, 6),
+        "peak_multiplier": peak.multiplier,
+        "knee_goodput_tps": round(knee.run.goodput_tps, 6) if knee else 0.0,
+        "knee_multiplier": knee.multiplier if knee else 0.0,
+        "oracles_ok": report.ok,
+        "violations": len(report.violations),
+    }
+    return metrics, report.to_dict()
+
+
+GRID = Grid(
+    name="loadtest",
+    title="Open-system loadtest: goodput peak and collapse knee",
+    seed=BENCH_SEED,
+    runner=loadtest_cell,
+    parameters={"architecture": ["wal", "shadow"]},
+    toggles=(ComponentToggle("mirror", "both mirror sides healthy"),),
+    primary_metric="peak_goodput_tps",
+    higher_is_better=True,
 )
 
 
 def test_bench_loadtest(benchmark):
-    reports = {}
-
-    def run_all():
-        for arch, state in SWEEPS:
-            reports[(arch, state)] = run_loadtest(
-                arch, seed=SEED, n_per_cell=N_PER_CELL, state=state
-            )
-        return reports
-
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
-
-    rows = []
-    payload = {"seed": SEED, "n_per_cell": N_PER_CELL, "sweeps": []}
-    for (arch, state), report in reports.items():
-        peak = report.peak
-        knee = report.knee()
-        rows.append(
-            [
-                arch,
-                state,
-                f"{report.calibration.capacity_tps:.2f}",
-                f"{peak.run.goodput_tps:.2f} @ x{peak.multiplier:g}",
-                f"{knee.run.goodput_tps:.2f} @ x{knee.multiplier:g}"
-                if knee
-                else "none",
-                "ok" if report.ok else "VIOLATIONS",
-            ]
-        )
-        payload["sweeps"].append(report.to_dict())
-    text = format_table(
-        ["architecture", "state", "capacity tps", "peak goodput", "knee", "oracles"],
-        rows,
-        title="Open-system loadtest: goodput peak and collapse knee",
-    )
-    text += "\n\n" + paper_block(
-        "Paper (Section 4):",
-        [
-            "the paper's closed batch caps work in flight at the MPL;",
-            "an open system must instead survive offered load above",
-            "capacity — bounded admission turns overload into rejections",
-            "instead of collapse, and the knee prices where that starts.",
-        ],
-    )
-    print()
-    print(text)
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "loadtest.txt"), "w") as handle:
-        handle.write(text + "\n")
-    write_bench_json("loadtest", payload)
-
-    for (arch, state), report in reports.items():
-        assert report.ok, (arch, state, report.violations[:3])
-        assert report.knee() is not None, (arch, state, "no collapse knee")
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT)
+    for cell in result.cells:
+        assert cell.metric("oracles_ok"), cell.cell
+        assert cell.metric("knee_multiplier") > 0, (cell.cell, "no collapse knee")

@@ -6,11 +6,22 @@ Expected shape: logging leaves throughput essentially unchanged (collection
 of recovery data overlaps data processing) and nudges completion times.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table1_logging_impact
-from repro.metrics import format_table
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table01",
+    table1_logging_impact,
+    primary_metric="mean.exec_with_log",
+    seed=BENCH_SEED,
+    title="Table 1. Impact of Logging",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 1 (exec ms/page without -> with log):",
@@ -23,7 +34,7 @@ PAPER_TEXT = paper_block(
 
 
 def test_table1_logging_impact(benchmark):
-    result = run_table(benchmark, "table01", table1_logging_impact, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         # Logging must not degrade throughput by more than ~10 %.
         assert row["exec_with_log"] <= 1.10 * row["exec_without_log"], row

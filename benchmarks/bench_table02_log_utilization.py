@@ -6,10 +6,22 @@ cannot keep a log disk busy, the paper's argument that one log disk
 suffices.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table2_log_utilization
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table02",
+    table2_log_utilization,
+    primary_metric="mean.log_disk_utilization",
+    seed=BENCH_SEED,
+    title="Table 2. Log Characteristics (one log processor)",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 2 (log-disk utilization):",
@@ -18,8 +30,9 @@ PAPER_TEXT = paper_block(
 
 
 def test_table2_log_utilization(benchmark):
-    result = run_table(benchmark, "table02", table2_log_utilization, PAPER_TEXT, seed=SEED)
-    by_config = {row["configuration"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = result.cells[0].detail["rows"]
+    by_config = {row["configuration"]: row for row in rows}
     assert by_config["conventional-random"]["log_disk_utilization"] < 0.08
     assert (
         by_config["parallel-sequential"]["log_disk_utilization"]

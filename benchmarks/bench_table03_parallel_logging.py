@@ -7,10 +7,23 @@ time; adding log disks restores performance toward the no-logging floor;
 cyclic / random / qp-mod selection are comparable, txn-mod is the loser.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table3_parallel_logging
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table03",
+    table3_parallel_logging,
+    primary_metric="mean.exec_cyclic",
+    seed=BENCH_SEED,
+    label_field="n_log_disks",
+    title="Table 3. Parallel Logging and Selection Algorithms",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 3 (exec ms/page, cyclic column):",
@@ -23,8 +36,10 @@ PAPER_TEXT = paper_block(
 
 
 def test_table3_parallel_logging(benchmark):
-    result = run_table(benchmark, "table03", table3_parallel_logging, PAPER_TEXT, seed=SEED)
-    rows = {row["n_log_disks"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {
+        row["n_log_disks"]: row for row in result.cells[0].detail["rows"]
+    }
     # One log disk is the bottleneck; three make it much better.
     assert rows[1]["exec_cyclic"] > 1.8 * rows["w/o logging"]["exec_cyclic"]
     assert rows[3]["exec_cyclic"] < 0.75 * rows[1]["exec_cyclic"]

@@ -6,10 +6,22 @@ degradation; sequential loads touch at most two PT pages per transaction
 and barely notice the mechanism.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table4_shadow_impact
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table04",
+    table4_shadow_impact,
+    primary_metric="mean.exec_1ptp",
+    seed=BENCH_SEED,
+    title="Table 4. Impact of the Shadow Mechanism",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 4 (exec ms/page bare / 1 PT proc / 2 PT procs):",
@@ -23,8 +35,10 @@ PAPER_TEXT = paper_block(
 
 
 def test_table4_shadow_impact(benchmark):
-    result = run_table(benchmark, "table04", table4_shadow_impact, PAPER_TEXT, seed=SEED)
-    rows = {row["configuration"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {
+        row["configuration"]: row for row in result.cells[0].detail["rows"]
+    }
     rand = rows["conventional-random"]
     assert rand["exec_1ptp"] > 1.04 * rand["exec_bare"]
     assert rand["exec_2ptp"] < rand["exec_1ptp"]

@@ -6,10 +6,22 @@ a random load the PT disk saturates (1.00) while the data disks starve
 sequential loads the PT disk is nearly idle (0.06).
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table5_shadow_utilization
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table05",
+    table5_shadow_utilization,
+    primary_metric="mean.1ptp_pt",
+    seed=BENCH_SEED,
+    title="Table 5. Average Utilization of Data and Page-Table Disks",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 5 (1 PT proc: data util / PT util):",
@@ -22,8 +34,10 @@ PAPER_TEXT = paper_block(
 
 
 def test_table5_shadow_utilization(benchmark):
-    result = run_table(benchmark, "table05", table5_shadow_utilization, PAPER_TEXT, seed=SEED)
-    rows = {row["configuration"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {
+        row["configuration"]: row for row in result.cells[0].detail["rows"]
+    }
     rand = rows["conventional-random"]
     assert rand["1ptp_pt"] > 0.9          # PT disk saturated
     assert rand["1ptp_data"] < rand["bare_data"] - 0.05  # data disks starve

@@ -5,10 +5,22 @@ degrade; 25- and 50-page buffers progressively annul the degradation by
 turning PT-disk reads into buffer hits (and avoiding commit-time rereads).
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table6_pt_buffer
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table06",
+    table6_pt_buffer,
+    primary_metric="mean.buffer_50",
+    seed=BENCH_SEED,
+    title="Table 6. Execution Time per Page (1 Page-Table Processor)",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 6 (exec ms/page, bare / buf 10 / 25 / 50):",
@@ -20,8 +32,8 @@ PAPER_TEXT = paper_block(
 
 
 def test_table6_pt_buffer(benchmark):
-    result = run_table(benchmark, "table06", table6_pt_buffer, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         assert row["buffer_10"] > row["bare"]          # small buffer hurts
         assert row["buffer_50"] < row["buffer_10"]     # big buffer recovers
         assert row["buffer_50"] <= 1.08 * row["bare"]  # ...nearly fully

@@ -7,10 +7,22 @@ expensive on conventional disks but stays close to bare on parallel-access
 disks (its scratch reads and overwrites batch into few accesses).
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table7_sequential_shadow
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table07",
+    table7_sequential_shadow,
+    primary_metric="mean.clustered",
+    seed=BENCH_SEED,
+    title="Table 7. Execution Time per Page (Sequential Transactions)",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 7 (bare / clustered / scrambled / overwriting):",
@@ -23,8 +35,10 @@ PAPER_TEXT = paper_block(
 
 
 def test_table7_sequential_shadow(benchmark):
-    result = run_table(benchmark, "table07", table7_sequential_shadow, PAPER_TEXT, seed=SEED)
-    rows = {row["configuration"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {
+        row["configuration"]: row for row in result.cells[0].detail["rows"]
+    }
     conv = rows["conventional-sequential"]
     par = rows["parallel-sequential"]
     assert conv["scrambled"] > 1.5 * conv["clustered"]

@@ -6,10 +6,22 @@ the thru-page-table shadow whose PT accesses pipeline with data-page
 processing.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table8_random_overwriting
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table08",
+    table8_random_overwriting,
+    primary_metric="mean.thru_pt",
+    seed=BENCH_SEED,
+    title="Table 8. Execution Time per Page (Random Transactions)",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 8 (bare / thru page-table / overwriting):",
@@ -21,10 +33,11 @@ PAPER_TEXT = paper_block(
 
 
 def test_table8_random_overwriting(benchmark):
-    result = run_table(benchmark, "table08", table8_random_overwriting, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = result.cells[0].detail["rows"]
+    for row in rows:
         assert row["overwriting"] > row["bare"]
     conv = next(
-        r for r in result["rows"] if r["configuration"] == "conventional-random"
+        r for r in rows if r["configuration"] == "conventional-random"
     )
     assert conv["overwriting"] > 1.1 * conv["thru_pt"]

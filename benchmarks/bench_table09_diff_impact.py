@@ -7,10 +7,22 @@ recovers the random configurations to near disk-bound but still hurts
 sequential loads badly.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table9_differential_impact
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table09",
+    table9_differential_impact,
+    primary_metric="mean.exec_optimal",
+    seed=BENCH_SEED,
+    title="Table 9. Impact of the Differential File Mechanism",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 9 (exec ms/page bare / basic / optimal):",
@@ -24,13 +36,14 @@ PAPER_TEXT = paper_block(
 
 
 def test_table9_differential_impact(benchmark):
-    result = run_table(benchmark, "table09", table9_differential_impact, PAPER_TEXT, seed=SEED)
-    basics = [row["exec_basic"] for row in result["rows"]]
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = result.cells[0].detail["rows"]
+    basics = [row["exec_basic"] for row in rows]
     # CPU-bound flattening: all four basic numbers within 25 % of each other.
     assert max(basics) < 1.25 * min(basics)
-    for row in result["rows"]:
+    for row in rows:
         assert row["exec_optimal"] < 0.65 * row["exec_basic"]
     parseq = next(
-        r for r in result["rows"] if r["configuration"] == "parallel-sequential"
+        r for r in rows if r["configuration"] == "parallel-sequential"
     )
     assert parseq["exec_optimal"] > 3 * parseq["exec_bare"]

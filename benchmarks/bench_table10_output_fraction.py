@@ -6,10 +6,22 @@ pay for mostly-empty output pages, the paper's explanation for the
 sublinear growth.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table10_output_fraction
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table10",
+    table10_output_fraction,
+    primary_metric="mean.output_20pct",
+    seed=BENCH_SEED,
+    title="Table 10. Effect of Output Fraction on Execution Time per Page",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 10 (exec ms/page, bare / 10% / 20% / 50%):",
@@ -21,8 +33,8 @@ PAPER_TEXT = paper_block(
 
 
 def test_table10_output_fraction(benchmark):
-    result = run_table(benchmark, "table10", table10_output_fraction, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         # Quintupling the output fraction costs far less than 5x.
         assert row["output_50pct"] < 1.35 * row["output_10pct"], row
         assert row["output_10pct"] >= row["bare"] * 0.95

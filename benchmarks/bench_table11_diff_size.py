@@ -6,10 +6,22 @@ set-difference work saturate the query processors (paper: 19.2 -> 24.8 ->
 37.0 for conventional-random).
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table11_differential_size
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table11",
+    table11_differential_size,
+    primary_metric="mean.size_15pct",
+    seed=BENCH_SEED,
+    title="Table 11. Effect of Size of Differential Files",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 11 (exec ms/page, bare / 10% / 15% / 20%):",
@@ -21,8 +33,8 @@ PAPER_TEXT = paper_block(
 
 
 def test_table11_differential_size(benchmark):
-    result = run_table(benchmark, "table11", table11_differential_size, PAPER_TEXT, seed=SEED)
-    for row in result["rows"]:
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    for row in result.cells[0].detail["rows"]:
         e10, e15, e20 = row["size_10pct"], row["size_15pct"], row["size_20pct"]
         assert e10 < e15 < e20, row
         assert (e20 - e15) > (e15 - e10), f"growth not accelerating: {row}"

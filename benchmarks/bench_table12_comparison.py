@@ -8,10 +8,22 @@ collapse on sequential loads; overwriting hurts everywhere except
 parallel-access + sequential.
 """
 
-from benchmarks._harness import BENCH_SEED, paper_block, run_table
+from benchmarks._harness import (
+    BENCH_SEED,
+    paper_block,
+    run_grid_bench,
+    table_grid,
+    table_text,
+)
 from repro.experiments import PAPER, table12_comparison
 
-SEED = BENCH_SEED
+GRID = table_grid(
+    "table12",
+    table12_comparison,
+    primary_metric="mean.logging",
+    seed=BENCH_SEED,
+    title="Table 12. Average Execution Time per Page (in ms)",
+)
 
 PAPER_TEXT = paper_block(
     "Paper Table 12 (bare/logging/shadow b10/b50/2ptp/scrambled/overwrite/diff):",
@@ -29,8 +41,10 @@ PAPER_TEXT = paper_block(
 
 
 def test_table12_comparison(benchmark):
-    result = run_table(benchmark, "table12", table12_comparison, PAPER_TEXT, seed=SEED)
-    rows = {row["configuration"]: row for row in result["rows"]}
+    result = run_grid_bench(benchmark, GRID, PAPER_TEXT, text_fn=table_text)
+    rows = {
+        row["configuration"]: row for row in result.cells[0].detail["rows"]
+    }
     for name, row in rows.items():
         # The headline: logging within 15 % of bare everywhere.
         assert row["logging"] <= 1.15 * row["bare"], name

@@ -1,41 +1,70 @@
 """Trace attribution: where a Table 12 pair's completion-time gap goes.
 
 Runs the logging vs thru-page-table pair of the grand comparison with
-tracers attached and prints the phase-by-phase attribution of their mean
+tracers attached and records the phase-by-phase attribution of their mean
 completion-time gap — the explanatory companion to Table 12's raw
 numbers.  Also asserts the subsystem's accounting identities: each
 architecture's breakdown sums to its mean completion time, and the phase
 deltas sum to the gap exactly.
 """
 
-import os
+from typing import Any, Dict, Tuple
 
-import pytest
-
-from benchmarks._harness import BENCH_SEED, OUTPUT_DIR
+from benchmarks._harness import BENCH_SEED, run_grid_bench
+from repro.bench import Grid, GridResult
 from repro.experiments import ExperimentSettings
 from repro.experiments.tracing import render_diff, trace_diff
 
-SEED = BENCH_SEED
 
-SETTINGS = ExperimentSettings(n_transactions=30, seed=SEED)
+def trace_attribution_cell(
+    params: Dict[str, Any], seed: int
+) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    run_a, run_b, rows = trace_diff(
+        "logging",
+        "shadow-pt",
+        "parallel-random",
+        ExperimentSettings(n_transactions=30, seed=seed),
+    )
+    mean_a = run_a.result.mean_completion_ms
+    mean_b = run_b.result.mean_completion_ms
+    metrics = {
+        "mean_completion_a_ms": round(mean_a, 6),
+        "mean_completion_b_ms": round(mean_b, 6),
+        "gap_ms": round(mean_b - mean_a, 6),
+        # Accounting identities, exposed as residuals so the trajectory
+        # (and the test below) can check they stay at zero.
+        "identity_residual_a_ms": round(
+            sum(run_a.breakdown.values()) - mean_a, 6
+        ),
+        "identity_residual_b_ms": round(
+            sum(run_b.breakdown.values()) - mean_b, 6
+        ),
+        "delta_sum_residual_ms": round(
+            sum(delta for _, _, _, delta in rows) - (mean_b - mean_a), 6
+        ),
+    }
+    detail = {
+        "text": render_diff(run_a, run_b, rows),
+        "phases": [list(row) for row in rows],
+    }
+    return metrics, detail
+
+
+GRID = Grid(
+    name="trace_attribution",
+    title="Trace attribution: logging vs shadow-pt completion-time gap",
+    seed=BENCH_SEED,
+    runner=trace_attribution_cell,
+    primary_metric="gap_ms",
+)
+
+
+def trace_text(result: GridResult) -> str:
+    return result.cells[0].detail["text"]
 
 
 def test_trace_attribution(benchmark):
-    run_a, run_b, rows = benchmark.pedantic(
-        lambda: trace_diff("logging", "shadow-pt", "parallel-random", SETTINGS),
-        rounds=1,
-        iterations=1,
-    )
-    for run in (run_a, run_b):
-        assert sum(run.breakdown.values()) == pytest.approx(
-            run.result.mean_completion_ms
-        )
-    gap = run_b.result.mean_completion_ms - run_a.result.mean_completion_ms
-    assert sum(delta for _, _, _, delta in rows) == pytest.approx(gap)
-    text = render_diff(run_a, run_b, rows)
-    print()
-    print(text)
-    os.makedirs(OUTPUT_DIR, exist_ok=True)
-    with open(os.path.join(OUTPUT_DIR, "trace_attribution.txt"), "w") as handle:
-        handle.write(text + "\n")
+    result = run_grid_bench(benchmark, GRID, text_fn=trace_text)
+    assert abs(result.metric("identity_residual_a_ms")) < 1e-3
+    assert abs(result.metric("identity_residual_b_ms")) < 1e-3
+    assert abs(result.metric("delta_sum_residual_ms")) < 1e-3

@@ -1,0 +1,245 @@
+"""The trajectory differ: committed baselines vs a fresh run.
+
+Cells are matched by stable run ID, so the differ never guesses which
+rows correspond: a spec change produces new IDs, which read as dropped
+plus added cells — and dropped coverage *gates*, forcing the author to
+refresh the committed baselines in the same PR that changed the spec.
+For matched cells the primary metric is compared under the grid's
+declared tolerance (CLI-overridable): drift in the bad direction beyond
+tolerance is a **regression** and fails the build; drift in the good
+direction is reported but passes (the trajectory ratchets through
+committed baseline updates, not silently).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.schema import BenchSchemaError, validate_payload
+
+__all__ = ["DiffEntry", "compare_payloads", "diff_dirs", "gate", "render_entries"]
+
+#: Entry kinds that fail the gate.
+GATING_KINDS = ("schema-error", "grid-dropped", "cell-dropped", "regression")
+
+
+@dataclass
+class DiffEntry:
+    """One observation from the diff; ``gating`` entries fail the build."""
+
+    grid: str
+    kind: str
+    message: str
+    gating: bool
+    rel_delta: Optional[float] = None
+    run_id: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+def _entry(grid: str, kind: str, message: str, **kwargs) -> DiffEntry:
+    return DiffEntry(grid, kind, message, gating=kind in GATING_KINDS, **kwargs)
+
+
+def _cell_label(cell: Dict[str, Any]) -> str:
+    parts = [f"{axis}={value}" for axis, value in sorted(cell["params"].items())]
+    parts += [f"-{name}" for name in cell["toggles_off"]]
+    return ", ".join(parts) if parts else "(single cell)"
+
+
+def compare_payloads(
+    name: str,
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> List[DiffEntry]:
+    """Compare two schema-valid payloads of the same grid name."""
+    entries: List[DiffEntry] = []
+    metric = baseline["primary_metric"]
+    higher_is_better = baseline["higher_is_better"]
+    allowed = baseline["tolerance"] if tolerance is None else tolerance
+    if baseline["grid_id"] != current["grid_id"]:
+        entries.append(
+            _entry(
+                name,
+                "spec-changed",
+                f"grid spec changed ({baseline['grid_id']} -> "
+                f"{current['grid_id']}); cells matched by run ID",
+            )
+        )
+    base_cells = {cell["run_id"]: cell for cell in baseline["cells"]}
+    cur_cells = {cell["run_id"]: cell for cell in current["cells"]}
+    for run_id, cell in base_cells.items():
+        if run_id not in cur_cells:
+            entries.append(
+                _entry(
+                    name,
+                    "cell-dropped",
+                    f"baseline cell [{_cell_label(cell)}] missing from the "
+                    "fresh run — refresh the committed baseline if the spec "
+                    "change is intentional",
+                    run_id=run_id,
+                )
+            )
+    for run_id, cell in cur_cells.items():
+        if run_id not in base_cells:
+            entries.append(
+                _entry(
+                    name,
+                    "cell-added",
+                    f"new cell [{_cell_label(cell)}] has no baseline yet",
+                    run_id=run_id,
+                )
+            )
+    for run_id, base_cell in base_cells.items():
+        cur_cell = cur_cells.get(run_id)
+        if cur_cell is None:
+            continue
+        base_value = float(base_cell["metrics"][metric])
+        cur_value = float(cur_cell["metrics"][metric])
+        denominator = abs(base_value) if base_value else 1.0
+        rel_delta = (cur_value - base_value) / denominator
+        worse = -rel_delta if higher_is_better else rel_delta
+        label = _cell_label(base_cell)
+        values = (
+            f"{metric}: {base_value:g} -> {cur_value:g} "
+            f"({rel_delta:+.1%}, tolerance {allowed:.1%})"
+        )
+        if worse > allowed:
+            entries.append(
+                _entry(
+                    name,
+                    "regression",
+                    f"[{label}] {values}",
+                    rel_delta=rel_delta,
+                    run_id=run_id,
+                )
+            )
+        elif -worse > allowed:
+            entries.append(
+                _entry(
+                    name,
+                    "improvement",
+                    f"[{label}] {values} — commit the refreshed baseline "
+                    "to ratchet the trajectory",
+                    rel_delta=rel_delta,
+                    run_id=run_id,
+                )
+            )
+        else:
+            entries.append(
+                _entry(
+                    name,
+                    "unchanged",
+                    f"[{label}] {values}",
+                    rel_delta=rel_delta,
+                    run_id=run_id,
+                )
+            )
+    return entries
+
+
+def _load_dir(path: str) -> Tuple[Dict[str, Dict[str, Any]], List[DiffEntry]]:
+    """Read every ``BENCH_<name>.json`` under ``path``, validating each."""
+    payloads: Dict[str, Dict[str, Any]] = {}
+    errors: List[DiffEntry] = []
+    for artifact in sorted(glob.glob(os.path.join(path, "BENCH_*.json"))):
+        if artifact.endswith(".wallclock.json"):
+            continue  # machine-speed sidecar, not a trajectory artifact
+        stem = os.path.basename(artifact)[len("BENCH_") : -len(".json")]
+        try:
+            with open(artifact) as handle:
+                payload = json.load(handle)
+            validate_payload(payload)
+            if payload["name"] != stem:
+                raise BenchSchemaError(
+                    f"$.name: {payload['name']!r} does not match filename "
+                    f"{os.path.basename(artifact)!r}"
+                )
+        except (OSError, ValueError) as error:
+            errors.append(_entry(stem, "schema-error", f"{artifact}: {error}"))
+            continue
+        payloads[stem] = payload
+    return payloads, errors
+
+
+def diff_dirs(
+    baseline_dir: str,
+    current_dir: str,
+    names: Optional[List[str]] = None,
+    tolerance: Optional[float] = None,
+) -> List[DiffEntry]:
+    """Diff every grid artifact in ``current_dir`` against the baselines."""
+    baselines, entries = _load_dir(baseline_dir)
+    currents, current_errors = _load_dir(current_dir)
+    entries.extend(current_errors)
+    if names:
+        baselines = {k: v for k, v in baselines.items() if k in names}
+        currents = {k: v for k, v in currents.items() if k in names}
+        entries = [e for e in entries if e.grid in names]
+    for name in sorted(baselines):
+        if name not in currents:
+            entries.append(
+                _entry(
+                    name,
+                    "grid-dropped",
+                    f"baseline BENCH_{name}.json has no fresh artifact in "
+                    f"{current_dir} — was the benchmark removed?",
+                )
+            )
+    for name in sorted(currents):
+        if name not in baselines:
+            entries.append(
+                _entry(
+                    name,
+                    "grid-added",
+                    "no committed baseline yet — commit "
+                    f"BENCH_{name}.json at the repo root to start its "
+                    "trajectory",
+                )
+            )
+    for name in sorted(set(baselines) & set(currents)):
+        entries.extend(
+            compare_payloads(name, baselines[name], currents[name], tolerance)
+        )
+    return entries
+
+
+def gate(entries: List[DiffEntry]) -> bool:
+    """True when the trajectory holds (no gating entry)."""
+    return not any(entry.gating for entry in entries)
+
+
+def render_entries(entries: List[DiffEntry], verbose: bool = False) -> str:
+    """Human summary: gating findings first, then notices, then counts."""
+    lines: List[str] = []
+    order = {kind: i for i, kind in enumerate(GATING_KINDS)}
+    gating = sorted(
+        (e for e in entries if e.gating),
+        key=lambda e: (order.get(e.kind, 99), e.grid, e.run_id),
+    )
+    notices = [
+        e
+        for e in entries
+        if not e.gating and e.kind not in ("unchanged",)
+    ]
+    for entry in gating:
+        lines.append(f"FAIL {entry.kind:<12} {entry.grid}: {entry.message}")
+    for entry in notices:
+        lines.append(f"note {entry.kind:<12} {entry.grid}: {entry.message}")
+    if verbose:
+        for entry in entries:
+            if entry.kind == "unchanged":
+                lines.append(f"  ok {entry.grid}: {entry.message}")
+    grids = sorted({entry.grid for entry in entries})
+    unchanged = sum(1 for entry in entries if entry.kind == "unchanged")
+    lines.append(
+        f"{len(grids)} grids compared: {unchanged} cells within tolerance, "
+        f"{sum(1 for e in entries if e.kind == 'regression')} regressions, "
+        f"{sum(1 for e in entries if e.kind == 'improvement')} improvements, "
+        f"{sum(1 for e in entries if e.gating)} gating findings"
+    )
+    return "\n".join(lines)

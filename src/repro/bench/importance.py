@@ -1,0 +1,80 @@
+"""Per-component importance: which knob mattered, ranked.
+
+The ablation exemplar this subsystem follows scores every component by
+the damage its removal does.  For each parameter point that has both the
+all-on baseline cell and the single-component-off cell, the relative
+delta of the primary metric is computed; the mean over parameter points
+is the component's importance, direction-adjusted so a positive
+``impact`` always means "this component helps".  Components are ranked
+by absolute impact, so the first row of the ``importance`` block in
+``BENCH_<name>.json`` answers the reviewer's question — *which knob
+mattered?* — without re-running anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["component_importance"]
+
+
+def _rel_delta(baseline: float, ablated: float) -> float:
+    denominator = abs(baseline) if baseline else 1.0
+    return (ablated - baseline) / denominator
+
+
+def component_importance(grid, cell_results) -> List[Dict[str, Any]]:
+    """Rank ``grid``'s toggles by ablation delta on the primary metric.
+
+    ``cell_results`` is the list of :class:`repro.bench.runner.CellResult`
+    for one completed run.  Returns schema-shaped entries sorted by
+    absolute impact (ties broken by toggle name); empty when the grid
+    declares no toggles or no baseline/one-off pair exists.
+    """
+    metric = grid.primary_metric
+    baselines: Dict[Tuple, float] = {}
+    singles: Dict[str, List[Tuple[Tuple, float]]] = {
+        toggle.name: [] for toggle in grid.toggles
+    }
+    for result in cell_results:
+        value = result.metrics.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        point = result.cell.params
+        if not result.cell.toggles_off:
+            baselines[point] = float(value)
+        elif len(result.cell.toggles_off) == 1:
+            name = result.cell.toggles_off[0]
+            if name in singles:
+                singles[name].append((point, float(value)))
+
+    entries: List[Dict[str, Any]] = []
+    for toggle in grid.toggles:
+        paired = [
+            (baselines[point], value)
+            for point, value in singles[toggle.name]
+            if point in baselines
+        ]
+        if not paired:
+            continue
+        baseline_mean = sum(base for base, _ in paired) / len(paired)
+        ablated_mean = sum(ablated for _, ablated in paired) / len(paired)
+        deltas = [_rel_delta(base, ablated) for base, ablated in paired]
+        mean_rel_delta = sum(deltas) / len(deltas)
+        # Positive impact == removing the component hurts the metric.
+        impact = -mean_rel_delta if grid.higher_is_better else mean_rel_delta
+        entries.append(
+            {
+                "component": toggle.name,
+                "metric": metric,
+                "n_points": len(paired),
+                "baseline_mean": round(baseline_mean, 9),
+                "ablated_mean": round(ablated_mean, 9),
+                "mean_rel_delta": round(mean_rel_delta, 9),
+                "impact": round(impact, 9),
+            }
+        )
+    entries.sort(key=lambda entry: (-abs(entry["impact"]), entry["component"]))
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+    return entries

@@ -1,0 +1,74 @@
+"""Terminal rendering for grid results: cells table plus importance."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.runner import GridResult
+from repro.metrics.report import format_table
+
+__all__ = ["render_grid"]
+
+
+def _format(value) -> str:
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_grid(result: GridResult) -> str:
+    """Aligned text: one row per cell, metric columns (primary first)."""
+    grid = result.grid
+    axes = list(grid.parameters)
+    metric_names: List[str] = [grid.primary_metric]
+    for cell_result in result.cells:
+        for name in cell_result.metrics:
+            if name not in metric_names:
+                metric_names.append(name)
+    headers = axes[:]
+    if grid.toggles:
+        headers.append("components off")
+    headers += metric_names
+    rows = []
+    for cell_result in result.cells:
+        params = cell_result.cell.param_dict()
+        row = [_format(params[axis]) for axis in axes]
+        if grid.toggles:
+            row.append(", ".join(cell_result.cell.toggles_off) or "-")
+        row += [
+            _format(cell_result.metrics[name])
+            if name in cell_result.metrics
+            else "-"
+            for name in metric_names
+        ]
+        rows.append(row)
+    title = grid.title or f"Grid {grid.name}"
+    direction = "higher" if grid.higher_is_better else "lower"
+    text = format_table(
+        headers,
+        rows,
+        title=f"{title} (seed {grid.seed}, gate: {grid.primary_metric} "
+        f"{direction} is better, tolerance {grid.tolerance:.0%})",
+    )
+    importance = result.importance
+    if importance:
+        text += "\n\n" + format_table(
+            ["rank", "component", "baseline", "ablated", "impact"],
+            [
+                [
+                    entry["rank"],
+                    entry["component"],
+                    _format(entry["baseline_mean"]),
+                    _format(entry["ablated_mean"]),
+                    f"{entry['impact']:+.1%}",
+                ]
+                for entry in importance
+            ],
+            title=f"Component importance on {grid.primary_metric} "
+            "(impact = cost of disabling)",
+        )
+    wall = result.wall_clock()
+    text += f"\n\nwall-clock: {wall['total_ms']:.0f} ms over {len(result.cells)} cells"
+    return text

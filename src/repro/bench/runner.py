@@ -1,0 +1,209 @@
+"""Execute a grid — serially or fanned out — into a schema-valid artifact.
+
+``run_grid`` prices every cell through the grid's runner, serially or
+over worker processes via :func:`repro.jobs.map_jobs`.  The deterministic
+payload (:meth:`GridResult.canonical_json`) is byte-identical either way:
+wall-clock is measured per cell but kept *out* of the canonical artifact
+(it lands in a ``.wallclock.json`` sidecar), because a trajectory that
+mixes simulated metrics with machine-speed noise cannot be diffed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.bench.importance import component_importance
+from repro.bench.schema import validate_payload
+from repro.bench.spec import BenchSpecError, Cell, Grid
+from repro.jobs import map_jobs
+
+__all__ = ["CellResult", "GridResult", "run_grid", "write_grid_artifacts"]
+
+_SCALARS = (str, int, float, bool)
+
+
+@dataclass
+class CellResult:
+    """One priced cell: the spec point, its metrics, optional detail."""
+
+    cell: Cell
+    metrics: Dict[str, Any]
+    detail: Optional[Any]
+    wall_ms: float
+
+    def metric(self, name: str) -> Any:
+        if name not in self.metrics:
+            raise KeyError(
+                f"cell {self.cell.run_id} has no metric {name!r} "
+                f"(has: {sorted(self.metrics)})"
+            )
+        return self.metrics[name]
+
+
+@dataclass
+class GridResult:
+    """A completed grid run: cells in enumeration order, plus importance."""
+
+    grid: Grid
+    cells: List[CellResult]
+
+    # -- lookups ------------------------------------------------------------
+
+    def cell(self, toggles_off: Tuple[str, ...] = (), **params) -> CellResult:
+        """The cell at a parameter point (baseline toggles by default)."""
+        wanted_off = tuple(toggles_off)
+        matches = [
+            result
+            for result in self.cells
+            if result.cell.toggles_off == wanted_off
+            and all(
+                result.cell.param_dict().get(axis) == value
+                for axis, value in params.items()
+            )
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{self.grid.name}: {len(matches)} cells match "
+                f"params={params} toggles_off={wanted_off}"
+            )
+        return matches[0]
+
+    def metric(
+        self, name: Optional[str] = None, toggles_off: Tuple[str, ...] = (), **params
+    ) -> Any:
+        """One metric value (the primary metric by default)."""
+        return self.cell(toggles_off, **params).metric(
+            name or self.grid.primary_metric
+        )
+
+    @property
+    def importance(self) -> List[Dict[str, Any]]:
+        return component_importance(self.grid, self.cells)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The deterministic artifact body (no wall-clock)."""
+        payload = self.grid.spec_payload()
+        payload["grid_id"] = self.grid.grid_id
+        payload["cells"] = [
+            {
+                "run_id": result.cell.run_id,
+                "params": result.cell.param_dict(),
+                "toggles_off": list(result.cell.toggles_off),
+                "seed": result.cell.seed,
+                "metrics": result.metrics,
+                **({"detail": result.detail} if result.detail is not None else {}),
+            }
+            for result in self.cells
+        ]
+        payload["importance"] = self.importance
+        return payload
+
+    def canonical_json(self) -> str:
+        """Validated, key-sorted, indented JSON — the committed artifact."""
+        payload = self.to_payload()
+        validate_payload(payload)
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    def wall_clock(self) -> Dict[str, Any]:
+        """Machine-speed sidecar: per-cell and total wall milliseconds."""
+        return {
+            "name": self.grid.name,
+            "total_ms": round(sum(result.wall_ms for result in self.cells), 3),
+            "cells": {
+                result.cell.run_id: round(result.wall_ms, 3)
+                for result in self.cells
+            },
+        }
+
+
+def _execute_cell(task) -> Tuple[Dict[str, Any], Optional[Any], float]:
+    """Price one cell (module-level so ``map_jobs`` can pickle it)."""
+    runner, run_params, seed = task
+    start = time.perf_counter()  # reprolint: disable-line=DET01
+    outcome = runner(run_params, seed)
+    wall_ms = (time.perf_counter() - start) * 1000.0  # reprolint: disable-line=DET01
+    if isinstance(outcome, tuple):
+        if len(outcome) != 2:
+            raise BenchSpecError(
+                "runner must return metrics or (metrics, detail), "
+                f"got a {len(outcome)}-tuple"
+            )
+        metrics, detail = outcome
+    else:
+        metrics, detail = outcome, None
+    return metrics, detail, wall_ms
+
+
+def _check_metrics(grid: Grid, cell: Cell, metrics: Any) -> None:
+    if not isinstance(metrics, dict) or not metrics:
+        raise BenchSpecError(
+            f"{grid.name}: runner returned {type(metrics).__name__} for cell "
+            f"{cell.run_id}; need a non-empty metrics dict"
+        )
+    for key, value in metrics.items():
+        if not isinstance(key, str) or not isinstance(value, _SCALARS):
+            raise BenchSpecError(
+                f"{grid.name}: metric {key!r}={value!r} in cell {cell.run_id} "
+                "is not a scalar"
+            )
+    primary = metrics.get(grid.primary_metric)
+    if not isinstance(primary, (int, float)) or isinstance(primary, bool):
+        raise BenchSpecError(
+            f"{grid.name}: primary metric {grid.primary_metric!r} missing or "
+            f"non-numeric in cell {cell.run_id} (metrics: {sorted(metrics)})"
+        )
+
+
+def run_grid(grid: Grid, jobs: int = 1) -> GridResult:
+    """Price every cell of ``grid``; ``jobs > 1`` fans out over processes.
+
+    The runner and its arguments must be picklable for the parallel path
+    (module-level functions, scalar params) — which every discovered
+    benchmark grid satisfies by construction.  Output is byte-identical
+    to the serial run.
+    """
+    cells = grid.cells()
+    tasks = [(grid.runner, grid.run_params(cell), cell.seed) for cell in cells]
+    raw = map_jobs(_execute_cell, tasks, jobs=jobs)
+    results: List[CellResult] = []
+    for cell, (metrics, detail, wall_ms) in zip(cells, raw):
+        _check_metrics(grid, cell, metrics)
+        results.append(CellResult(cell, metrics, detail, wall_ms))
+    return GridResult(grid, results)
+
+
+def write_grid_artifacts(
+    result: GridResult,
+    output_dir: str,
+    baseline_dir: Optional[str] = None,
+) -> List[str]:
+    """Write ``BENCH_<name>.json`` (validated) plus the wall-clock sidecar.
+
+    The canonical artifact goes to ``output_dir`` and, when
+    ``baseline_dir`` is given, byte-identically to the baseline location
+    (the repo root, where the committed trajectory lives).  Returns the
+    written artifact paths in order.
+    """
+    text = result.canonical_json()
+    filename = f"BENCH_{result.grid.name}.json"
+    os.makedirs(output_dir, exist_ok=True)
+    paths = [os.path.join(output_dir, filename)]
+    if baseline_dir is not None:
+        os.makedirs(baseline_dir, exist_ok=True)
+        paths.append(os.path.join(baseline_dir, filename))
+    for path in paths:
+        with open(path, "w") as handle:
+            handle.write(text)
+    sidecar = os.path.join(
+        output_dir, f"BENCH_{result.grid.name}.wallclock.json"
+    )
+    with open(sidecar, "w") as handle:
+        json.dump(result.wall_clock(), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return paths

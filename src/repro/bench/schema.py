@@ -1,0 +1,257 @@
+"""The ``BENCH_<name>.json`` artifact schema, validated by hand.
+
+Artifacts are the machine-readable perf trajectory: one file per grid,
+committed at the repo root, diffed by CI on every PR.  A trajectory is
+only as trustworthy as its format, so every write and every read goes
+through :func:`validate_payload` — a strict, dependency-free structural
+check (the same stance as ``repro.trace.validate_chrome_trace``): exact
+key sets, typed values, unique run IDs, contiguous importance ranks, and
+the primary metric present and numeric in every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bench.spec import ID_HEX_LEN, SCHEMA_VERSION
+
+__all__ = ["BenchSchemaError", "validate_payload"]
+
+_HEX = set("0123456789abcdef")
+
+_TOP_KEYS = {
+    "schema_version",
+    "name",
+    "grid_id",
+    "seed",
+    "seed_mode",
+    "parameters",
+    "toggles",
+    "toggle_mode",
+    "primary_metric",
+    "higher_is_better",
+    "tolerance",
+    "cells",
+    "importance",
+}
+_CELL_KEYS = {"run_id", "params", "toggles_off", "seed", "metrics"}
+_CELL_OPTIONAL = {"detail"}
+_IMPORTANCE_KEYS = {
+    "component",
+    "metric",
+    "n_points",
+    "baseline_mean",
+    "ablated_mean",
+    "mean_rel_delta",
+    "impact",
+    "rank",
+}
+
+_SCALARS = (str, int, float, bool)
+
+
+class BenchSchemaError(ValueError):
+    """A payload does not conform to the BENCH artifact schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise BenchSchemaError(f"{path}: {message}")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        _fail(path, message)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_id(value: Any, path: str) -> None:
+    _require(
+        isinstance(value, str)
+        and len(value) == ID_HEX_LEN
+        and set(value) <= _HEX,
+        path,
+        f"must be a {ID_HEX_LEN}-char lowercase hex id, got {value!r}",
+    )
+
+
+def _check_keys(obj: Dict, required: set, optional: set, path: str) -> None:
+    keys = set(obj)
+    missing = required - keys
+    extra = keys - required - optional
+    _require(not missing, path, f"missing keys {sorted(missing)}")
+    _require(not extra, path, f"unexpected keys {sorted(extra)}")
+
+
+def validate_payload(payload: Any) -> int:
+    """Validate one artifact payload; returns the cell count.
+
+    Raises :class:`BenchSchemaError` with a JSON-path-style location on
+    the first violation.
+    """
+    _require(isinstance(payload, dict), "$", "payload must be an object")
+    _check_keys(payload, _TOP_KEYS, set(), "$")
+    _require(
+        payload["schema_version"] == SCHEMA_VERSION,
+        "$.schema_version",
+        f"expected {SCHEMA_VERSION}, got {payload['schema_version']!r}",
+    )
+    _require(
+        isinstance(payload["name"], str) and bool(payload["name"]),
+        "$.name",
+        "must be a non-empty string",
+    )
+    _check_id(payload["grid_id"], "$.grid_id")
+    _require(
+        isinstance(payload["seed"], int) and not isinstance(payload["seed"], bool),
+        "$.seed",
+        "must be an int",
+    )
+    _require(
+        payload["seed_mode"] in ("shared", "per-cell"),
+        "$.seed_mode",
+        f"unknown mode {payload['seed_mode']!r}",
+    )
+    _require(
+        payload["toggle_mode"] in ("one-off", "product"),
+        "$.toggle_mode",
+        f"unknown mode {payload['toggle_mode']!r}",
+    )
+    parameters = payload["parameters"]
+    _require(isinstance(parameters, dict), "$.parameters", "must be an object")
+    for axis, values in parameters.items():
+        path = f"$.parameters.{axis}"
+        _require(isinstance(axis, str) and bool(axis), path, "axis must be named")
+        _require(
+            isinstance(values, list) and bool(values),
+            path,
+            "axis needs a non-empty value list",
+        )
+        for value in values:
+            _require(
+                isinstance(value, _SCALARS),
+                path,
+                f"axis values must be scalars, got {value!r}",
+            )
+    toggles = payload["toggles"]
+    _require(isinstance(toggles, list), "$.toggles", "must be a list")
+    for toggle in toggles:
+        _require(
+            isinstance(toggle, str) and bool(toggle),
+            "$.toggles",
+            f"toggle names must be strings, got {toggle!r}",
+        )
+    _require(
+        len(set(toggles)) == len(toggles), "$.toggles", "duplicate toggle names"
+    )
+    primary = payload["primary_metric"]
+    _require(
+        isinstance(primary, str) and bool(primary),
+        "$.primary_metric",
+        "must be a non-empty string",
+    )
+    _require(
+        isinstance(payload["higher_is_better"], bool),
+        "$.higher_is_better",
+        "must be a bool",
+    )
+    _require(
+        _is_number(payload["tolerance"]) and payload["tolerance"] >= 0,
+        "$.tolerance",
+        "must be a number >= 0",
+    )
+
+    cells = payload["cells"]
+    _require(
+        isinstance(cells, list) and bool(cells), "$.cells", "needs at least one cell"
+    )
+    seen_ids: List[str] = []
+    for i, cell in enumerate(cells):
+        path = f"$.cells[{i}]"
+        _require(isinstance(cell, dict), path, "must be an object")
+        _check_keys(cell, _CELL_KEYS, _CELL_OPTIONAL, path)
+        _check_id(cell["run_id"], f"{path}.run_id")
+        seen_ids.append(cell["run_id"])
+        _require(
+            isinstance(cell["seed"], int) and not isinstance(cell["seed"], bool),
+            f"{path}.seed",
+            "must be an int",
+        )
+        params = cell["params"]
+        _require(isinstance(params, dict), f"{path}.params", "must be an object")
+        _require(
+            set(params) == set(parameters),
+            f"{path}.params",
+            f"axes {sorted(params)} != declared {sorted(parameters)}",
+        )
+        for axis, value in params.items():
+            _require(
+                value in parameters[axis],
+                f"{path}.params.{axis}",
+                f"value {value!r} not on the declared axis",
+            )
+        off = cell["toggles_off"]
+        _require(isinstance(off, list), f"{path}.toggles_off", "must be a list")
+        for name in off:
+            _require(
+                name in toggles,
+                f"{path}.toggles_off",
+                f"{name!r} is not a declared toggle",
+            )
+        metrics = cell["metrics"]
+        _require(
+            isinstance(metrics, dict) and bool(metrics),
+            f"{path}.metrics",
+            "needs at least one metric",
+        )
+        for key, value in metrics.items():
+            _require(
+                isinstance(key, str) and bool(key),
+                f"{path}.metrics",
+                "metric names must be strings",
+            )
+            _require(
+                isinstance(value, _SCALARS),
+                f"{path}.metrics.{key}",
+                f"metric values must be scalars, got {value!r}",
+            )
+        _require(
+            primary in metrics and _is_number(metrics[primary]),
+            f"{path}.metrics",
+            f"primary metric {primary!r} missing or non-numeric",
+        )
+    _require(
+        len(set(seen_ids)) == len(seen_ids), "$.cells", "duplicate run IDs"
+    )
+
+    importance = payload["importance"]
+    _require(isinstance(importance, list), "$.importance", "must be a list")
+    for i, entry in enumerate(importance):
+        path = f"$.importance[{i}]"
+        _require(isinstance(entry, dict), path, "must be an object")
+        _check_keys(entry, _IMPORTANCE_KEYS, set(), path)
+        _require(
+            entry["component"] in toggles,
+            f"{path}.component",
+            f"{entry['component']!r} is not a declared toggle",
+        )
+        _require(
+            entry["metric"] == primary,
+            f"{path}.metric",
+            "importance is ranked on the primary metric",
+        )
+        _require(
+            isinstance(entry["n_points"], int) and entry["n_points"] >= 1,
+            f"{path}.n_points",
+            "must be a positive int",
+        )
+        for key in ("baseline_mean", "ablated_mean", "mean_rel_delta", "impact"):
+            _require(_is_number(entry[key]), f"{path}.{key}", "must be a number")
+        _require(
+            entry["rank"] == i + 1,
+            f"{path}.rank",
+            f"ranks must be contiguous from 1, got {entry['rank']!r}",
+        )
+    return len(cells)

@@ -13,10 +13,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis import checkpoint_interval_sweep, predict_bottleneck
+from repro.bench import (
+    diff_dirs,
+    gate,
+    load_grids,
+    render_entries,
+    render_grid,
+    run_grid,
+    write_grid_artifacts,
+)
+from repro.bench.spec import BenchSpecError
 from repro.faults import ARCHITECTURES, FaultPlan, run_crashtest, run_scenario
 from repro.metrics import format_table
 from repro.experiments import (
@@ -347,6 +358,82 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("-n", "--transactions", type=int, default=10)
     diff.add_argument("--seed", type=int, default=1985)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the declarative benchmark grids and write schema-validated "
+        "BENCH_<name>.json artifacts (see docs/BENCH.md)",
+    )
+    bench.add_argument(
+        "names", nargs="*", help="grid names to run (default: every grid)"
+    )
+    bench.add_argument(
+        "--dir",
+        dest="bench_dir",
+        default="benchmarks",
+        help="benchmark tree holding bench_*.py grid specs (default: benchmarks)",
+    )
+    bench.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per grid; artifacts are byte-identical to -j 1",
+    )
+    bench.add_argument(
+        "--write-baselines",
+        action="store_true",
+        help="also refresh the committed BENCH_*.json baselines at the repo "
+        "root (the parent of --dir)",
+    )
+    bench.add_argument(
+        "--list",
+        dest="list_grids",
+        action="store_true",
+        help="list the discovered grids and their cell counts, run nothing",
+    )
+
+    benchdiff = sub.add_parser(
+        "bench-diff",
+        help="diff fresh grid artifacts against the committed BENCH_*.json "
+        "baselines; non-zero exit on regression (see docs/BENCH.md)",
+    )
+    benchdiff.add_argument(
+        "names", nargs="*", help="grid names to compare (default: all)"
+    )
+    benchdiff.add_argument(
+        "--dir",
+        dest="bench_dir",
+        default="benchmarks",
+        help="benchmark tree (default: benchmarks)",
+    )
+    benchdiff.add_argument(
+        "--baseline",
+        help="baseline artifact dir (default: the repo root, parent of --dir)",
+    )
+    benchdiff.add_argument(
+        "--current",
+        help="fresh artifact dir (default: <dir>/output)",
+    )
+    benchdiff.add_argument(
+        "--tolerance",
+        type=float,
+        help="override every grid's declared relative tolerance",
+    )
+    benchdiff.add_argument(
+        "--run",
+        action="store_true",
+        help="execute the grids into --current before diffing",
+    )
+    benchdiff.add_argument(
+        "-j", "--jobs", type=int, default=1, help="worker processes with --run"
+    )
+    benchdiff.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print the cells that stayed within tolerance",
+    )
+
     predict = sub.add_parser(
         "predict", help="analytic bottleneck prediction for a configuration"
     )
@@ -580,6 +667,66 @@ def _run_checkpoint_sweep(args) -> int:
     return 0
 
 
+def _bench_dirs(args):
+    """(output dir, repo-root baseline dir) for a benchmark tree."""
+    output_dir = os.path.join(args.bench_dir, "output")
+    root_dir = os.path.dirname(os.path.abspath(args.bench_dir))
+    return output_dir, root_dir
+
+
+def _run_bench(args) -> int:
+    try:
+        grids = load_grids(args.bench_dir, args.names or None)
+    except (BenchSpecError, ImportError) as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.list_grids:
+        for name, grid in grids.items():
+            toggles = ",".join(t.name for t in grid.toggles) or "-"
+            print(
+                f"{name:>28}: {len(grid.cells())} cells, "
+                f"gate {grid.primary_metric} "
+                f"(tol {grid.tolerance:.0%}), toggles: {toggles}"
+            )
+        return 0
+    output_dir, root_dir = _bench_dirs(args)
+    baseline_dir = root_dir if args.write_baselines else None
+    for i, (name, grid) in enumerate(grids.items()):
+        result = run_grid(grid, jobs=args.jobs)
+        if i:
+            print()
+        print(render_grid(result))
+        paths = write_grid_artifacts(result, output_dir, baseline_dir)
+        print("wrote " + ", ".join(paths))
+    return 0
+
+
+def _run_bench_diff(args) -> int:
+    output_dir, root_dir = _bench_dirs(args)
+    baseline_dir = args.baseline or root_dir
+    current_dir = args.current or output_dir
+    if args.run:
+        try:
+            grids = load_grids(args.bench_dir, args.names or None)
+        except (BenchSpecError, ImportError) as error:
+            print(error, file=sys.stderr)
+            return 2
+        for name, grid in grids.items():
+            result = run_grid(grid, jobs=args.jobs)
+            write_grid_artifacts(result, current_dir)
+            print(f"ran {name} ({len(result.cells)} cells)")
+        print()
+    entries = diff_dirs(
+        baseline_dir, current_dir, names=args.names or None,
+        tolerance=args.tolerance,
+    )
+    print(render_entries(entries, verbose=args.verbose))
+    if not gate(entries):
+        print("bench-diff: trajectory gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_trace(args) -> int:
     archs = sorted(SIM_ARCHITECTURES) if args.arch == "all" else [args.arch]
     for i, arch in enumerate(archs):
@@ -677,6 +824,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "checkpoint-sweep":
         return _run_checkpoint_sweep(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
+
+    if args.command == "bench-diff":
+        return _run_bench_diff(args)
 
     if args.command == "trace":
         return _run_trace(args)

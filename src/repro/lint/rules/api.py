@@ -134,6 +134,7 @@ _LAYERS = {
     "faults": 2,
     "machine": 3,
     "analysis": 4,
+    "bench": 4,
     "resilience": 4,
     "experiments": 4,
     "loadgen": 4,

@@ -1,19 +1,65 @@
-"""Benchmark reproducibility: every benchmark must pin its randomness.
+"""Benchmark reproducibility: pinned seeds, declarative grid specs.
 
 The paper's tables are paired comparisons; a benchmark whose seed floats
-produces numbers that cannot be compared across commits.  BENCH01 requires
-every ``benchmarks/bench_*.py`` to declare its seed explicitly — a
-module-level ``SEED`` constant or a ``seed=`` keyword in some call.
+produces numbers that cannot be compared across commits.  BENCH01
+requires every ``benchmarks/bench_*.py`` to declare its seed explicitly.
+
+BENCH02 is the stronger contract that supersedes it wherever a grid is
+in play: every benchmark module must declare a :class:`repro.bench.Grid`
+spec (directly, or through a ``benchmarks._harness`` factory) at module
+level, with an explicit ``seed=`` keyword — that is what makes the
+benchmark discoverable by ``repro bench``, gives its cells stable run
+IDs, and puts it under the ``bench-diff`` trajectory gate.  A benchmark
+outside the grid system is invisible to the perf trajectory, which is
+exactly the regression BENCH02 exists to prevent.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, List, Optional, Tuple
 
+from repro.lint.astutil import ImportMap
 from repro.lint.engine import ModuleContext, Project, Rule, register
 
-__all__ = ["Bench01DeclaredSeed"]
+__all__ = ["Bench01DeclaredSeed", "Bench02GridSpec"]
+
+#: Dotted origins that construct a grid spec.  ``Grid`` is the canonical
+#: constructor; the ``_harness`` factories wrap it for the paper-table
+#: benchmarks (they return a ``Grid`` and forward ``seed=``).
+_GRID_FACTORIES = (
+    "repro.bench.Grid",
+    "repro.bench.spec.Grid",
+    "benchmarks._harness.table_grid",
+)
+
+
+def _is_benchmark(module: ModuleContext) -> bool:
+    name = module.basename
+    return name.startswith("bench_") and name.endswith(".py")
+
+
+def _grid_calls(module: ModuleContext) -> List[Tuple[ast.Assign, ast.Call]]:
+    """Module-level ``NAME = Grid(...)`` (or factory) assignments."""
+    imports = ImportMap(module.tree)
+    found: List[Tuple[ast.Assign, ast.Call]] = []
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        origin = imports.origin(value.func)
+        if origin in _GRID_FACTORIES:
+            found.append((node, value))
+    return found
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.keyword]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword
+    return None
 
 
 @register
@@ -22,8 +68,11 @@ class Bench01DeclaredSeed(Rule):
     summary = "every benchmarks/bench_*.py declares a seed"
 
     def check(self, module: ModuleContext, project: Project) -> Iterator:
-        name = module.basename
-        if not (name.startswith("bench_") and name.endswith(".py")):
+        if not _is_benchmark(module):
+            return
+        if _grid_calls(module):
+            # A declared grid pins its seed in the spec; BENCH02 owns
+            # (and strengthens) the check from here.
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Assign):
@@ -39,3 +88,35 @@ class Bench01DeclaredSeed(Rule):
             "benchmark declares no seed (add a SEED constant or pass seed=...); "
             "unseeded runs cannot be compared across commits",
         )
+
+
+@register
+class Bench02GridSpec(Rule):
+    code = "BENCH02"
+    summary = (
+        "every benchmarks/bench_*.py declares a repro.bench grid spec "
+        "with an explicit seed"
+    )
+
+    def check(self, module: ModuleContext, project: Project) -> Iterator:
+        if not _is_benchmark(module):
+            return
+        calls = _grid_calls(module)
+        if not calls:
+            yield module.finding(
+                self.code,
+                module.tree,
+                "benchmark declares no repro.bench grid spec (assign "
+                "GRID = Grid(...) or a benchmarks._harness factory at module "
+                "level); ungridded benchmarks are invisible to the "
+                "BENCH_<name>.json perf trajectory and the bench-diff gate",
+            )
+            return
+        for node, call in calls:
+            if _keyword(call, "seed") is None:
+                yield module.finding(
+                    self.code,
+                    node,
+                    "grid spec must pin its randomness with an explicit "
+                    "seed= keyword",
+                )

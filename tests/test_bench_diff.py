@@ -1,0 +1,176 @@
+"""Trajectory differ: tolerance directions, coverage gates, rendering."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SELFTEST_GRID,
+    compare_payloads,
+    diff_dirs,
+    gate,
+    render_entries,
+    run_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return json.loads(run_grid(SELFTEST_GRID).canonical_json())
+
+
+def kinds(entries):
+    return sorted({entry.kind for entry in entries})
+
+
+def scale_metric(payload, factor, metric="cost_ms", index=0):
+    tampered = copy.deepcopy(payload)
+    tampered["cells"][index]["metrics"][metric] *= factor
+    return tampered
+
+
+class TestTolerance:
+    def test_identical_payloads_all_unchanged(self, payload):
+        entries = compare_payloads("selftest", payload, payload)
+        assert kinds(entries) == ["unchanged"]
+        assert gate(entries)
+
+    def test_drift_within_tolerance_passes(self, payload):
+        entries = compare_payloads(
+            "selftest", payload, scale_metric(payload, 1.05)
+        )
+        assert kinds(entries) == ["unchanged"]
+
+    def test_regression_beyond_tolerance_gates(self, payload):
+        # selftest tolerance is 0.10 and cost_ms is lower-is-better.
+        entries = compare_payloads(
+            "selftest", payload, scale_metric(payload, 1.5)
+        )
+        regressions = [e for e in entries if e.kind == "regression"]
+        assert len(regressions) == 1
+        assert regressions[0].gating
+        assert regressions[0].rel_delta == pytest.approx(0.5)
+        assert not gate(entries)
+
+    def test_improvement_is_reported_not_gated(self, payload):
+        entries = compare_payloads(
+            "selftest", payload, scale_metric(payload, 0.5)
+        )
+        improvements = [e for e in entries if e.kind == "improvement"]
+        assert len(improvements) == 1
+        assert not improvements[0].gating
+        assert gate(entries)
+
+    def test_higher_is_better_flips_direction(self, payload):
+        flipped = copy.deepcopy(payload)
+        flipped["primary_metric"] = "throughput"
+        flipped["higher_is_better"] = True
+        lower = scale_metric(flipped, 0.5, metric="throughput")
+        entries = compare_payloads("selftest", flipped, lower)
+        assert [e.kind for e in entries if e.gating] == ["regression"]
+        higher = scale_metric(flipped, 2.0, metric="throughput")
+        assert gate(compare_payloads("selftest", flipped, higher))
+
+    def test_tolerance_override_widens_the_gate(self, payload):
+        current = scale_metric(payload, 1.5)
+        assert not gate(compare_payloads("selftest", payload, current))
+        assert gate(
+            compare_payloads("selftest", payload, current, tolerance=0.60)
+        )
+
+    def test_zero_baseline_uses_unit_denominator(self, payload):
+        base = copy.deepcopy(payload)
+        base["cells"][0]["metrics"]["cost_ms"] = 0.0
+        current = copy.deepcopy(base)
+        current["cells"][0]["metrics"]["cost_ms"] = 0.05
+        entries = compare_payloads("selftest", base, current)
+        moved = [e for e in entries if e.rel_delta]
+        assert moved[0].rel_delta == pytest.approx(0.05)  # /1.0, not /0
+
+
+class TestCoverage:
+    def test_dropped_cell_gates(self, payload):
+        current = copy.deepcopy(payload)
+        current["cells"] = current["cells"][1:]
+        entries = compare_payloads("selftest", payload, current)
+        dropped = [e for e in entries if e.kind == "cell-dropped"]
+        assert len(dropped) == 1 and dropped[0].gating
+        assert "refresh the committed baseline" in dropped[0].message
+        assert not gate(entries)
+
+    def test_added_cell_is_a_notice(self, payload):
+        baseline = copy.deepcopy(payload)
+        baseline["cells"] = baseline["cells"][1:]
+        entries = compare_payloads("selftest", baseline, payload)
+        added = [e for e in entries if e.kind == "cell-added"]
+        assert len(added) == 1 and not added[0].gating
+        assert gate(entries)
+
+    def test_spec_change_is_a_notice(self, payload):
+        current = copy.deepcopy(payload)
+        current["grid_id"] = "f" * 16
+        entries = compare_payloads("selftest", payload, current)
+        spec = [e for e in entries if e.kind == "spec-changed"]
+        assert len(spec) == 1 and not spec[0].gating
+
+
+class TestDiffDirs:
+    def _write(self, directory, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{payload['name']}.json"
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+    def test_matching_dirs_pass(self, payload, tmp_path):
+        self._write(tmp_path / "root", payload)
+        self._write(tmp_path / "out", payload)
+        entries = diff_dirs(str(tmp_path / "root"), str(tmp_path / "out"))
+        assert gate(entries)
+
+    def test_grid_dropped_gates(self, payload, tmp_path):
+        self._write(tmp_path / "root", payload)
+        (tmp_path / "out").mkdir()
+        entries = diff_dirs(str(tmp_path / "root"), str(tmp_path / "out"))
+        assert [e.kind for e in entries] == ["grid-dropped"]
+        assert not gate(entries)
+
+    def test_grid_added_is_a_notice(self, payload, tmp_path):
+        (tmp_path / "root").mkdir()
+        self._write(tmp_path / "out", payload)
+        entries = diff_dirs(str(tmp_path / "root"), str(tmp_path / "out"))
+        assert [e.kind for e in entries] == ["grid-added"]
+        assert gate(entries)
+
+    def test_corrupt_artifact_gates_as_schema_error(self, payload, tmp_path):
+        self._write(tmp_path / "root", payload)
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "BENCH_selftest.json").write_text("{not json")
+        entries = diff_dirs(str(tmp_path / "root"), str(out))
+        assert any(e.kind == "schema-error" and e.gating for e in entries)
+        assert not gate(entries)
+
+    def test_name_filter(self, payload, tmp_path):
+        self._write(tmp_path / "root", payload)
+        self._write(tmp_path / "out", payload)
+        entries = diff_dirs(
+            str(tmp_path / "root"), str(tmp_path / "out"), names=["other"]
+        )
+        assert entries == []
+
+
+class TestRender:
+    def test_failures_lead_and_counts_close(self, payload):
+        entries = compare_payloads(
+            "selftest", payload, scale_metric(payload, 1.5)
+        )
+        text = render_entries(entries)
+        lines = text.splitlines()
+        assert lines[0].startswith("FAIL regression")
+        assert "1 regressions" in lines[-1]
+        assert "1 gating findings" in lines[-1]
+
+    def test_verbose_includes_unchanged_cells(self, payload):
+        entries = compare_payloads("selftest", payload, payload)
+        assert "  ok selftest" not in render_entries(entries)
+        assert "  ok selftest" in render_entries(entries, verbose=True)

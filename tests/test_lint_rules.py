@@ -26,6 +26,7 @@ EXPECTED_RULES = {
     "ARCH01",
     "ARCH03",
     "BENCH01",
+    "BENCH02",
     "DET01",
     "DET02",
     "DET03",
@@ -1266,6 +1267,114 @@ class TestBench01DeclaredSeed:
             tmp_path,
             {"benchmarks/_helper.py": "def helper():\n    return 1\n"},
             rules=["BENCH01"],
+        )
+        assert findings == []
+
+    def test_grid_declaration_defers_to_bench02(self, tmp_path):
+        # A grid spec pins the seed declaratively; BENCH01 steps aside
+        # even though no SEED constant or seed= call keyword appears in
+        # the module body outside the grid.
+        findings = lint(
+            tmp_path,
+            {
+                "benchmarks/bench_toy.py": """
+                from repro.bench import Grid
+
+                GRID = Grid(name="toy", seed=1, runner=len, primary_metric="x")
+                """
+            },
+            rules=["BENCH01"],
+        )
+        assert findings == []
+
+
+_GRIDDED = """
+from repro.bench import Grid
+
+
+def runner(params, seed):
+    return {"cost": 1.0}
+
+
+GRID = Grid(name="toy", seed=1985, runner=runner, primary_metric="cost")
+"""
+
+
+class TestBench02GridSpec:
+    def test_gridless_benchmark_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "benchmarks/bench_toy.py": """
+                SEED = 1985
+
+                def test_toy(benchmark):
+                    benchmark(lambda: SEED)
+                """
+            },
+            rules=["BENCH02"],
+        )
+        assert codes(findings) == ["BENCH02"]
+        assert "grid spec" in findings[0].message
+
+    def test_direct_grid_satisfies(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"benchmarks/bench_toy.py": _GRIDDED},
+            rules=["BENCH02"],
+        )
+        assert findings == []
+
+    def test_harness_factory_satisfies(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "benchmarks/bench_toy.py": """
+                from benchmarks._harness import table_grid
+
+                GRID = table_grid("toy", len, primary_metric="mean.x", seed=1985)
+                """
+            },
+            rules=["BENCH02"],
+        )
+        assert findings == []
+
+    def test_grid_without_seed_flagged(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {
+                "benchmarks/bench_toy.py": """
+                from repro.bench import Grid
+
+                GRID = Grid(name="toy", runner=len, primary_metric="x")
+                """
+            },
+            rules=["BENCH02"],
+        )
+        assert codes(findings) == ["BENCH02"]
+        assert "seed=" in findings[0].message
+
+    def test_unrelated_call_is_not_a_grid(self, tmp_path):
+        # A call that merely *looks* like a factory (same name, different
+        # origin) must not satisfy the rule.
+        findings = lint(
+            tmp_path,
+            {
+                "benchmarks/bench_toy.py": """
+                from somewhere_else import Grid
+
+                GRID = Grid(name="toy", seed=1985)
+                """
+            },
+            rules=["BENCH02"],
+        )
+        assert codes(findings) == ["BENCH02"]
+
+    def test_non_benchmark_file_ignored(self, tmp_path):
+        findings = lint(
+            tmp_path,
+            {"benchmarks/_helper.py": "def helper():\n    return 1\n"},
+            rules=["BENCH02"],
         )
         assert findings == []
 
