@@ -22,10 +22,12 @@ from typing import Any, Dict
 from benchmarks._harness import paper_block, run_grid_bench
 from repro.bench import Grid
 from repro.storage import (
+    CommandLoggingManager,
     DifferentialFileManager,
     DistributedWalManager,
     OverwriteVariant,
     OverwritingManager,
+    RedoOnlyWalManager,
     ShadowPageTableManager,
     VersionSelectionManager,
 )
@@ -39,6 +41,8 @@ MANAGERS = {
     "overwrite-no-redo": lambda: OverwritingManager(OverwriteVariant.NO_REDO),
     "version-selection": lambda: VersionSelectionManager(),
     "differential": lambda: DifferentialFileManager(),
+    "command-logging": lambda: CommandLoggingManager(),
+    "redo-only-wal": lambda: RedoOnlyWalManager(),
 }
 
 PAPER_TEXT = paper_block(
@@ -95,3 +99,8 @@ def test_ablation_recovery_cost(benchmark):
     assert result.metric(manager="version-selection") == 0
     # WAL must do restart work here (redo of unflushed committed pages).
     assert result.metric(manager="wal-3-logs") > 0
+    # The modern redo-only designs also pay restart redo (their committed
+    # pages sat behind the no-steal gate), but never undo: the in-flight
+    # loser's steal attempt was gated, so nothing of it reached disk.
+    assert result.metric(manager="command-logging") > 0
+    assert result.metric(manager="redo-only-wal") > 0

@@ -20,14 +20,17 @@ from benchmarks._harness import (
 from repro.analysis import estimate_restart
 from repro.bench import Grid
 from repro.core import (
+    CommandLoggingArchitecture,
     DifferentialFileArchitecture,
     LoggingConfig,
     OverwritingArchitecture,
     OverwritingMode,
     PageTableShadowArchitecture,
     ParallelLoggingArchitecture,
+    RedoOnlyWalArchitecture,
     VersionSelectionArchitecture,
 )
+from repro.core.modern.command import COMMAND_FRAGMENT_BYTES
 from repro.experiments import CONFIGURATIONS, run_configuration
 from repro.machine import MachineConfig
 
@@ -50,6 +53,15 @@ ARCHITECTURES = {
         {},
     ),
     "differential": (lambda: DifferentialFileArchitecture(), {}),
+    "command-logging (3 log disks)": (
+        lambda: CommandLoggingArchitecture(
+            LoggingConfig(
+                fragment_bytes=COMMAND_FRAGMENT_BYTES, n_log_processors=3
+            )
+        ),
+        {"n_log_disks": 3},
+    ),
+    "redo-wal": (lambda: RedoOnlyWalArchitecture(), {}),
 }
 
 PAPER_TEXT = paper_block(
@@ -97,3 +109,13 @@ def test_ablation_restart_time(benchmark):
         "scan_ms", architecture="logging (3 log disks)"
     ) < result.metric("scan_ms", architecture="logging (1 log disk)")
     assert result.metric(architecture="differential") < 100.0
+    # The modern designs never undo: command logging's no-steal gate and
+    # the redo-only discipline keep uncommitted pages off the home disks.
+    assert result.metric("undo_ms", architecture="redo-wal") == 0.0
+    assert result.metric(
+        "undo_ms", architecture="command-logging (3 log disks)"
+    ) == 0.0
+    # Wave replay across three log disks beats the single-stream redo.
+    assert result.metric(
+        "redo_ms", architecture="command-logging (3 log disks)"
+    ) < result.metric("redo_ms", architecture="redo-wal")

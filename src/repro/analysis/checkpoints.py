@@ -95,10 +95,17 @@ def analytic_restart_bound(
     )
     records_per_op = total_records / total_ops
     residual_records = math.ceil(records_per_op * residual_ops) * (n_pages + 1)
+    pages_touched = 2 * n_pages
+    if architecture == "command":
+        # Logical replay re-executes every residual committed command —
+        # one random page write each — so the residue, not the database
+        # size, bounds the redo pass (Section 6's trade, amplified: the
+        # cheapest normal-case log pays the most re-execution at restart).
+        pages_touched += math.ceil(records_per_op * residual_ops)
     return estimate_functional_restart(
         architecture,
         records_scanned=residual_records,
-        pages_touched=2 * n_pages,
+        pages_touched=pages_touched,
         config=config,
     )
 

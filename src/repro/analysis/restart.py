@@ -16,6 +16,12 @@ recovery from failures more expensive — in milliseconds:
   last checkpoint and re-applies the in-doubt transactions' pages;
 * **differential files** — restart truncates at most one unterminated
   append run: a handful of I/Os.
+* **command logging** — restart scans the command logs like the logging
+  restart, but replays in dependency waves spread across the log disks,
+  and the no-steal write gate leaves nothing to undo;
+* **redo-only WAL** — one sequential scan of the single log stream and
+  one redo pass over the committed-but-unreflected pages; by
+  construction there is never undo work (``undo_ms == 0``).
 """
 
 from __future__ import annotations
@@ -116,6 +122,25 @@ def estimate_restart(
         in_doubt_transactions = config.mpl
     name = result.architecture
     in_doubt_pages = int(in_doubt_transactions * mean_writes_per_txn)
+
+    if name.startswith("command-logging"):
+        log_pages = result.counter("log_pages_written")
+        scan = _sequential_scan_ms(config, log_pages, n_disks=n_log_disks)
+        # Dependency-aware replay waves run across the log disks in
+        # parallel; the functional twin's no-steal flush gate means no
+        # uncommitted page ever reached a home disk, so nothing to undo.
+        blocked = result.averages.get("blocked_pages", 0.0)
+        replay_pages = int(round(blocked)) + in_doubt_pages
+        redo = _random_io_ms(config, replay_pages) / max(1, n_log_disks)
+        return RestartEstimate(name, scan, redo, 0.0)
+
+    if name.startswith("redo-wal"):
+        log_pages = result.counter("log_pages_written")
+        # Single sequential log stream: one combined analysis+redo pass
+        # in log order, then the committed-but-unreflected pages go home.
+        scan = _sequential_scan_ms(config, log_pages)
+        redo = _random_io_ms(config, in_doubt_pages)
+        return RestartEstimate(name, scan, redo, 0.0)
 
     if name.startswith("logging"):
         log_pages = result.counter("log_pages_written")

@@ -9,8 +9,10 @@ mapping to the paper's Section 6 restart assumptions.
 """
 
 from repro.checkpoint.adapters import (
+    CommandLoggingCheckpointAdapter,
     DifferentialCheckpointAdapter,
     OverwriteCheckpointAdapter,
+    RedoOnlyCheckpointAdapter,
     ShadowCheckpointAdapter,
     VersionCheckpointAdapter,
     WalCheckpointAdapter,
@@ -38,10 +40,12 @@ __all__ = [
     "CheckpointScheduler",
     "CheckpointStats",
     "CheckpointUnsupported",
+    "CommandLoggingCheckpointAdapter",
     "DifferentialCheckpointAdapter",
     "FuzzyCheckpoint",
     "OverwriteCheckpointAdapter",
     "QuiescentCheckpoint",
+    "RedoOnlyCheckpointAdapter",
     "ShadowCheckpointAdapter",
     "SnapshotCheckpoint",
     "VersionCheckpointAdapter",

@@ -26,8 +26,10 @@ from repro.checkpoint.policy import (
 )
 
 __all__ = [
+    "CommandLoggingCheckpointAdapter",
     "DifferentialCheckpointAdapter",
     "OverwriteCheckpointAdapter",
+    "RedoOnlyCheckpointAdapter",
     "ShadowCheckpointAdapter",
     "VersionCheckpointAdapter",
     "WalCheckpointAdapter",
@@ -43,6 +45,37 @@ class WalCheckpointAdapter(FuzzyCheckpoint):
     record's whole point); ``DistributedWalManager.checkpoint`` then does
     the two-phase log truncation with its own fault points.
     """
+
+    def dirty_pages(self, manager) -> Tuple[int, ...]:
+        return tuple(sorted(manager.dirty_pages))
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.checkpoint(flush=True)
+
+    def volume(self, manager) -> int:
+        return sum(manager.log_lengths().values())
+
+
+class CommandLoggingCheckpointAdapter(FuzzyCheckpoint):
+    """Command logging: flush committed pages, truncate replayed records.
+
+    Same fuzzy discipline as the WAL adapter — the no-steal gate simply
+    holds back pages whose latest update is uncommitted, so their records
+    survive the truncation.
+    """
+
+    def dirty_pages(self, manager) -> Tuple[int, ...]:
+        return tuple(sorted(manager.dirty_pages))
+
+    def prepare(self, manager) -> Dict[str, int]:
+        return manager.checkpoint(flush=True)
+
+    def volume(self, manager) -> int:
+        return sum(manager.log_lengths().values())
+
+
+class RedoOnlyCheckpointAdapter(FuzzyCheckpoint):
+    """Redo-only WAL: flush committed pages, truncate the sequential log."""
 
     def dirty_pages(self, manager) -> Tuple[int, ...]:
         return tuple(sorted(manager.dirty_pages))
@@ -107,7 +140,9 @@ class DifferentialCheckpointAdapter(SnapshotCheckpoint):
 
 
 _ADAPTERS = {
+    "command-logging": CommandLoggingCheckpointAdapter,
     "distributed-wal": WalCheckpointAdapter,
+    "redo-only-wal": RedoOnlyCheckpointAdapter,
     "shadow-page-table": ShadowCheckpointAdapter,
     "version-selection": VersionCheckpointAdapter,
     "overwriting": OverwriteCheckpointAdapter,

@@ -28,7 +28,7 @@ from repro.bench import (
     write_grid_artifacts,
 )
 from repro.bench.spec import BenchSpecError
-from repro.faults import ARCHITECTURES, FaultPlan, run_crashtest, run_scenario
+from repro.faults import FaultPlan, run_crashtest, run_scenario
 from repro.metrics import format_table
 from repro.experiments import (
     ExperimentSettings,
@@ -65,6 +65,7 @@ from repro.loadgen.arrivals import PROCESSES, ArrivalConfig
 from repro.loadgen.loadtest import DEFAULT_MULTIPLIERS, run_loadtest
 from repro.loadgen.runner import DEGRADED_STATES
 from repro.machine import MachineConfig
+from repro.registry import add_arch_argument, entry_for, resolve_archs
 from repro.resilience import run_survivetest
 from repro.trace import (
     render_flame,
@@ -166,11 +167,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="crash-recovery correctness sweep (see docs/FAULTS.md)",
     )
     crashtest.add_argument("--seed", type=int, default=1985, help="workload seed")
-    crashtest.add_argument(
-        "--arch",
-        default="all",
-        choices=sorted(ARCHITECTURES) + ["all"],
-        help="recovery architecture to crash (default: all five)",
+    add_arch_argument(
+        crashtest, help_text="recovery architecture to crash (default: all)"
     )
     crashtest.add_argument(
         "-n",
@@ -202,11 +200,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "failures (see docs/RESILIENCE.md)",
     )
     survive.add_argument("--seed", type=int, default=1985, help="workload seed")
-    survive.add_argument(
-        "--arch",
-        default="all",
-        choices=sorted(ARCHITECTURES) + ["all"],
-        help="recovery architecture to degrade (default: all five)",
+    add_arch_argument(
+        survive, help_text="recovery architecture to degrade (default: all)"
     )
     survive.add_argument(
         "-n",
@@ -227,11 +222,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "knee, degraded-state comparison (see docs/LOADGEN.md)",
     )
     loadtest.add_argument("--seed", type=int, default=1985, help="machine seed")
-    loadtest.add_argument(
-        "--arch",
-        default="all",
-        choices=sorted(ARCHITECTURES) + ["all"],
-        help="recovery architecture to sweep (default: all five)",
+    add_arch_argument(
+        loadtest, help_text="recovery architecture to sweep (default: all)"
     )
     loadtest.add_argument(
         "-n",
@@ -267,8 +259,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--states",
         default="healthy,dead-lp,mirrored-degraded",
         help="comma list of machine states to sweep "
-        f"(subset of {','.join(DEGRADED_STATES)}; dead-lp is wal-only "
-        "and skipped elsewhere)",
+        f"(subset of {','.join(DEGRADED_STATES)}; dead-lp needs "
+        "log-processor quorum and is skipped elsewhere)",
     )
     loadtest.add_argument(
         "--json",
@@ -282,11 +274,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "(see docs/CHECKPOINT.md)",
     )
     sweep.add_argument("--seed", type=int, default=1985, help="workload seed")
-    sweep.add_argument(
-        "--arch",
-        default="all",
-        choices=sorted(ARCHITECTURES) + ["all"],
-        help="recovery architecture to sweep (default: all five)",
+    add_arch_argument(
+        sweep, help_text="recovery architecture to sweep (default: all)"
     )
     sweep.add_argument(
         "--intervals",
@@ -318,11 +307,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="traced run: phase breakdown, timeline, Chrome trace "
         "(see docs/TRACE.md)",
     )
-    trace.add_argument(
-        "--arch",
+    add_arch_argument(
+        trace,
+        SIM_ARCHITECTURES,
         default="logging",
-        choices=sorted(SIM_ARCHITECTURES) + ["all"],
-        help="architecture to trace (default: logging)",
+        help_text="architecture to trace (default: logging)",
     )
     trace.add_argument(
         "--config",
@@ -464,7 +453,7 @@ def _run_crashtest(args) -> int:
             print(f"  {violation['kind']}: {violation['detail']}")
         return 1 if result.violations else 0
 
-    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    archs = resolve_archs(args.arch)
     reports = {}
     failed = False
     for arch in archs:
@@ -501,7 +490,7 @@ def _run_crashtest(args) -> int:
 
 
 def _run_survivetest(args) -> int:
-    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    archs = resolve_archs(args.arch)
     reports = {}
     failed = False
     for arch in archs:
@@ -546,12 +535,12 @@ def _run_loadtest(args) -> int:
             file=sys.stderr,
         )
         return 2
-    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    archs = resolve_archs(args.arch)
     reports = []
     failed = False
     for arch in archs:
         for state in states:
-            if state == "dead-lp" and arch != "wal":
+            if state == "dead-lp" and not entry_for(arch).lp_failover:
                 continue
             report = run_loadtest(
                 arch,
@@ -618,7 +607,7 @@ def _run_checkpoint_sweep(args) -> int:
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
-    archs = sorted(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    archs = resolve_archs(args.arch)
     results = checkpoint_interval_sweep(
         args.seed,
         intervals,
@@ -728,7 +717,7 @@ def _run_bench_diff(args) -> int:
 
 
 def _run_trace(args) -> int:
-    archs = sorted(SIM_ARCHITECTURES) if args.arch == "all" else [args.arch]
+    archs = resolve_archs(args.arch, SIM_ARCHITECTURES)
     for i, arch in enumerate(archs):
         run = run_traced(arch, args.config, _settings(args))
         if i:

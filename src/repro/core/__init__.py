@@ -15,6 +15,13 @@ and adds its own processors/disks at attach time:
   current copies overwriting shadows at commit (Section 3.2.2.2).
 * :class:`~repro.core.differential.DifferentialFileArchitecture` — A/D
   differential files with (B u A) - D query processing (Section 3.3).
+
+Two modern challengers (:mod:`repro.core.modern`) run on the same machine:
+
+* :class:`~repro.core.modern.CommandLoggingArchitecture` — adaptive
+  command logging (compact records, physical fallback; Yao et al.).
+* :class:`~repro.core.modern.RedoOnlyWalArchitecture` — no-steal
+  redo-only WAL with early lock release (Sauer & Härder).
 """
 
 from repro.core.bare import BareArchitecture
@@ -27,6 +34,7 @@ from repro.core.logging import (
     ParallelLoggingArchitecture,
     SelectionPolicy,
 )
+from repro.core.modern import CommandLoggingArchitecture, RedoOnlyWalArchitecture
 from repro.core.shadow import (
     OverwritingArchitecture,
     OverwritingMode,
@@ -38,6 +46,7 @@ from repro.core.shadow import (
 __all__ = [
     "AuxRead",
     "BareArchitecture",
+    "CommandLoggingArchitecture",
     "DataPage",
     "DifferentialConfig",
     "DifferentialFileArchitecture",
@@ -49,6 +58,7 @@ __all__ = [
     "PageTableShadowArchitecture",
     "ParallelLoggingArchitecture",
     "RecoveryArchitecture",
+    "RedoOnlyWalArchitecture",
     "SelectionPolicy",
     "ShadowConfig",
     "VersionSelectionArchitecture",

@@ -230,12 +230,22 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         self.log_processors[fragment.lp_index].force()
 
     # -- CPU overhead -------------------------------------------------------------
+    def _fragment_mode(self, tid: int) -> LogMode:
+        """Record mode for one transaction's fragments.
+
+        The base architecture logs every transaction in the configured
+        mode; subclasses (adaptive command logging) override this to
+        switch individual transactions between logical and physical
+        records.
+        """
+        return self.config_log.mode
+
     def page_cpu_ms(self, txn, page, is_update: bool) -> float:
         cost = self.machine.config.cost
         cpu = self.machine.config.cpu
         ms = super().page_cpu_ms(txn, page, is_update)
         if is_update:
-            if self.config_log.mode is LogMode.LOGICAL:
+            if self._fragment_mode(txn.tid) is LogMode.LOGICAL:
                 ms += cpu.ms(cost.build_log_fragment)
             else:
                 ms += cpu.ms(2 * cost.copy_page_image)
@@ -301,7 +311,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
         backoff_ms = machine.config.log_ship_backoff_ms
         payload = (
             cfg.fragment_bytes
-            if cfg.mode is LogMode.LOGICAL
+            if self._fragment_mode(fragment.tid) is LogMode.LOGICAL
             else 2 * cfg.log_disk.page_size
         )
         last_error: Optional[Exception] = None
@@ -331,7 +341,7 @@ class ParallelLoggingArchitecture(RecoveryArchitecture):
                 # Died while the fragment was in transit; next attempt
                 # re-selects a survivor.
                 continue
-            if cfg.mode is LogMode.LOGICAL:
+            if self._fragment_mode(fragment.tid) is LogMode.LOGICAL:
                 lp.deliver(fragment)
             else:
                 lp.deliver_physical(fragment)

@@ -1,0 +1,23 @@
+"""Timed wrappers for the modern recovery designs (``repro.core.modern``).
+
+The functional managers in :mod:`repro.storage.modern` prove the two
+modern designs *correct*; these architectures price them on the paper's
+simulated multiprocessor so Table 12 and the ablations can judge them
+against the 1985 field:
+
+* :class:`CommandLoggingArchitecture` — parallel logging shipping
+  compact command fragments, with the adaptive per-transaction fallback
+  to physical records for high-fan-in transactions (Yao et al.).
+* :class:`RedoOnlyWalArchitecture` — no-steal buffering (updated pages
+  go home only at commit) with early lock release the moment the commit
+  record joins the log stream (Sauer & Härder).
+
+Both subclass :class:`repro.core.logging.ParallelLoggingArchitecture`,
+inheriting its log processors, shipping paths, failover, and fuzzy
+checkpointing unchanged.
+"""
+
+from repro.core.modern.command import CommandLoggingArchitecture
+from repro.core.modern.redo import RedoOnlyWalArchitecture
+
+__all__ = ["CommandLoggingArchitecture", "RedoOnlyWalArchitecture"]

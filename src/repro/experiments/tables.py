@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 from repro.core.bare import BareArchitecture
 from repro.core.differential import DifferentialConfig, DifferentialFileArchitecture
+from repro.core.modern import CommandLoggingArchitecture, RedoOnlyWalArchitecture
 from repro.core.logging import (
     FragmentRouting,
     LoggingConfig,
@@ -471,6 +472,8 @@ def table12_comparison(settings: Optional[ExperimentSettings] = None) -> Dict:
         ),
         "overwriting": lambda: OverwritingArchitecture(),
         "differential": lambda: DifferentialFileArchitecture(DifferentialConfig()),
+        "command_logging": lambda: CommandLoggingArchitecture(),
+        "redo_wal": lambda: RedoOnlyWalArchitecture(),
     }
     rows = []
     for name in CONFIG_NAMES:

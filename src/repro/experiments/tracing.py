@@ -1,7 +1,7 @@
 """Traced experiment runs: ``repro trace`` and ``repro trace-diff``.
 
 Glue between the pure recorder/analysis layer (:mod:`repro.trace`) and
-the experiment runner: build a seeded workload on one of the five
+the experiment runner: build a seeded workload on one of the registered
 architectures, attach a tracer, and hand back both the usual
 :class:`~repro.metrics.RunResult` and the span-level view — the mean
 phase breakdown, the critical resource, and exporters' input.
@@ -16,17 +16,8 @@ is explained, not just measured).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core import (
-    BareArchitecture,
-    DifferentialFileArchitecture,
-    OverwritingArchitecture,
-    PageTableShadowArchitecture,
-    ParallelLoggingArchitecture,
-    RecoveryArchitecture,
-    VersionSelectionArchitecture,
-)
 from repro.experiments.runner import (
     CONFIGURATIONS,
     Configuration,
@@ -34,6 +25,7 @@ from repro.experiments.runner import (
     run_configuration,
 )
 from repro.metrics.collectors import RunResult
+from repro.registry import SIM_ARCHITECTURES, machine_overrides
 from repro.trace import (
     Tracer,
     aggregate_breakdown,
@@ -43,17 +35,6 @@ from repro.trace import (
 )
 
 __all__ = ["SIM_ARCHITECTURES", "TracedRun", "render_diff", "run_traced", "trace_diff"]
-
-#: The five simulated recovery architectures (plus the bare baseline) by
-#: the names the CLI exposes.
-SIM_ARCHITECTURES: Dict[str, Callable[[], RecoveryArchitecture]] = {
-    "bare": BareArchitecture,
-    "logging": ParallelLoggingArchitecture,
-    "shadow-pt": PageTableShadowArchitecture,
-    "version-selection": VersionSelectionArchitecture,
-    "overwriting": OverwritingArchitecture,
-    "differential": DifferentialFileArchitecture,
-}
 
 
 @dataclass
@@ -106,11 +87,9 @@ def run_traced(
 
 
 def _machine_overrides(arch: str) -> Optional[dict]:
-    # Version pairs double disk space, so the ablation halves the database
-    # to fit the same drives (Section 4.2.5); the traced run matches it.
-    if arch == "version-selection":
-        return {"db_pages": 60_000}
-    return None
+    # Per-architecture conventions (e.g. version pairs halve the database
+    # to fit the same drives, Section 4.2.5) live in the registry.
+    return machine_overrides(arch) or None
 
 
 def _configuration(name: str) -> Configuration:

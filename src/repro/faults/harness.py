@@ -23,18 +23,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.checkpoint import CHECKPOINT_FILE, CheckpointUnsupported
+from repro.registry import ARCHITECTURES
 from repro.sim.rng import RandomStreams
 from repro.faults.injector import FaultInjector, InjectedCrash
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
-from repro.storage.differential import DifferentialFileManager
 from repro.storage.interface import RecoveryManager
-from repro.storage.overwrite import OverwriteVariant, OverwritingManager
-from repro.storage.shadow import ShadowPageTableManager
-from repro.storage.versions import VersionSelectionManager
-from repro.storage.wal import DistributedWalManager
 
 __all__ = [
     "ARCHITECTURES",
@@ -47,15 +43,6 @@ __all__ = [
     "run_scenario",
     "state_dump",
 ]
-
-#: name -> factory for the five recovery architectures under test.
-ARCHITECTURES: Dict[str, Callable[[], RecoveryManager]] = {
-    "wal": lambda: DistributedWalManager(n_logs=3),
-    "shadow": ShadowPageTableManager,
-    "versions": VersionSelectionManager,
-    "overwrite": lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
-    "differential": DifferentialFileManager,
-}
 
 DEFAULT_TRANSACTIONS = 10
 DEFAULT_PAGES = 6

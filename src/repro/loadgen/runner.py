@@ -22,23 +22,16 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core import (
-    DifferentialFileArchitecture,
-    LoggingConfig,
-    OverwritingArchitecture,
-    PageTableShadowArchitecture,
-    ParallelLoggingArchitecture,
-    RecoveryArchitecture,
-    VersionSelectionArchitecture,
-)
+from repro.core import RecoveryArchitecture
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.loadgen.arrivals import ArrivalConfig, ArrivalSchedule, generate_arrivals
 from repro.machine.config import MachineConfig
 from repro.machine.machine import DatabaseMachine
 from repro.metrics.collectors import RunResult
+from repro.registry import entry_for, machine_overrides, survive_factory
 from repro.sim.rng import RandomStreams
 from repro.workload.generator import WorkloadConfig, generate_transactions
 from repro.workload.transaction import Transaction, TransactionStatus
@@ -52,18 +45,8 @@ __all__ = [
     "sim_architecture",
 ]
 
-#: Sim-architecture factory per crashtest architecture name (the logging
-#: architecture runs three log processors so a dead LP leaves quorum).
-_SIM_FACTORY: Dict[str, Callable[[], RecoveryArchitecture]] = {
-    "wal": lambda: ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3)),
-    "shadow": PageTableShadowArchitecture,
-    "versions": VersionSelectionArchitecture,
-    "overwrite": OverwritingArchitecture,
-    "differential": DifferentialFileArchitecture,
-}
-
 #: Degraded machine states (PR 5) an open sweep can be re-run under.
-#: ``dead-lp`` only applies to the logging architecture.
+#: ``dead-lp`` only applies to the multi-log-processor architectures.
 DEGRADED_STATES = ("healthy", "dead-lp", "mirrored-degraded")
 
 #: Loadtest workloads cap transaction size for CI speed (survivetest
@@ -74,14 +57,12 @@ _WORKLOAD_SEED = 7
 
 
 def sim_architecture(arch: str) -> RecoveryArchitecture:
-    """A fresh simulated recovery architecture by crashtest name."""
-    try:
-        factory = _SIM_FACTORY[arch]
-    except KeyError:
-        raise ValueError(
-            f"unknown architecture {arch!r}; pick one of {sorted(_SIM_FACTORY)}"
-        ) from None
-    return factory()
+    """A fresh simulated recovery architecture by crashtest name.
+
+    The survive-variant factory from :mod:`repro.registry` — the logging
+    designs run three log processors so a dead LP leaves quorum.
+    """
+    return survive_factory(arch)()
 
 
 @dataclass
@@ -157,8 +138,11 @@ def _degraded_specs(
     span = max(schedule.times_ms[-1], 1.0)
     at = 0.25 * span
     if state == "dead-lp":
-        if arch != "wal":
-            raise ValueError("dead-lp state only applies to the wal architecture")
+        if not entry_for(arch).lp_failover:
+            raise ValueError(
+                "dead-lp state only applies to multi-log-processor "
+                "architectures"
+            )
         return (FaultSpec(FaultKind.LP_FAIL, at_time=at, target=0),)
     if state == "mirrored-degraded":
         return (
@@ -177,9 +161,7 @@ def build_open_machine(
 ) -> Tuple[DatabaseMachine, List[Transaction]]:
     """Build the machine + seeded workload for one open-system run."""
     overrides: Dict[str, Any] = {"seed": seed, "parallel_data_disks": True}
-    if arch == "versions":
-        # Version pairs double disk space (Section 4.2.5 convention).
-        overrides["db_pages"] = 60_000
+    overrides.update(machine_overrides(arch))
     if state == "mirrored-degraded":
         overrides["mirrored_data_disks"] = True
     if config_overrides:

@@ -1,0 +1,243 @@
+"""One registry for every recovery architecture, both layers of it.
+
+Before this module existed the architecture tables were scattered: the
+crashtest kept a name -> functional-manager dict, the trace CLI kept a
+name -> simulated-architecture dict, and the survive/load harnesses each
+kept a third copy with their own multi-log-processor configurations.
+Adding an architecture meant finding every copy.  Here each architecture
+is **one** :class:`ArchitectureEntry` naming both of its layers:
+
+* ``manager`` — the functional recovery manager from
+  :mod:`repro.storage`, judged by the crashtest's committed-prefix
+  oracle (``None`` for the bare baseline, which has no recovery story);
+* ``sim`` — the timed :class:`~repro.core.RecoveryArchitecture` priced
+  on the simulated multiprocessor, keyed separately by ``sim_name``
+  because the trace CLI predates the crashtest names;
+* ``survive_sim`` — the degraded-mode variant the survive/load harnesses
+  run (the logging designs get three log processors so one can die and
+  leave quorum).
+
+The legacy dicts — :data:`ARCHITECTURES` (crashtest names) and
+:data:`SIM_ARCHITECTURES` (trace names) — are *derived* from the
+registry and re-exported from their historical homes
+(:mod:`repro.faults.harness`, :mod:`repro.experiments.tracing`), so
+existing callers and tests keep working; they stay plain mutable dicts
+because the fault tests monkeypatch throw-away entries into them.
+
+:func:`add_arch_argument` and :func:`resolve_archs` are the CLI's one
+implementation of the ``--arch <name>|all`` convention that used to be
+copy-pasted per subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.core import (
+    BareArchitecture,
+    CommandLoggingArchitecture,
+    DifferentialFileArchitecture,
+    LoggingConfig,
+    OverwritingArchitecture,
+    PageTableShadowArchitecture,
+    ParallelLoggingArchitecture,
+    RecoveryArchitecture,
+    RedoOnlyWalArchitecture,
+    VersionSelectionArchitecture,
+)
+from repro.core.modern.command import COMMAND_FRAGMENT_BYTES
+from repro.storage.differential import DifferentialFileManager
+from repro.storage.interface import RecoveryManager
+from repro.storage.modern import CommandLoggingManager, RedoOnlyWalManager
+from repro.storage.overwrite import OverwriteVariant, OverwritingManager
+from repro.storage.shadow import ShadowPageTableManager
+from repro.storage.versions import VersionSelectionManager
+from repro.storage.wal import DistributedWalManager
+
+__all__ = [
+    "ARCHITECTURES",
+    "REGISTRY",
+    "SIM_ARCHITECTURES",
+    "ArchitectureEntry",
+    "add_arch_argument",
+    "entry_for",
+    "entry_for_sim",
+    "machine_overrides",
+    "resolve_archs",
+    "survive_factory",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureEntry:
+    """Both layers of one recovery architecture, under one name."""
+
+    #: Crashtest / CLI name (``wal``, ``shadow``, ..., ``command``, ``redo``).
+    name: str
+    #: Trace-CLI name of the simulated architecture (``logging``, ...).
+    sim_name: str
+    #: Functional manager factory; ``None`` for sim-only baselines.
+    manager: Optional[Callable[[], RecoveryManager]]
+    #: Timed architecture factory (default configuration).
+    sim: Callable[[], RecoveryArchitecture]
+    #: Timed factory for the survive/load harnesses (quorum configs).
+    survive_sim: Optional[Callable[[], RecoveryArchitecture]] = None
+    #: Machine-config overrides every harness applies for this entry.
+    overrides: Optional[Mapping[str, Any]] = None
+    #: Whether the architecture runs enough log processors that one can
+    #: die and leave quorum (gates the LP-failover and dead-lp scenarios).
+    lp_failover: bool = False
+
+
+#: Version pairs double disk space, so every harness halves the database
+#: to fit the same drives (Section 4.2.5 convention).
+_VERSIONS_OVERRIDES = {"db_pages": 60_000}
+
+_ENTRIES = (
+    ArchitectureEntry(
+        name="bare",
+        sim_name="bare",
+        manager=None,
+        sim=BareArchitecture,
+    ),
+    ArchitectureEntry(
+        name="wal",
+        sim_name="logging",
+        manager=lambda: DistributedWalManager(n_logs=3),
+        sim=ParallelLoggingArchitecture,
+        survive_sim=lambda: ParallelLoggingArchitecture(
+            LoggingConfig(n_log_processors=3)
+        ),
+        lp_failover=True,
+    ),
+    ArchitectureEntry(
+        name="shadow",
+        sim_name="shadow-pt",
+        manager=ShadowPageTableManager,
+        sim=PageTableShadowArchitecture,
+        survive_sim=PageTableShadowArchitecture,
+    ),
+    ArchitectureEntry(
+        name="versions",
+        sim_name="version-selection",
+        manager=VersionSelectionManager,
+        sim=VersionSelectionArchitecture,
+        survive_sim=VersionSelectionArchitecture,
+        overrides=_VERSIONS_OVERRIDES,
+    ),
+    ArchitectureEntry(
+        name="overwrite",
+        sim_name="overwriting",
+        manager=lambda: OverwritingManager(OverwriteVariant.NO_UNDO),
+        sim=OverwritingArchitecture,
+        survive_sim=OverwritingArchitecture,
+    ),
+    ArchitectureEntry(
+        name="differential",
+        sim_name="differential",
+        manager=DifferentialFileManager,
+        sim=DifferentialFileArchitecture,
+        survive_sim=DifferentialFileArchitecture,
+    ),
+    ArchitectureEntry(
+        name="command",
+        sim_name="command-logging",
+        manager=CommandLoggingManager,
+        sim=CommandLoggingArchitecture,
+        survive_sim=lambda: CommandLoggingArchitecture(
+            LoggingConfig(
+                fragment_bytes=COMMAND_FRAGMENT_BYTES, n_log_processors=3
+            )
+        ),
+        lp_failover=True,
+    ),
+    ArchitectureEntry(
+        name="redo",
+        sim_name="redo-wal",
+        manager=RedoOnlyWalManager,
+        sim=RedoOnlyWalArchitecture,
+        # One sequential log stream is the design (Sauer & Harder), so an
+        # LP death is not survivable and the failover scenarios skip it.
+        survive_sim=RedoOnlyWalArchitecture,
+    ),
+)
+
+#: name -> entry, in canonical order (bare first, paper five, modern two).
+REGISTRY: Dict[str, ArchitectureEntry] = {e.name: e for e in _ENTRIES}
+
+#: Crashtest name -> functional manager factory (the historical dict of
+#: :mod:`repro.faults.harness`, now derived; mutable for the fault tests).
+ARCHITECTURES: Dict[str, Callable[[], RecoveryManager]] = {
+    e.name: e.manager for e in _ENTRIES if e.manager is not None
+}
+
+#: Trace name -> simulated architecture factory (the historical dict of
+#: :mod:`repro.experiments.tracing`, now derived).
+SIM_ARCHITECTURES: Dict[str, Callable[[], RecoveryArchitecture]] = {
+    e.sim_name: e.sim for e in _ENTRIES
+}
+
+
+def entry_for(name: str) -> ArchitectureEntry:
+    """The registry entry for a crashtest/CLI architecture name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; pick one of {sorted(REGISTRY)}"
+        ) from None
+
+
+def entry_for_sim(sim_name: str) -> ArchitectureEntry:
+    """The registry entry for a trace-CLI (simulated) architecture name."""
+    for entry in _ENTRIES:
+        if entry.sim_name == sim_name:
+            return entry
+    raise ValueError(
+        f"unknown architecture {sim_name!r}; "
+        f"pick one of {sorted(SIM_ARCHITECTURES)}"
+    )
+
+
+def survive_factory(name: str) -> Callable[[], RecoveryArchitecture]:
+    """The survive/load-harness sim factory for a crashtest name."""
+    entry = entry_for(name)
+    if entry.survive_sim is None:
+        raise ValueError(f"architecture {name!r} has no survivable variant")
+    return entry.survive_sim
+
+
+def machine_overrides(name: str) -> Dict[str, Any]:
+    """Machine-config overrides for ``name`` (crashtest or trace name)."""
+    entry = REGISTRY.get(name)
+    if entry is None:
+        entry = entry_for_sim(name)
+    return dict(entry.overrides or {})
+
+
+def add_arch_argument(
+    parser: argparse.ArgumentParser,
+    names: Optional[Mapping[str, Any]] = None,
+    default: str = "all",
+    help_text: str = "recovery architecture (default: %(default)s)",
+) -> None:
+    """Add the standard ``--arch <name>|all`` option to a CLI subparser."""
+    if names is None:
+        names = ARCHITECTURES
+    parser.add_argument(
+        "--arch",
+        default=default,
+        choices=sorted(names) + ["all"],
+        help=help_text,
+    )
+
+
+def resolve_archs(
+    arch: str, names: Optional[Mapping[str, Any]] = None
+) -> List[str]:
+    """Expand an ``--arch`` value: ``all`` -> every registered name."""
+    if names is None:
+        names = ARCHITECTURES
+    return sorted(names) if arch == "all" else [arch]

@@ -28,22 +28,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core import (
-    DifferentialFileArchitecture,
-    LoggingConfig,
-    OverwritingArchitecture,
-    PageTableShadowArchitecture,
-    ParallelLoggingArchitecture,
-    RecoveryArchitecture,
-    VersionSelectionArchitecture,
-)
 from repro.faults.harness import ARCHITECTURES, generate_ops, make_manager
 from repro.faults.injector import FaultInjector, InjectedCrash
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.machine.config import MachineConfig
 from repro.machine.machine import DatabaseMachine
+from repro.registry import entry_for, machine_overrides, survive_factory
 from repro.resilience.health import HealthConfig, HealthMonitor
 from repro.sim.rng import RandomStreams
 from repro.storage.wal import DistributedWalManager
@@ -60,16 +52,6 @@ __all__ = [
 
 #: The failure kinds the harness injects per architecture.
 SCENARIO_KINDS = ("qp-fail", "lp-fail", "disk-fail-mirrored", "media-restore")
-
-#: Sim-architecture factory per crashtest architecture name; the logging
-#: architecture runs three log processors so an LP death leaves quorum.
-_SIM_FACTORY: Dict[str, Callable[[], RecoveryArchitecture]] = {
-    "wal": lambda: ParallelLoggingArchitecture(LoggingConfig(n_log_processors=3)),
-    "shadow": PageTableShadowArchitecture,
-    "versions": VersionSelectionArchitecture,
-    "overwrite": OverwritingArchitecture,
-    "differential": DifferentialFileArchitecture,
-}
 
 #: Workload small enough for CI yet long enough that a mid-run failure
 #: leaves real work on both sides of it.
@@ -153,9 +135,7 @@ def _build_and_run(
 ):
     """One sim run; returns ``(machine, health, result, transactions)``."""
     overrides: Dict[str, Any] = {"seed": seed, "parallel_data_disks": True}
-    if arch == "versions":
-        # Version pairs double disk space (Section 4.2.5 convention).
-        overrides["db_pages"] = 60_000
+    overrides.update(machine_overrides(arch))
     if mirrored:
         overrides["mirrored_data_disks"] = True
     config = MachineConfig().with_overrides(**overrides)
@@ -165,7 +145,7 @@ def _build_and_run(
         RandomStreams(_WORKLOAD_SEED).stream("workload"),
     )
     injector = FaultInjector(FaultPlan.of(*specs, seed=seed)) if specs else None
-    machine = DatabaseMachine(config, _SIM_FACTORY[arch](), faults=injector)
+    machine = DatabaseMachine(config, survive_factory(arch)(), faults=injector)
     if injector is not None:
         injector.arm(machine)
     health = HealthMonitor(machine, HealthConfig()) if monitor else None
@@ -440,8 +420,8 @@ def run_survivetest(
 ) -> SurviveReport:
     """Inject every permanent-failure kind against one architecture.
 
-    ``arch`` is a crashtest architecture name (``wal``, ``shadow``,
-    ``versions``, ``overwrite``, ``differential``); the sim scenarios run
+    ``arch`` is a registered crashtest architecture name (``wal``,
+    ``shadow``, ..., ``command``, ``redo``); the sim scenarios run
     its simulated counterpart, the media scenarios its functional
     recovery manager.
     """
@@ -475,7 +455,7 @@ def run_survivetest(
     report.scenarios.append(
         _qp_scenario(arch, seed, n_transactions, baseline.makespan_ms, rng)
     )
-    if arch == "wal":
+    if entry_for(arch).lp_failover:
         report.scenarios.append(
             _lp_scenario(arch, seed, n_transactions, baseline.makespan_ms, rng)
         )

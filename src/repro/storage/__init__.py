@@ -18,6 +18,14 @@ actual commit / abort / crash-restart logic over a two-level store
 * :class:`DifferentialFileManager` — tuple-level A/D files over a read-only
   base, reads evaluating (B u A) - D (Section 3.3).
 
+Two modern challengers (:mod:`repro.storage.modern`) join the 1985 field
+under the identical contract and harnesses:
+
+* :class:`CommandLoggingManager` — adaptive command logging with
+  dependency-aware parallel wave replay (Yao et al.);
+* :class:`RedoOnlyWalManager` — redo-only WAL with early lock release
+  and single-pass analysis+redo restart (Sauer & Härder).
+
 All managers implement the same :class:`RecoveryManager` interface and the
 same contract, checked by shared property-based tests: after any sequence
 of operations, crashes, and recoveries, every committed transaction's
@@ -36,6 +44,7 @@ from repro.storage.errors import (
 from repro.storage.heap import Database, HeapFile, RecordId, Table
 from repro.storage.indexed import IndexedDatabase, IndexedTable
 from repro.storage.interface import RecoveryManager
+from repro.storage.modern import CommandLoggingManager, RedoOnlyWalManager
 from repro.storage.overwrite import OverwritingManager, OverwriteVariant
 from repro.storage.pages import PageFullError, SlottedPage
 from repro.storage.records import RecordCodecError, decode_record, encode_record
@@ -47,6 +56,7 @@ from repro.storage.wal import DistributedWalManager
 __all__ = [
     "ArchiveDumpMixin",
     "BTree",
+    "CommandLoggingManager",
     "Database",
     "DifferentialFileManager",
     "DistributedWalManager",
@@ -61,6 +71,7 @@ __all__ = [
     "RecordCodecError",
     "RecordId",
     "RecoveryManager",
+    "RedoOnlyWalManager",
     "ShadowPageTableManager",
     "SlottedPage",
     "StableStorage",

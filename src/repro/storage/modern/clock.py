@@ -1,0 +1,27 @@
+"""A manual clock so functional managers can drive a ``Tracer``.
+
+The timed simulator binds a tracer to its event-loop environment; the
+functional managers in ``repro.storage`` have no event loop, so this
+module provides the smallest possible clock source — an object with a
+``now`` attribute (all :class:`repro.trace.Tracer` reads) advanced by
+explicit ``tick()`` calls.  Recovery phases tick it once per unit of
+restart work, which gives analysis/redo/replay spans deterministic,
+integer extents: same history, same trace, byte for byte.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StepClock"]
+
+
+class StepClock:
+    """Deterministic ``.now`` source for tracers outside the simulator."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self.now = float(start)
+        self.step = float(step)
+
+    def tick(self, ms: float = None) -> float:
+        """Advance the clock by ``ms`` (default: the configured step)."""
+        self.now += self.step if ms is None else ms
+        return self.now

@@ -1,0 +1,38 @@
+"""A buffered append-only log: the modern managers' shared log primitive.
+
+Same shape as the distributed-WAL manager's private log (a stable
+append-only file fronted by a volatile buffer that a crash discards),
+factored out so the command-logging and redo-only managers share one
+implementation instead of each redeclaring it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.storage.stable import StableStorage
+
+__all__ = ["BufferedLog"]
+
+
+class BufferedLog:
+    """One log: a stable append-only file plus a volatile buffer."""
+
+    def __init__(self, stable: StableStorage, name: str):
+        self.stable = stable
+        self.name = name
+        self.buffer: List[Tuple] = []
+
+    def append(self, record: Tuple) -> None:
+        self.buffer.append(record)
+
+    def force(self) -> None:
+        if self.buffer:
+            self.stable.extend(self.name, self.buffer)
+            self.buffer = []
+
+    def lose_volatile(self) -> None:
+        self.buffer = []
+
+    def stable_records(self) -> List[Tuple]:
+        return self.stable.read_file(self.name)

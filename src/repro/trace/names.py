@@ -39,7 +39,9 @@ __all__ = [
     "HEALTH_DETECT",
     "INDIRECTION",
     "LINK_TRANSFER",
+    "LOCK_RELEASE",
     "LOCK_WAIT",
+    "LOG_ANALYSIS",
     "LOG_SHIP",
     "MACHINE_CRASH",
     "MIRROR_REBUILD",
@@ -52,6 +54,9 @@ __all__ = [
     "PT_UPDATE",
     "QP_EXEC",
     "QP_WAIT",
+    "RECOVERY_REDO",
+    "RECOVERY_UNDO",
+    "REPLAY_WAVE",
     "RESTART_WAIT",
     "SCRATCH_WRITE",
     "TXN",
@@ -102,6 +107,17 @@ RESTART_WAIT = "restart.wait"
 #: in the bare machine).
 CHECKPOINT = "checkpoint"
 
+# -- restart-phase spans (modern managers) ------------------------------------
+#: Single-pass restart scan classifying log records (analysis phase).
+LOG_ANALYSIS = "log.analysis"
+#: One dependency wave of parallel command replay across log processors.
+REPLAY_WAVE = "replay.wave"
+#: Redo application at restart (re-installing committed-unreflected pages).
+RECOVERY_REDO = "recovery.redo"
+#: Undo application at restart.  Redo-only recovery never records these;
+#: the resilience harness counts them to assert zero undo work.
+RECOVERY_UNDO = "recovery.undo"
+
 # -- device-lane spans --------------------------------------------------------
 #: A disk serving one access (data, log, or page-table disk).
 DISK_SERVICE = "disk.service"
@@ -142,6 +158,9 @@ BACKPRESSURE_ON = "backpressure.on"
 BACKPRESSURE_OFF = "backpressure.off"
 #: A scripted load spike began (the arrival process multiplies its rate).
 ARRIVAL_SPIKE = "arrival.spike"
+#: Early lock release: a transaction's page locks freed at commit-record
+#: append, before the force completes (redo-only WAL).
+LOCK_RELEASE = "lock.release"
 
 #: Every name the recorder accepts.
 CATALOGUE: FrozenSet[str] = frozenset(
@@ -166,6 +185,10 @@ CATALOGUE: FrozenSet[str] = frozenset(
         ABORT,
         RESTART_WAIT,
         CHECKPOINT,
+        LOG_ANALYSIS,
+        REPLAY_WAVE,
+        RECOVERY_REDO,
+        RECOVERY_UNDO,
         DISK_SERVICE,
         LINK_TRANSFER,
         MIRROR_REBUILD,
@@ -182,6 +205,7 @@ CATALOGUE: FrozenSet[str] = frozenset(
         BACKPRESSURE_ON,
         BACKPRESSURE_OFF,
         ARRIVAL_SPIKE,
+        LOCK_RELEASE,
     }
 )
 

@@ -151,7 +151,7 @@ class TestCheckpointCrossValidation:
         )
 
     def test_covers_all_architectures(self, sweep):
-        assert len(sweep) == 5
+        assert len(sweep) == 7
         for arch in sorted(sweep):
             assert len(sweep[arch]) == len(self.INTERVALS)
 

@@ -1,0 +1,241 @@
+"""The modern recovery managers: command logging and redo-only WAL.
+
+Design-specific behaviour beyond the shared contract tests — the
+adaptive command/physical record switch and dependency-wave replay of
+:class:`~repro.storage.modern.CommandLoggingManager`, and the no-steal
+write gate, early lock release, and single-pass zero-undo restart of
+:class:`~repro.storage.modern.RedoOnlyWalManager`.  The trace spans the
+managers record are part of the contract here: the zero-undo claim is
+asserted as "recovery recorded redo work and *no* undo span", not just
+as an implementation detail.
+"""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec, InjectedCrash
+from repro.faults.injector import FaultInjector
+from repro.storage.modern import (
+    CommandLoggingManager,
+    RedoOnlyWalManager,
+    build_waves,
+    wave_stats,
+)
+from repro.trace import Tracer
+
+
+def _commit_value(manager, page, value):
+    tid = manager.begin()
+    manager.write(tid, page, value)
+    manager.commit(tid)
+    return tid
+
+
+class TestNoStealGate:
+    @pytest.mark.parametrize("factory", [CommandLoggingManager, RedoOnlyWalManager])
+    def test_uncommitted_page_never_reaches_disk(self, factory):
+        manager = factory()
+        tid = manager.begin()
+        manager.write(tid, 3, b"dirty")
+        manager.flush_page(3)
+        assert manager.writes_gated == 1
+        assert manager.stable.read_page(3) == b""
+        manager.commit(tid)
+        # Committed pages pass the gate.
+        manager.flush_page(3)
+        assert manager.stable.read_page(3) == b"dirty"
+
+    @pytest.mark.parametrize("factory", [CommandLoggingManager, RedoOnlyWalManager])
+    def test_loser_vanishes_without_undo(self, factory):
+        manager = factory()
+        _commit_value(manager, 0, b"keep")
+        loser = manager.begin()
+        manager.write(loser, 0, b"toss")
+        manager.flush_page(0)  # gated: the stolen write never lands
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(0) == b"keep"
+
+
+class TestEarlyLockRelease:
+    def test_locks_released_at_commit_record_append(self):
+        manager = RedoOnlyWalManager()
+        tid = manager.begin()
+        manager.write(tid, 1, b"a")
+        manager.write(tid, 2, b"b")
+        seen = {}
+
+        def probe(hook):
+            if hook == "redo.commit.elr":
+                seen["locks"] = dict(manager._locks)
+
+        manager.set_fault_callback(probe)
+        manager.commit(tid)
+        manager.set_fault_callback(None)
+        # At the ELR fault point — before the force — the locks are gone.
+        assert seen["locks"] == {}
+        assert manager.early_lock_releases == 2  # one per released page
+
+    def test_elr_marked_with_lock_release_instant(self):
+        manager = RedoOnlyWalManager(tracer=Tracer())
+        tid = manager.begin()
+        manager.write(tid, 1, b"a")
+        manager.commit(tid)
+        marks = [s for s in manager.tracer.instants if s.name == "lock.release"]
+        assert len(marks) == 1
+        assert marks[0].args["pages"] == 1
+
+    def test_crash_inside_elr_window_is_in_flight(self):
+        """A crash after ELR but before the force loses the commit —
+        legal, because the commit record was never durable."""
+        manager = RedoOnlyWalManager()
+        _commit_value(manager, 0, b"base")
+        tid = manager.begin()
+        manager.write(tid, 0, b"new")
+        injector = FaultInjector(
+            FaultPlan.of(FaultSpec(FaultKind.CRASH, hook="redo.commit.elr"))
+        )
+        manager.set_fault_callback(injector.reached)
+        with pytest.raises(InjectedCrash):
+            manager.commit(tid)
+        manager.set_fault_callback(None)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(0) == b"base"
+
+
+class TestRedoOnlyRestart:
+    def test_recovery_records_redo_and_never_undo(self):
+        manager = RedoOnlyWalManager(tracer=Tracer())
+        for page in range(4):
+            _commit_value(manager, page, bytes([page]) * 4)
+        loser = manager.begin()
+        manager.write(loser, 0, b"loser")
+        manager.crash()
+        manager.recover()
+        tracer = manager.tracer
+        assert len(tracer.named("log.analysis")) == 1
+        assert len(tracer.named("recovery.redo")) == 1
+        assert tracer.named("recovery.undo") == []
+        assert manager.last_redo_pages == 4
+        for page in range(4):
+            assert manager.read_committed(page) == bytes([page]) * 4
+
+    def test_checkpoint_drops_reflected_and_aborted_records(self):
+        manager = RedoOnlyWalManager()
+        _commit_value(manager, 0, b"done")
+        aborted = manager.begin()
+        manager.write(aborted, 1, b"gone")
+        manager.abort(aborted)
+        live = manager.begin()
+        manager.write(live, 2, b"maybe")
+        before = manager.log_lengths()["redolog"]
+        manager.checkpoint(flush=True)
+        after = manager.log_lengths()["redolog"]
+        # Reflected commit + aborted records dropped; the live
+        # transaction's record survives (it may yet commit).
+        assert after < before
+        manager.commit(live)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(0) == b"done"
+        assert manager.read_committed(1) == b""
+        assert manager.read_committed(2) == b"maybe"
+
+
+class TestAdaptiveCommandLogging:
+    def test_small_transactions_log_commands(self):
+        manager = CommandLoggingManager(physical_threshold=4)
+        tid = manager.begin()
+        manager.write(tid, 0, b"x")
+        manager.write(tid, 1, b"y")
+        manager.commit(tid)
+        assert manager.command_records == 2
+        assert manager.physical_records == 0
+
+    def test_high_fanin_falls_back_to_physical(self):
+        manager = CommandLoggingManager(physical_threshold=3)
+        tid = manager.begin()
+        manager.write(tid, 0, b"a")
+        manager.write(tid, 1, b"b")
+        assert manager.command_records == 2
+        manager.write(tid, 2, b"c")  # crosses the fan-in threshold
+        manager.write(tid, 3, b"d")  # sticky: stays physical
+        manager.commit(tid)
+        assert manager.physical_records == 2
+
+    def test_mixed_records_recover_identically(self):
+        manager = CommandLoggingManager(physical_threshold=2)
+        small = manager.begin()
+        manager.write(small, 0, b"cmd")
+        manager.commit(small)
+        wide = manager.begin()
+        for page in range(1, 5):
+            manager.write(wide, page, b"phys")
+        manager.commit(wide)
+        manager.crash()
+        manager.recover()
+        assert manager.read_committed(0) == b"cmd"
+        for page in range(1, 5):
+            assert manager.read_committed(page) == b"phys"
+
+
+class TestDependencyWaves:
+    def test_independent_transactions_share_a_wave(self):
+        waves = build_waves([1, 2, 3], {0: [(0, 1)], 1: [(1, 2)], 2: [(2, 3)]})
+        assert waves == [[1, 2, 3]]
+
+    def test_page_chain_orders_waves(self):
+        # txn 2 overwrote txn 1's page, txn 3 overwrote txn 2's.
+        chains = {0: [(0, 1), (1, 2)], 1: [(2, 2), (3, 3)]}
+        waves = build_waves([1, 2, 3], chains)
+        assert waves == [[1], [2], [3]]
+        assert wave_stats(waves) == {
+            "waves": 3,
+            "transactions": 3,
+            "max_wave_width": 1,
+        }
+
+    def test_replay_stats_exposed_after_recovery(self):
+        manager = CommandLoggingManager(tracer=Tracer())
+        _commit_value(manager, 0, b"first")
+        _commit_value(manager, 0, b"second")  # depends on the first
+        _commit_value(manager, 5, b"free")  # independent
+        manager.crash()
+        manager.recover()
+        stats = manager.last_replay
+        assert stats["transactions"] == 3
+        assert stats["waves"] == 2
+        assert stats["max_wave_width"] == 2
+        waves = manager.tracer.named("replay.wave")
+        assert len(waves) == stats["waves"]
+        assert manager.tracer.named("recovery.undo") == []
+        assert manager.read_committed(0) == b"second"
+        assert manager.read_committed(5) == b"free"
+
+    def test_recovery_is_idempotent_across_waves(self):
+        manager = CommandLoggingManager()
+        for page in range(3):
+            _commit_value(manager, page, b"v1")
+            _commit_value(manager, page, b"v2")
+        manager.crash()
+        manager.recover()
+        manager.crash()
+        manager.recover()
+        for page in range(3):
+            assert manager.read_committed(page) == b"v2"
+
+
+class TestCommandCheckpoint:
+    def test_checkpoint_bounds_replay(self):
+        manager = CommandLoggingManager()
+        for page in range(4):
+            _commit_value(manager, page, b"old")
+        manager.checkpoint(flush=True)
+        assert sum(manager.log_lengths().values()) == 0
+        _commit_value(manager, 0, b"new")
+        manager.crash()
+        manager.recover()
+        # Only the post-checkpoint transaction replays.
+        assert manager.last_replay["transactions"] == 1
+        assert manager.read_committed(0) == b"new"
+        assert manager.read_committed(3) == b"old"

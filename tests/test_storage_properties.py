@@ -23,10 +23,12 @@ from hypothesis.stateful import (
 )
 
 from repro.storage import (
+    CommandLoggingManager,
     DifferentialFileManager,
     DistributedWalManager,
     OverwriteVariant,
     OverwritingManager,
+    RedoOnlyWalManager,
     ShadowPageTableManager,
     VersionSelectionManager,
 )
@@ -158,6 +160,40 @@ class DifferentialContract(RecoveryContract):
         return DifferentialFileManager()
 
 
+class CommandLoggingContract(RecoveryContract):
+    """Low threshold so both record kinds (cmd and phys) get exercised."""
+
+    def make_manager(self):
+        return CommandLoggingManager(physical_threshold=2)
+
+    @precondition(lambda self: self.manager.dirty_pages)
+    @rule(pick=st.integers(min_value=0, max_value=10))
+    def steal_a_page(self, pick):
+        """The no-steal gate makes this a no-op for uncommitted pages."""
+        dirty = sorted(self.manager.dirty_pages)
+        self.manager.flush_page(dirty[pick % len(dirty)])
+
+    @rule()
+    def checkpoint(self):
+        self.manager.checkpoint()
+
+
+class RedoOnlyContract(RecoveryContract):
+    def make_manager(self):
+        return RedoOnlyWalManager()
+
+    @precondition(lambda self: self.manager.dirty_pages)
+    @rule(pick=st.integers(min_value=0, max_value=10))
+    def steal_a_page(self, pick):
+        """The no-steal gate makes this a no-op for uncommitted pages."""
+        dirty = sorted(self.manager.dirty_pages)
+        self.manager.flush_page(dirty[pick % len(dirty)])
+
+    @rule()
+    def checkpoint(self):
+        self.manager.checkpoint()
+
+
 TestWalContract = WalContract.TestCase
 TestWalSingleLogContract = WalSingleLogContract.TestCase
 TestShadowContract = ShadowContract.TestCase
@@ -165,6 +201,8 @@ TestNoUndoContract = NoUndoContract.TestCase
 TestNoRedoContract = NoRedoContract.TestCase
 TestVersionsContract = VersionsContract.TestCase
 TestDifferentialContract = DifferentialContract.TestCase
+TestCommandLoggingContract = CommandLoggingContract.TestCase
+TestRedoOnlyContract = RedoOnlyContract.TestCase
 
 for case in (
     TestWalContract,
@@ -174,5 +212,7 @@ for case in (
     TestNoRedoContract,
     TestVersionsContract,
     TestDifferentialContract,
+    TestCommandLoggingContract,
+    TestRedoOnlyContract,
 ):
     case.settings = _SETTINGS
