@@ -66,7 +66,7 @@ from repro.loadgen.loadtest import DEFAULT_MULTIPLIERS, run_loadtest
 from repro.loadgen.runner import DEGRADED_STATES
 from repro.machine import MachineConfig
 from repro.registry import add_arch_argument, entry_for, resolve_archs
-from repro.resilience import run_survivetest
+from repro.resilience import run_scrubtest, run_survivetest
 from repro.trace import (
     render_flame,
     render_timeline,
@@ -214,6 +214,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         dest="json_path",
         help="write the availability report(s) to this JSON file",
+    )
+
+    scrub = sub.add_parser(
+        "scrubtest",
+        help="silent-corruption sweep: inject rot per target site, check "
+        "detection before committed reads, repair, and re-verify "
+        "(see docs/INTEGRITY.md)",
+    )
+    scrub.add_argument("--seed", type=int, default=1985, help="workload seed")
+    add_arch_argument(
+        scrub, help_text="recovery architecture to corrupt (default: all)"
+    )
+    scrub.add_argument(
+        "--json",
+        dest="json_path",
+        help="write the detection/repair report(s) to this JSON file",
     )
 
     loadtest = sub.add_parser(
@@ -518,6 +534,41 @@ def _run_survivetest(args) -> int:
     return 1 if failed else 0
 
 
+def _run_scrubtest(args) -> int:
+    archs = resolve_archs(args.arch)
+    reports = {}
+    failed = False
+    for arch in archs:
+        report = run_scrubtest(arch, args.seed)
+        reports[arch] = json.loads(report.to_json())
+        status = "ok" if report.ok else "VIOLATIONS"
+        detections = sum(
+            o.details.get("detections", o.details.get("scrub_detections", 0))
+            for o in report.outcomes
+        )
+        repairs = sum(
+            o.details.get("scrub_repairs", 0)
+            + o.details.get("pages_repaired", 0)
+            + o.details.get("records_repaired", 0)
+            + o.details.get("archives_rebuilt", 0)
+            for o in report.outcomes
+        )
+        print(
+            f"{arch:>12}: {len(report.outcomes)} scenarios "
+            f"detections={detections} repairs={repairs} {status}"
+        )
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                for violation in outcome.violations[:5]:
+                    print(f"    {outcome.target}: {violation}")
+        failed = failed or not report.ok
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(reports, handle, sort_keys=True, indent=2)
+        print(f"wrote {args.json_path}")
+    return 1 if failed else 0
+
+
 def _run_loadtest(args) -> int:
     try:
         multipliers = [float(tok) for tok in args.loads.split(",") if tok.strip()]
@@ -807,6 +858,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "survivetest":
         return _run_survivetest(args)
+
+    if args.command == "scrubtest":
+        return _run_scrubtest(args)
 
     if args.command == "loadtest":
         return _run_loadtest(args)

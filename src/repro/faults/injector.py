@@ -39,7 +39,12 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan, streams: Optional[RandomStreams] = None):
         self.plan = plan
         streams = streams if streams is not None else RandomStreams(plan.seed)
+        self._streams = streams
         self._rng = streams.stream("faults")
+        #: Dedicated stream for silent-corruption draws, created lazily so
+        #: plans without BIT_ROT specs leave the stream table — and every
+        #: fault-free trace — byte-identical to pre-integrity runs.
+        self._corrupt_rng = None
         #: total hook crossings so far (the clock "*"-specs count against).
         self.crossings = 0
         #: per-spec count of matching crossings seen.
@@ -99,6 +104,29 @@ class FaultInjector:
         if self._probabilistic(FaultKind.TORN_WRITE, target):
             self.fired.append(("torn-write", str(target), self.crossings))
             return True
+        return False
+
+    def bit_rot(self, target: Optional[int] = None) -> bool:
+        """Should this sector write rot in place (latent sector error)?
+
+        Draws from the dedicated ``corrupt`` stream, *not* the shared
+        ``faults`` stream: corruption injection must never perturb the
+        torn-write/message-loss draws of an otherwise identical plan.
+        """
+        specs = [
+            spec
+            for spec in self.plan.specs
+            if spec.kind is FaultKind.BIT_ROT
+            and (spec.target is None or target is None or spec.target == target)
+        ]
+        if not specs:
+            return False
+        if self._corrupt_rng is None:
+            self._corrupt_rng = self._streams.stream("corrupt")
+        for spec in specs:
+            if spec.probability >= 1.0 or self._corrupt_rng.random() < spec.probability:
+                self.fired.append(("bit-rot", str(target), self.crossings))
+                return True
         return False
 
     def drop_message(self, target: Optional[int] = None) -> bool:

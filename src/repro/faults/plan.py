@@ -46,6 +46,10 @@ class FaultKind(enum.Enum):
     #: A query processor dies; its in-flight transaction aborts via normal
     #: undo and the work redistributes to the surviving processors.
     QP_FAIL = "qp-fail"
+    #: Silent corruption: a stored sector/record rots in place (latent
+    #: sector error); nothing fails until a checksum-verified read or the
+    #: scrubber finds it.
+    BIT_ROT = "bit-rot"
 
 
 class FaultSpec(NamedTuple):

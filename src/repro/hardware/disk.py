@@ -74,7 +74,16 @@ class DiskAddress(NamedTuple):
 class DiskRequest:
     """One queued I/O: a kind, a set of page addresses, a completion event."""
 
-    __slots__ = ("kind", "addresses", "done", "tag", "submitted_at", "error", "torn")
+    __slots__ = (
+        "kind",
+        "addresses",
+        "done",
+        "tag",
+        "submitted_at",
+        "error",
+        "torn",
+        "corrupt",
+    )
 
     def __init__(
         self,
@@ -97,6 +106,10 @@ class DiskRequest:
         #: set when a write reached the platter only partially (media fault);
         #: the caller must treat the page as not durably written.
         self.torn = False
+        #: set when a read returned data from a rotted sector (silent
+        #: corruption the checksum layer would reject); the scrubber and
+        #: the mirror fallback path react to it.
+        self.corrupt = False
 
     @property
     def n_pages(self) -> int:
@@ -104,7 +117,7 @@ class DiskRequest:
 
     @property
     def ok(self) -> bool:
-        return self.error is None and not self.torn
+        return self.error is None and not self.torn and not self.corrupt
 
 
 class Disk:
@@ -133,6 +146,11 @@ class Disk:
         #: assigned by whoever arms fault injection.  ``None`` = no faults.
         self.faults = None
         self.failed = False
+        #: Linear page index -> simulation time its stored bits rotted in
+        #: place (latent sector errors); a full rewrite of a sector clears
+        #: it.  The rot time is what the scrubber's detection-latency
+        #: accounting measures against.
+        self.corrupt_sectors: dict = {}
         self.busy = UtilizationTracker(env.now, name=name)
         self.queue_length = TimeWeightedStat(env.now, 0, name=f"{name}.queue")
         self.accesses = CounterStat(f"{name}.accesses")
@@ -140,6 +158,8 @@ class Disk:
         self.pages_written = CounterStat(f"{name}.pages_written")
         self.torn_writes = CounterStat(f"{name}.torn_writes")
         self.failed_requests = CounterStat(f"{name}.failed_requests")
+        self.rotted_sectors = CounterStat(f"{name}.rotted_sectors")
+        self.corrupt_reads = CounterStat(f"{name}.corrupt_reads")
         env.process(self._server(), name=f"{name}.server")
 
     # -- client API ---------------------------------------------------------
@@ -224,10 +244,14 @@ class Disk:
                 if self.failed:
                     req.error = "disk-failed"
                     self.failed_requests.increment()
-                elif req.kind == "write" and self.faults is not None:
-                    if self.faults.torn_write():
+                elif req.kind == "write":
+                    if self.faults is not None and self.faults.torn_write():
                         req.torn = True
                         self.torn_writes.increment()
+                    self._settle_rot(req, tracer)
+                elif self.corrupt_sectors and self._hits_rot(req):
+                    req.corrupt = True
+                    self.corrupt_reads.increment()
                 counter = self.pages_read if req.kind == "read" else self.pages_written
                 counter.increment(req.n_pages)
                 req.done.succeed(env.now)
@@ -237,6 +261,36 @@ class Disk:
 
     def _service_time(self, batch: List[DiskRequest]) -> float:
         raise NotImplementedError
+
+    # -- silent corruption (latent sector errors) ------------------------------
+    def _settle_rot(self, req: DiskRequest, tracer) -> None:
+        """Apply the bit-rot model to one completed write.
+
+        Each written sector either rots in place (a per-sector draw from
+        the injector's dedicated ``corrupt`` stream) or, being freshly and
+        fully rewritten, sheds any rot it carried — which is exactly how
+        the scrubber's repair writes heal a sector.  Without BIT_ROT specs
+        the injector returns False without drawing, so clean runs make no
+        extra random draws and stay byte-identical.
+        """
+        for addr in req.addresses:
+            linear = addr.linear(self.params)
+            if self.faults is not None and self.faults.bit_rot():
+                if linear not in self.corrupt_sectors:
+                    self.corrupt_sectors[linear] = self.env.now
+                    self.rotted_sectors.increment()
+                    if tracer is not None:
+                        tracer.instant(
+                            "corrupt.inject", track=self.name, sector=linear
+                        )
+            else:
+                self.corrupt_sectors.pop(linear, None)
+
+    def _hits_rot(self, req: DiskRequest) -> bool:
+        return any(
+            addr.linear(self.params) in self.corrupt_sectors
+            for addr in req.addresses
+        )
 
     # -- shared timing helpers -------------------------------------------------
     def _seek_to(self, cylinder: int) -> float:

@@ -80,6 +80,7 @@ class MirroredDisk:
         self.failed_requests = CounterStat(f"{name}.failed_requests")
         self.torn_writes = CounterStat(f"{name}.torn_writes")
         self.fallback_reads = CounterStat(f"{name}.fallback_reads")
+        self.corrupt_masked = CounterStat(f"{name}.corrupt_masked")
         self.rebuilt_pages = CounterStat(f"{name}.rebuilt_pages")
         self.rebuilds_completed = CounterStat(f"{name}.rebuilds")
         #: Time spent without full redundancy (closed windows only).
@@ -253,6 +254,7 @@ class MirroredDisk:
 
     def _serve_read(self, req: DiskRequest):
         attempts = 0
+        saw_corrupt = False
         for index in range(len(self.sides)):
             side = self.sides[index]
             if side.failed or self._stale[index]:
@@ -260,6 +262,12 @@ class MirroredDisk:
             attempts += 1
             inner = side.submit("read", req.addresses, req.tag)
             yield inner.done
+            if inner.error is None and inner.corrupt:
+                # This side returned rotted bits; mask with the twin and
+                # leave the repair to the scrubber's next pass.
+                saw_corrupt = True
+                self.corrupt_masked.increment()
+                continue
             if inner.error is None:
                 if index != 0 or attempts > 1:
                     # Served off the fallback side (or after a mid-service
@@ -268,6 +276,11 @@ class MirroredDisk:
                 self._finish(req)
                 return
             # The side died while serving; fall through to its twin.
+        if saw_corrupt:
+            # Every surviving copy is rotted: surface the corruption to the
+            # caller instead of silently returning bad bits.
+            self._finish(req, corrupt=True)
+            return
         self._finish(req, error="mirror-failed")
 
     def _serve_write(self, req: DiskRequest):
@@ -289,10 +302,15 @@ class MirroredDisk:
             self._finish(req, error="mirror-failed")
 
     def _finish(
-        self, req: DiskRequest, error: Optional[str] = None, torn: bool = False
+        self,
+        req: DiskRequest,
+        error: Optional[str] = None,
+        torn: bool = False,
+        corrupt: bool = False,
     ) -> None:
         req.error = error
         req.torn = torn
+        req.corrupt = corrupt
         if error is not None:
             self.failed_requests.increment()
         req.done.succeed(self.env.now)
@@ -310,6 +328,7 @@ class MirroredDisk:
     def extra_counters(self) -> dict:
         """Mirror-specific counters the machine folds into its RunResult."""
         return {
+            "mirror_corrupt_masked": self.corrupt_masked.count,
             "mirror_fallback_reads": self.fallback_reads.count,
             "mirror_rebuilt_pages": self.rebuilt_pages.count,
             "mirror_rebuilds": self.rebuilds_completed.count,

@@ -125,6 +125,7 @@ _LAYERS = {
     "sim": 0,
     "lint": 0,
     "checkpoint": 0,
+    "integrity": 0,  # checksum primitives: storage and hardware both import
     "hardware": 1,
     "metrics": 1,
     "storage": 1,

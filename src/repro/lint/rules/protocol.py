@@ -326,9 +326,17 @@ class Proto02ShadowOrdering(_ProtoRule):
 
 _MANAGER_CLASS = "RecoveryManager"
 #: Methods the crashtest harness drives — the roots of the reachability walk.
-_ENTRY_NAMES = {"_do_commit", "_on_recover", "collect_garbage"}
+_ENTRY_NAMES = {"_do_commit", "_on_recover", "collect_garbage", "repair_corruption"}
 #: Mutating methods on the stable-media object (repro.hardware mirrors this).
-_STABLE_MUTATORS = {"write_page", "append", "extend", "truncate", "delete_page"}
+_STABLE_MUTATORS = {
+    "write_page",
+    "append",
+    "extend",
+    "truncate",
+    "delete_page",
+    "restore_page",
+    "replace_record",
+}
 
 
 def _is_stable_mutation(node: ast.AST) -> bool:

@@ -48,6 +48,16 @@ class MachineConfig:
     #: Fraction of a surviving mirror side's bandwidth the background rebuild
     #: may consume (the rest is idle gaps left for foreground I/O).
     mirror_rebuild_io_share: float = 0.5
+    #: Run the online integrity scrubber: a background patrol that reads
+    #: every data-disk cylinder, detects rotted sectors (BIT_ROT faults),
+    #: and repairs them from the mirror twin or escalates to archive media
+    #: recovery.  Off by default: fault-free runs must stay byte-identical.
+    scrub_enabled: bool = False
+    #: Fraction of a disk's bandwidth the scrubber may consume (the rest is
+    #: idle gaps left for foreground I/O, like the mirror rebuild's share).
+    scrub_io_share: float = 0.1
+    #: Idle time between complete scrub patrols, in ms (0 = back-to-back).
+    scrub_interval_ms: float = 50.0
     #: Delivery attempts per log fragment (each attempt re-selects a live
     #: log processor; each link attempt itself retransmits with backoff).
     log_ship_max_attempts: int = 4
@@ -117,6 +127,12 @@ class MachineConfig:
                 f"mirror rebuild I/O share must be in (0, 1], "
                 f"got {self.mirror_rebuild_io_share}"
             )
+        if not 0.0 < self.scrub_io_share <= 1.0:
+            raise ValueError(
+                f"scrub I/O share must be in (0, 1], got {self.scrub_io_share}"
+            )
+        if self.scrub_interval_ms < 0:
+            raise ValueError("scrub interval must be >= 0")
         if self.log_ship_max_attempts < 1:
             raise ValueError("need at least one log-ship attempt")
         if self.log_ship_backoff_ms < 0:

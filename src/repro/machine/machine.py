@@ -151,6 +151,10 @@ class DatabaseMachine:
         #: itself here); with one attached, component failover waits for
         #: the monitor's detection instead of firing instantly.
         self.health = None
+        #: Optional duck-typed integrity scrubber (repro.resilience
+        #: attaches itself here when ``config.scrub_enabled``); its
+        #: ``extra_counters()`` are folded into the run result.
+        self.scrubber = None
         #: Bounded admission queue; built by :meth:`run_open` only, so the
         #: closed-batch path never touches the overload-protection code.
         self.admission: Optional[AdmissionQueue] = None
@@ -631,6 +635,8 @@ class DatabaseMachine:
                     counters[key] = counters.get(key, 0) + value
         if self.qp_failures.count:
             counters["qp_failures"] = self.qp_failures.count
+        if self.scrubber is not None:
+            counters.update(self.scrubber.extra_counters())
         if self.data_disks:
             utilizations["data_disks"] = sum(
                 d.utilization(t_end) for d in self.data_disks

@@ -9,16 +9,36 @@ keeps serving.  This package adds that layer:
 * :class:`HealthMonitor` — the back-end controller's deterministic
   heartbeat/suspicion protocol over its own interconnect; detects a dead
   component within a bounded window and dispatches the failover;
+* :class:`Scrubber` — the online integrity scrubber: a throttled
+  background patrol that detects silently rotted sectors (BIT_ROT
+  faults) and repairs them from the mirror twin or escalates to archive
+  media recovery, with per-sector detection-latency accounting;
 * :func:`run_survivetest` — the survival harness (sibling of the
   crashtest): injects every permanent-failure kind at sampled points of
   a seeded workload and checks that no committed transaction is lost,
   the workload completes without a whole-machine restart, and reports
-  the availability (degraded-throughput) figure per architecture.
+  the availability (degraded-throughput) figure per architecture;
+* :func:`run_scrubtest` — the integrity harness: injects silent
+  corruption into every stable-storage domain (data pages, log records,
+  checkpoints, archives) across all architectures and checks that every
+  corruption is detected before it reaches a committed read, clean runs
+  raise no false alarms, and no committed work is lost after repair.
 
-See docs/RESILIENCE.md for the failover protocols and their oracles.
+See docs/RESILIENCE.md for the failover protocols and their oracles,
+and docs/INTEGRITY.md for the checksum layer and the scrub oracles.
 """
 
 from repro.resilience.health import HealthConfig, HealthMonitor
+from repro.resilience.scrubber import Scrubber
+from repro.resilience.scrubtest import (
+    CORRUPTION_TARGETS,
+    ScrubOutcome,
+    ScrubReport,
+    run_clean_scenario,
+    run_corruption_scenario,
+    run_scrub_sim_scenario,
+    run_scrubtest,
+)
 from repro.resilience.survivetest import (
     SCENARIO_KINDS,
     ScenarioOutcome,
@@ -28,11 +48,19 @@ from repro.resilience.survivetest import (
 )
 
 __all__ = [
+    "CORRUPTION_TARGETS",
     "HealthConfig",
     "HealthMonitor",
     "SCENARIO_KINDS",
     "ScenarioOutcome",
+    "Scrubber",
+    "ScrubOutcome",
+    "ScrubReport",
     "SurviveReport",
+    "run_clean_scenario",
+    "run_corruption_scenario",
     "run_media_scenario",
+    "run_scrub_sim_scenario",
+    "run_scrubtest",
     "run_survivetest",
 ]

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.storage.errors import RecoveryStateError
+from repro.storage.repair import repair_stats, split_corruption
 
 __all__ = ["ARCHIVE_FILES", "ARCHIVE_PAGES", "ArchiveDumpMixin"]
 
@@ -105,3 +106,71 @@ class ArchiveDumpMixin:
         self.crash()
         self.recover()
         self._fault_point("media.restore.restart")
+
+    def repair_corruption(self) -> Dict[str, int]:
+        """Detect-and-repair: scrub the stable image and heal what rotted.
+
+        A corrupt archive is rebuilt from the intact online image
+        (re-dump); a corrupt page or record is restored *in place* from
+        its archive copy when that copy still matches the stored
+        checksum envelope (proving it is the original bits); anything
+        unprovable escalates to :meth:`recover_from_media_failure`.
+        Corruption on both sides at once leaves nothing clean to repair
+        from and raises :class:`RecoveryStateError`.
+
+        Returns the accounting dict of :func:`repro.storage.repair.repair_stats`.
+        """
+        stats = repair_stats()
+        report = self.stable.scrub()
+        bad_pages, bad_archive, bad_online = split_corruption(
+            report, _ARCHIVE_SET
+        )
+        if not bad_pages and not bad_archive and not bad_online:
+            return stats
+        if bad_archive:
+            if bad_pages or bad_online:
+                raise RecoveryStateError(
+                    f"{self.name!r} manager: corruption in both the online "
+                    "image and the archive; no clean copy to repair from"
+                )
+            # The online image is intact: rewrite the archive whole.
+            self.dump()
+            self._fault_point("scrub.repair.archive")
+            stats["archives_rebuilt"] = 1
+            return stats
+        archived_pages: Dict[int, bytes] = {}
+        archived_files: Dict[str, List[Any]] = {}
+        if ARCHIVE_PAGES in self.stable.files():
+            archived_pages = {
+                page: data
+                for page, data, _seq in self.stable.read_file(ARCHIVE_PAGES)
+            }
+            archived_files = dict(self.stable.read_file(ARCHIVE_FILES))
+        escalate = False
+        for page in bad_pages:
+            candidate = archived_pages.get(page)
+            if candidate is not None and self.stable.page_matches(page, candidate):
+                self.stable.restore_page(page, candidate)
+                self._fault_point("scrub.repair.page")
+                stats["pages_repaired"] += 1
+            else:
+                escalate = True
+        for name in bad_online:
+            records = archived_files.get(name, [])
+            for index in report["files"][name]:
+                if index < len(records) and self.stable.record_matches(
+                    name, index, records[index]
+                ):
+                    self.stable.replace_record(name, index, records[index])
+                    self._fault_point("scrub.repair.record")
+                    stats["records_repaired"] += 1
+                else:
+                    escalate = True
+        if escalate:
+            # The rot predates the last dump (or there is none to match):
+            # targeted repair cannot prove a candidate, so fall back to
+            # the full archive restore and accept its rollback semantics.
+            self.recover_from_media_failure()
+            self._fault_point("scrub.repair.media")
+            stats["escalations"] = 1
+        return stats

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from repro.integrity import RecordIntegrityError
 from repro.storage.heap import REGION
 from repro.storage.interface import RecoveryManager
-from repro.storage.records import decode_record, encode_record
+from repro.storage.records import RecordCodecError, decode_record, encode_record
 
 __all__ = ["BTree", "KeyTooLargeError"]
 
@@ -113,7 +114,12 @@ class BTree:
         raw = self._read(tid, self._meta_key())
         if not raw:
             return _NO_PAGE, 0
-        root, count = decode_record(raw)
+        try:
+            root, count = decode_record(raw)
+        except RecordCodecError as exc:
+            raise RecordIntegrityError(
+                f"btree:{self.file_id}", 0, f"meta page: {exc}"
+            ) from exc
         return root, count
 
     def _write_meta(self, tid: int, root: int, count: int) -> None:
@@ -125,7 +131,13 @@ class BTree:
         return self.manager.read(tid, key)
 
     def _load(self, tid, page_no: int) -> _Node:
-        return _Node.decode(self._read(tid, self._key_of(page_no)))
+        raw = self._read(tid, self._key_of(page_no))
+        try:
+            return _Node.decode(raw)
+        except RecordCodecError as exc:
+            raise RecordIntegrityError(
+                f"btree:{self.file_id}", page_no, str(exc)
+            ) from exc
 
     def _store(self, tid: int, page_no: int, node: _Node) -> None:
         raw = node.encode()

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
+from repro.integrity import RecordIntegrityError
 from repro.storage.interface import RecoveryManager
 from repro.storage.pages import PageFullError, SlottedPage
-from repro.storage.records import decode_record, encode_record
+from repro.storage.records import RecordCodecError, decode_record, encode_record
 
 __all__ = ["Database", "HeapFile", "RecordId", "Table"]
 
@@ -163,7 +164,9 @@ class Table:
 
     def fetch_row(self, tid: Optional[int], rid: RecordId) -> Optional[Tuple]:
         raw = self.heap.fetch(tid, rid)
-        return decode_record(raw) if raw is not None else None
+        if raw is None:
+            return None
+        return self._decode_row(rid, raw)
 
     def update(self, tid: int, rid: RecordId, row: Tuple) -> RecordId:
         return self.heap.update(tid, rid, encode_record(row))
@@ -173,7 +176,16 @@ class Table:
 
     def rows(self, tid: Optional[int] = None) -> Iterator[Tuple[RecordId, Tuple]]:
         for rid, raw in self.heap.scan(tid):
-            yield rid, decode_record(raw)
+            yield rid, self._decode_row(rid, raw)
+
+    def _decode_row(self, rid: RecordId, raw: bytes) -> Tuple:
+        """Decode, surfacing garbled bytes as a located integrity failure."""
+        try:
+            return decode_record(raw)
+        except RecordCodecError as exc:
+            raise RecordIntegrityError(
+                f"table:{self.name}:page{rid.page_no}", rid.slot, str(exc)
+            ) from exc
 
     def select(self, predicate, tid: Optional[int] = None):
         """Rows satisfying ``predicate(row)`` — a full table scan."""

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.integrity import RecordIntegrityError
 from repro.storage.btree import BTree
 from repro.storage.heap import Database, HeapFile, RecordId, Table
 from repro.storage.interface import RecoveryManager
-from repro.storage.records import decode_record, encode_record
+from repro.storage.records import RecordCodecError, decode_record, encode_record
 
 __all__ = ["IndexedDatabase", "IndexedTable"]
 
@@ -54,7 +55,10 @@ def _encode_rid(rid: RecordId) -> bytes:
 
 
 def _decode_rid(raw: bytes) -> RecordId:
-    return RecordId(*decode_record(raw))
+    try:
+        return RecordId(*decode_record(raw))
+    except RecordCodecError as exc:
+        raise RecordIntegrityError("index:rid", 0, str(exc)) from exc
 
 
 class IndexedTable:

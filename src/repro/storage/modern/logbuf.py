@@ -35,4 +35,6 @@ class BufferedLog:
         self.buffer = []
 
     def stable_records(self) -> List[Tuple]:
-        return self.stable.read_file(self.name)
+        # read_log: replay trusts only the checksum-clean prefix (the
+        # torn-tail stop rule); interior rot raises RecordIntegrityError.
+        return self.stable.read_log(self.name)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import struct
 from typing import Tuple
 
+from repro.integrity import IntegrityError
+
 __all__ = ["RecordCodecError", "decode_record", "encode_record"]
 
 _COUNT = struct.Struct("<H")
@@ -28,8 +30,14 @@ _TAG_STR = b"S"
 _TAG_BYTES = b"Y"
 
 
-class RecordCodecError(Exception):
-    """Raised for unsupported field types or corrupt record bytes."""
+class RecordCodecError(IntegrityError):
+    """Raised for unsupported field types or corrupt record bytes.
+
+    An :class:`~repro.integrity.IntegrityError` subclass: garbled bytes
+    reaching the codec *are* silent corruption the checksum layer missed
+    (or predates), so readers surface them as a typed integrity failure
+    rather than an anonymous crash (docs/INTEGRITY.md).
+    """
 
 
 def encode_record(values: Tuple) -> bytes:

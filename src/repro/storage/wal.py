@@ -35,8 +35,14 @@ from typing import Dict, List, NamedTuple, Optional, Set, Tuple
 from repro.checkpoint import FuzzyCheckpoint
 from repro.sim.monitor import WALInvariantMonitor
 from repro.sim.rng import RandomStreams
+from repro.storage.errors import RecoveryStateError
 from repro.storage.interface import RecoveryManager
+from repro.storage.repair import repair_stats, split_corruption
 from repro.storage.stable import StableStorage
+
+#: Files on the archive medium, not the data disks (the WAL layout:
+#: page snapshot + continuously-appended log + auxiliary-file snapshot).
+_WAL_ARCHIVE_SET = ("archive_pages", "archive_log", "archive_files")
 
 __all__ = ["DistributedWalManager", "LogRecord"]
 
@@ -71,7 +77,9 @@ class _Log:
         self.buffer = []
 
     def stable_records(self) -> List[Tuple]:
-        return self.stable.read_file(self.name)
+        # read_log: replay trusts only the checksum-clean prefix (the
+        # torn-tail stop rule); interior rot raises RecordIntegrityError.
+        return self.stable.read_log(self.name)
 
 
 class DistributedWalManager(RecoveryManager):
@@ -368,6 +376,16 @@ class DistributedWalManager(RecoveryManager):
             archived.extend(log.stable_records())
         self.stable.truncate("archive_log", archived)
         self._fault_point("media.dump.log")
+        # Auxiliary files (the checkpoint record file) have no log to
+        # roll them forward from; snapshot them like the no-log managers.
+        log_names = {log.name for log in self._logs}
+        others = [
+            (name, self.stable.read_file(name))
+            for name in self.stable.files()
+            if name not in log_names and name not in _WAL_ARCHIVE_SET
+        ]
+        self.stable.truncate("archive_files", others)
+        self._fault_point("media.dump.files")
         return {"pages": len(snapshot), "log_records": len(archived)}
 
     def archive_append(self) -> None:
@@ -405,6 +423,15 @@ class DistributedWalManager(RecoveryManager):
         for page, data, seq in dump:
             self.stable.write_page(page, data, seq)
         self._fault_point("media.restore.pages")
+        # Restore the auxiliary-file snapshot (dumps may predate it).
+        if "archive_files" in self.stable.files():
+            log_names = {log.name for log in self._logs}
+            for name in self.stable.files():
+                if name not in log_names and name not in _WAL_ARCHIVE_SET:
+                    self.stable.truncate(name)
+            for name, records in self.stable.read_file("archive_files"):
+                self.stable.truncate(name, records)
+            self._fault_point("media.restore.files")
         # Replay the archive through the restart algorithm: stage the
         # records into the online logs and run recovery.
         for log in self._logs:
@@ -418,6 +445,82 @@ class DistributedWalManager(RecoveryManager):
         self.crash()
         self.recover()
         self._fault_point("media.restore.restart")
+
+    def repair_corruption(self) -> Dict[str, int]:
+        """Detect-and-repair (the WAL layout of the shared algorithm).
+
+        A corrupt archive is rebuilt whole from the intact online image
+        (re-dump).  A corrupt page is restored from the archive dump; a
+        corrupt online record (log or auxiliary file) is restored from
+        any archived copy that still matches its stored checksum
+        envelope — the archive log, being continuously appended, holds a
+        clean copy of every forced record.  Anything unprovable
+        escalates to the full dump-plus-log media recovery, which for
+        WAL loses nothing (the roll-forward advantage).
+        """
+        stats = repair_stats()
+        report = self.stable.scrub()
+        bad_pages, bad_archive, bad_online = split_corruption(
+            report, _WAL_ARCHIVE_SET
+        )
+        if not bad_pages and not bad_archive and not bad_online:
+            return stats
+        if bad_archive:
+            if bad_pages or bad_online:
+                raise RecoveryStateError(
+                    f"{self.name!r} manager: corruption in both the online "
+                    "image and the archive; no clean copy to repair from"
+                )
+            self.dump()
+            self._fault_point("scrub.repair.archive")
+            stats["archives_rebuilt"] = 1
+            return stats
+        files = self.stable.files()
+        if "archive_pages" not in files:
+            raise RecoveryStateError(
+                f"{self.name!r} manager: corruption with no archive dump to "
+                "repair from; call dump() first"
+            )
+        archived_pages = {
+            page: data
+            for page, data, _seq in self.stable.read_file("archive_pages")
+        }
+        candidates: List[Tuple] = list(self.stable.read_file("archive_log"))
+        if "archive_files" in files:
+            for _name, records in self.stable.read_file("archive_files"):
+                candidates.extend(records)
+        escalate = False
+        for page in bad_pages:
+            candidate = archived_pages.get(page)
+            if candidate is not None and self.stable.page_matches(page, candidate):
+                self.stable.restore_page(page, candidate)
+                self._fault_point("scrub.repair.page")
+                stats["pages_repaired"] += 1
+            else:
+                escalate = True
+        for name in bad_online:
+            for index in report["files"][name]:
+                copy = next(
+                    (
+                        record
+                        for record in candidates
+                        if self.stable.record_matches(name, index, record)
+                    ),
+                    None,
+                )
+                if copy is not None:
+                    self.stable.replace_record(name, index, copy)
+                    self._fault_point("scrub.repair.record")
+                    stats["records_repaired"] += 1
+                else:
+                    escalate = True
+        if escalate:
+            # An unforced or never-archived record rotted: fall back to
+            # the dump-plus-archive-log restore and roll forward.
+            self.recover_from_media_failure()
+            self._fault_point("scrub.repair.media")
+            stats["escalations"] = 1
+        return stats
 
     # -- inspection ----------------------------------------------------------------------
     def read_committed(self, page: int) -> bytes:

@@ -30,6 +30,7 @@ __all__ = [
     "CHECKPOINT",
     "COMMIT",
     "COMPONENT_FAIL",
+    "CORRUPT_INJECT",
     "DATA_READ",
     "AUX_READ",
     "DISK_SERVICE",
@@ -59,6 +60,9 @@ __all__ = [
     "REPLAY_WAVE",
     "RESTART_WAIT",
     "SCRATCH_WRITE",
+    "SCRUB_DETECT",
+    "SCRUB_PASS",
+    "SCRUB_REPAIR",
     "TXN",
     "WAL_WAIT",
     "WRITEBACK",
@@ -126,6 +130,9 @@ LINK_TRANSFER = "link.transfer"
 #: A mirrored disk's background rebuild copying the survivor onto the
 #: replacement side (track = the logical mirror name).
 MIRROR_REBUILD = "mirror.rebuild"
+#: One throttled scrubber patrol over a disk's cylinders (track = the
+#: logical disk name; args carry sectors read / detections / repairs).
+SCRUB_PASS = "scrub.pass"
 
 # -- instants -----------------------------------------------------------------
 #: A simulation-layer fault point was crossed (``machine.*`` hooks).
@@ -161,6 +168,15 @@ ARRIVAL_SPIKE = "arrival.spike"
 #: Early lock release: a transaction's page locks freed at commit-record
 #: append, before the force completes (redo-only WAL).
 LOCK_RELEASE = "lock.release"
+#: A stored sector rotted in place (silent corruption injected by a
+#: BIT_ROT fault; args: track, sector).
+CORRUPT_INJECT = "corrupt.inject"
+#: The scrubber found a rotted sector (args: track, sector, latency_ms —
+#: the detection latency since the rot was injected).
+SCRUB_DETECT = "scrub.detect"
+#: The scrubber healed a rotted sector (twin copy rewrite, or an
+#: escalation to archive media recovery when no clean copy survives).
+SCRUB_REPAIR = "scrub.repair"
 
 #: Every name the recorder accepts.
 CATALOGUE: FrozenSet[str] = frozenset(
@@ -206,6 +222,10 @@ CATALOGUE: FrozenSet[str] = frozenset(
         BACKPRESSURE_OFF,
         ARRIVAL_SPIKE,
         LOCK_RELEASE,
+        SCRUB_PASS,
+        CORRUPT_INJECT,
+        SCRUB_DETECT,
+        SCRUB_REPAIR,
     }
 )
 

@@ -23,6 +23,9 @@ class ScriptedFaults:
     def drop_message(self, target=None):
         return self._drops.pop(0) if self._drops else False
 
+    def bit_rot(self, target=None):
+        return False
+
 
 def one_write(disk):
     return disk.write([DiskAddress.from_linear(0, IBM_3350)], tag="test")

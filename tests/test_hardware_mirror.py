@@ -138,8 +138,79 @@ class TestRebuild:
         assert counters["mirror_rebuilds"] == 1
         assert counters["mirror_lost_requests"] == 0
         assert sorted(counters) == [
+            "mirror_corrupt_masked",
             "mirror_fallback_reads",
             "mirror_lost_requests",
             "mirror_rebuilds",
             "mirror_rebuilt_pages",
         ]
+
+
+class _AlwaysTear:
+    """Duck-typed injector: every write tears, nothing rots."""
+
+    def torn_write(self, target=None):
+        return True
+
+    def bit_rot(self, target=None):
+        return False
+
+
+class TestTornWrites:
+    def test_one_torn_side_masked_by_twin(self):
+        env, mirror = make_mirror()
+        mirror.faults = _AlwaysTear()
+        # Heal one side: only the other draws the tearing injector.
+        mirror.sides[0].faults = None
+        request = run_request(env, mirror, "write", ADDR)
+        assert request.error is None
+        assert not request.torn  # one intact copy makes the write durable
+        assert mirror.torn_writes.count == 0
+
+    def test_every_surviving_copy_tore(self):
+        env, mirror = make_mirror()
+        mirror.faults = _AlwaysTear()
+        request = run_request(env, mirror, "write", ADDR)
+        # Both physical writes landed but tore: the logical write is torn
+        # too, and the mirror says so instead of claiming durability.
+        assert request.error is None
+        assert request.torn
+        assert not request.ok
+        assert mirror.torn_writes.count == 1
+        assert all(side.torn_writes.count == 1 for side in mirror.sides)
+
+    def test_degraded_mirror_torn_survivor_is_torn(self):
+        env, mirror = make_mirror()
+        mirror.faults = _AlwaysTear()
+        mirror.fail(side=0)
+        request = run_request(env, mirror, "write", ADDR)
+        assert request.error is None
+        assert request.torn
+        assert mirror.torn_writes.count == 1
+
+
+class TestCorruptReads:
+    def _rot(self, mirror, side):
+        linear = ADDR[0].linear(mirror.params)
+        mirror.sides[side].corrupt_sectors[linear] = 0.0
+
+    def test_one_rotted_side_masked_by_twin(self):
+        env, mirror = make_mirror()
+        self._rot(mirror, 0)
+        request = run_request(env, mirror, "read", ADDR)
+        assert request.error is None
+        assert not request.corrupt
+        assert mirror.corrupt_masked.count == 1
+        assert mirror.fallback_reads.count == 1  # served off the twin
+
+    def test_all_sides_rotted_surfaces_corruption(self):
+        env, mirror = make_mirror()
+        self._rot(mirror, 0)
+        self._rot(mirror, 1)
+        request = run_request(env, mirror, "read", ADDR)
+        # No clean copy anywhere: the logical read reports corruption
+        # rather than silently returning rotted bits.
+        assert request.error is None
+        assert request.corrupt
+        assert not request.ok
+        assert mirror.corrupt_masked.count == 2

@@ -1,0 +1,143 @@
+"""Unit tests for the ``repro.integrity`` primitives.
+
+Checksums, the canonical byte form, the torn-tail stop rule, and the
+deterministic tamper helpers — the detection half of docs/INTEGRITY.md.
+"""
+
+from typing import NamedTuple
+
+import pytest
+
+from repro.integrity import (
+    IntegrityError,
+    PageIntegrityError,
+    RecordIntegrityError,
+    canonical_bytes,
+    page_checksum,
+    record_checksum,
+    split_torn_tail,
+    tamper_bytes,
+    tamper_record,
+)
+
+
+class TestCanonicalBytes:
+    def test_scalars_round_trip_distinctly(self):
+        values = [None, True, False, 0, 1, -7, 1.0, 0.5, "", "a", b"", b"a"]
+        encoded = [canonical_bytes(v) for v in values]
+        assert len(set(encoded)) == len(values)
+
+    def test_type_tagged_across_equal_values(self):
+        # 1 == 1.0 == True in Python; their byte forms must differ.
+        assert canonical_bytes(1) != canonical_bytes(1.0)
+        assert canonical_bytes(1) != canonical_bytes(True)
+        assert canonical_bytes(0) != canonical_bytes(False)
+
+    def test_nesting_and_sequences(self):
+        assert canonical_bytes((1, "x")) == canonical_bytes([1, "x"])
+        assert canonical_bytes(((1,), 2)) != canonical_bytes((1, (2,)))
+        assert canonical_bytes(()) == b"()"
+
+    def test_string_length_prefix_prevents_ambiguity(self):
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes({"a": 1})
+
+    def test_deterministic(self):
+        record = (1, "op", (2.5, None, b"\x00\xff"), True)
+        assert canonical_bytes(record) == canonical_bytes(record)
+
+
+class TestChecksums:
+    def test_page_checksum_detects_a_flip(self):
+        data = b"page image bytes"
+        assert page_checksum(data) != page_checksum(tamper_bytes(data))
+
+    def test_record_checksum_detects_a_tamper(self):
+        record = (7, "write", 3, b"abc")
+        assert record_checksum(record) != record_checksum(tamper_record(record))
+
+    def test_checksums_fit_uint32(self):
+        for value in (b"", b"x" * 1000):
+            assert 0 <= page_checksum(value) < 2**32
+
+
+class TestSplitTornTail:
+    def test_clean_log(self):
+        assert split_torn_tail([True, True, True]) == (3, None)
+
+    def test_empty_log(self):
+        assert split_torn_tail([]) == (0, None)
+
+    def test_corrupt_suffix_is_a_tear(self):
+        assert split_torn_tail([True, True, False]) == (2, None)
+        assert split_torn_tail([True, False, False]) == (1, None)
+        assert split_torn_tail([False, False]) == (0, None)
+
+    def test_interior_corruption_is_rot(self):
+        keep, interior = split_torn_tail([True, False, True])
+        assert keep == 3
+        assert interior == 1
+
+    def test_interior_wins_over_tail(self):
+        # Rot at 0, clean at 1, tear at 2-3: the prefix of length 2 still
+        # contains the rot, which must surface before any truncation.
+        keep, interior = split_torn_tail([False, True, False, False])
+        assert keep == 2
+        assert interior == 0
+
+
+class TestTamper:
+    def test_tamper_bytes_changes_exactly_one_byte(self):
+        data = b"abcdef"
+        tampered = tamper_bytes(data, 2)
+        assert len(tampered) == len(data)
+        assert sum(a != b for a, b in zip(data, tampered)) == 1
+
+    def test_tamper_bytes_empty_never_noop(self):
+        assert tamper_bytes(b"") != b""
+
+    def test_tamper_bytes_position_wraps(self):
+        assert tamper_bytes(b"ab", 5) == tamper_bytes(b"ab", 1)
+
+    def test_tamper_record_keeps_tuple_shape(self):
+        record = (1, "op", 2.0)
+        tampered = tamper_record(record)
+        assert isinstance(tampered, tuple)
+        assert len(tampered) == len(record)
+        assert tampered != record
+
+    def test_tamper_record_namedtuple_keeps_type(self):
+        class Rec(NamedTuple):
+            tid: int
+            kind: str
+
+        tampered = tamper_record(Rec(3, "commit"))
+        assert isinstance(tampered, Rec)
+        assert tampered != Rec(3, "commit")
+
+    def test_tamper_record_scalars_change(self):
+        for value in (0, 1, True, False, 1.5, "abc", "", b"xy", None):
+            assert tamper_record(value) != value
+
+    def test_tamper_is_deterministic(self):
+        record = (1, ["a", "b"], None)
+        assert tamper_record(record) == tamper_record(record)
+
+
+class TestErrorTypes:
+    def test_hierarchy(self):
+        assert issubclass(PageIntegrityError, IntegrityError)
+        assert issubclass(RecordIntegrityError, IntegrityError)
+
+    def test_page_error_carries_location(self):
+        error = PageIntegrityError(42)
+        assert error.page == 42
+        assert "42" in str(error)
+
+    def test_record_error_carries_location(self):
+        error = RecordIntegrityError("log", 7)
+        assert (error.file, error.index) == ("log", 7)
+        assert "log[7]" in str(error)

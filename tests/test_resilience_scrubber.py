@@ -1,0 +1,161 @@
+"""Unit tests for the simulation-side background scrubber patrol."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.hardware.params import IBM_3350
+from repro.machine.config import MachineConfig
+from repro.machine.machine import DatabaseMachine
+from repro.registry import survive_factory
+from repro.resilience import Scrubber
+
+#: A tiny drive keeps one patrol pass within a few simulated seconds.
+TINY = IBM_3350.with_overrides(cylinders=6)
+
+
+def make_machine(faults=None, **over):
+    overrides = {
+        "seed": 11,
+        "parallel_data_disks": True,
+        "mirrored_data_disks": True,
+        "scrub_enabled": True,
+        "scrub_io_share": 1.0,
+        "scrub_interval_ms": 5.0,
+        "disk": TINY,
+        "db_pages": 500,
+        "reserved_cylinders": 1,
+    }
+    overrides.update(over)
+    config = MachineConfig().with_overrides(**overrides)
+    return DatabaseMachine(config, survive_factory("wal")(), faults=faults)
+
+
+def seed_rot(machine, side_index=0, sectors=(3, 40, 200)):
+    side = machine.data_disks[0].sides[side_index]
+    for linear in sectors:
+        side.corrupt_sectors[linear] = machine.env.now
+        side.rotted_sectors.increment()
+    return side
+
+
+class TestPatrol:
+    def test_attaches_to_machine(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        assert machine.scrubber is scrubber
+
+    def test_idle_patrol_completes_passes(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        machine.env.run(until=5_000.0)
+        assert scrubber.passes.count >= 1
+        assert scrubber.sectors_read.count > 0
+
+    def test_clean_disks_no_detections(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        machine.env.run(until=5_000.0)
+        assert scrubber.sectors_detected.count == 0
+        assert scrubber.sectors_repaired.count == 0
+        assert scrubber.detections == []
+
+    def test_detects_and_repairs_seeded_rot(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        side = seed_rot(machine)
+        machine.env.run(until=5_000.0)
+        assert scrubber.sectors_detected.count == 3
+        assert scrubber.sectors_repaired.count == 3
+        assert side.corrupt_sectors == {}  # the repair writes healed them
+        assert scrubber.escalations.count == 0  # the twin was clean
+
+    def test_detection_records_carry_latency(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        seed_rot(machine, sectors=(7,))
+        machine.env.run(until=5_000.0)
+        (record,) = scrubber.detections
+        assert record["sector"] == 7
+        assert record["latency_ms"] >= 0.0
+        assert scrubber.detection_latencies() == [record["latency_ms"]]
+
+    def test_both_sides_rotted_escalates(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        seed_rot(machine, side_index=0, sectors=(9,))
+        seed_rot(machine, side_index=1, sectors=(9,))
+        machine.env.run(until=5_000.0)
+        # No clean twin for sector 9: repaired from the archive medium.
+        assert scrubber.escalations.count >= 1
+        assert scrubber.sectors_repaired.count == 2
+        for side in machine.data_disks[0].sides:
+            assert side.corrupt_sectors == {}
+
+    def test_counters_shape(self):
+        machine = make_machine()
+        scrubber = Scrubber(machine)
+        machine.env.run(until=2_000.0)
+        assert sorted(scrubber.extra_counters()) == [
+            "scrub_detections",
+            "scrub_escalations",
+            "scrub_passes",
+            "scrub_repairs",
+            "scrub_sectors_read",
+        ]
+
+    def test_io_share_throttles_patrol(self):
+        rates = {}
+        for share in (1.0, 0.25):
+            machine = make_machine(scrub_io_share=share, scrub_interval_ms=0.0)
+            scrubber = Scrubber(machine)
+            machine.env.run(until=4_000.0)
+            rates[share] = scrubber.sectors_read.count
+        assert rates[0.25] < rates[1.0]
+
+    def test_deterministic_patrol(self):
+        counts = []
+        for _ in range(2):
+            machine = make_machine()
+            scrubber = Scrubber(machine)
+            seed_rot(machine)
+            machine.env.run(until=5_000.0)
+            counts.append(
+                (scrubber.extra_counters(), scrubber.detection_latencies())
+            )
+        assert counts[0] == counts[1]
+
+
+class TestMachineIntegration:
+    def test_machine_folds_scrub_counters(self):
+        from repro.sim.rng import RandomStreams
+        from repro.workload.generator import WorkloadConfig, generate_transactions
+
+        machine = make_machine()
+        Scrubber(machine)
+        transactions = generate_transactions(
+            WorkloadConfig(n_transactions=2, max_pages=10),
+            machine.config.db_pages,
+            RandomStreams(1).stream("workload"),
+        )
+        result = machine.run(transactions)
+        assert "scrub_passes" in result.counters
+
+    def test_rot_injection_is_deterministic(self):
+        totals = []
+        for _ in range(2):
+            injector = FaultInjector(
+                FaultPlan.of(
+                    FaultSpec(FaultKind.BIT_ROT, probability=0.1), seed=3
+                )
+            )
+            machine = make_machine(faults=injector)
+            injector.arm(machine)
+            Scrubber(machine)
+            machine.env.run(until=2_000.0)
+            totals.append(
+                sum(
+                    side.rotted_sectors.count
+                    for disk in machine.data_disks
+                    for side in disk.sides
+                )
+            )
+        assert totals[0] == totals[1]

@@ -1,0 +1,126 @@
+"""Garbled bytes surface as typed integrity failures, not anonymous crashes.
+
+Satellite of docs/INTEGRITY.md: :class:`RecordCodecError` is an
+:class:`~repro.integrity.IntegrityError`, the codec raises it on
+truncated or garbled input, and every decode call site above it (heap
+tables, the B+tree, the index RID codec) wraps it into a *located*
+:class:`~repro.integrity.RecordIntegrityError`.
+"""
+
+import pytest
+
+from repro.integrity import IntegrityError, RecordIntegrityError
+from repro.storage import Database, ShadowPageTableManager
+from repro.storage.btree import BTree
+from repro.storage.indexed import _decode_rid
+from repro.storage.records import RecordCodecError, decode_record, encode_record
+
+
+class TestCodecErrors:
+    def test_codec_error_is_integrity_error(self):
+        assert issubclass(RecordCodecError, IntegrityError)
+
+    def test_round_trip(self):
+        row = (1, "name", 2.5, None, True, b"\x00\xff", 2**70)
+        assert decode_record(encode_record(row)) == row
+
+    def test_truncated_bytes(self):
+        raw = encode_record((1, "hello", 2.5))
+        for cut in (1, len(raw) // 2, len(raw) - 1):
+            with pytest.raises(RecordCodecError):
+                decode_record(raw[:cut])
+
+    def test_empty_bytes(self):
+        with pytest.raises(RecordCodecError):
+            decode_record(b"")
+
+    def test_unknown_tag(self):
+        raw = bytearray(encode_record((1,)))
+        raw[2:3] = b"Z"  # clobber the first field's type tag
+        with pytest.raises(RecordCodecError):
+            decode_record(bytes(raw))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(RecordCodecError):
+            decode_record(encode_record((1,)) + b"junk")
+
+    def test_garbled_bigint_payload(self):
+        raw = bytearray(encode_record((2**70,)))
+        raw[-1:] = b"x"  # non-digit inside the decimal payload
+        with pytest.raises(RecordCodecError):
+            decode_record(bytes(raw))
+
+    def test_garbled_utf8_payload(self):
+        raw = bytearray(encode_record(("hi",)))
+        raw[-2:] = b"\xff\xfe"  # invalid UTF-8 in the string payload
+        with pytest.raises(RecordCodecError):
+            decode_record(bytes(raw))
+
+    def test_unsupported_field_type(self):
+        with pytest.raises(RecordCodecError):
+            encode_record(({"a": 1},))
+
+
+def _garble_committed(manager, key):
+    """Flip the last byte of a committed page image, in place.
+
+    Slotted pages pack record bytes from the page end, so the flip lands
+    inside the stored row's encoding without touching the slot directory.
+    The write goes through the manager (envelopes track it), modeling
+    corruption the checksum layer missed — a pre-envelope garble.
+    """
+    raw = manager.read_committed(key)
+    garbled = raw[:-1] + bytes([raw[-1] ^ 0xFF])
+    tid = manager.begin()
+    manager.write(tid, key, garbled)
+    manager.commit(tid)
+
+
+class TestHeapTableDecode:
+    def test_garbled_row_surfaces_located_error(self):
+        manager = ShadowPageTableManager()
+        db = Database(manager)
+        table = db.create_table("t")
+        tid = manager.begin()
+        rid = table.insert(tid, (1, "row"))
+        manager.commit(tid)
+        # Garble the stored row's payload inside its slotted page.
+        _garble_committed(manager, table.heap._page_key(rid.page_no))
+        with pytest.raises(RecordIntegrityError) as excinfo:
+            table.fetch_row(None, rid)
+        assert "table:t" in excinfo.value.file
+
+    def test_decode_row_wraps_codec_error(self):
+        manager = ShadowPageTableManager()
+        db = Database(manager)
+        table = db.create_table("t")
+        tid = manager.begin()
+        rid = table.insert(tid, (1, "row"))
+        manager.commit(tid)
+        with pytest.raises(RecordIntegrityError) as excinfo:
+            table._decode_row(rid, b"\xff\xff garbage")
+        assert f"table:t" in excinfo.value.file
+        assert excinfo.value.index == rid.slot
+
+
+class TestBTreeDecode:
+    def test_garbled_meta_surfaces_located_error(self):
+        manager = ShadowPageTableManager()
+        tree = BTree(manager, file_id=7)
+        tid = manager.begin()
+        tree.insert(tid, b"k", b"v")
+        manager.commit(tid)
+        # Clobber the tree's meta page through the manager it uses.
+        tid = manager.begin()
+        manager.write(tid, tree._meta_key(), b"\x01\x02not a record")
+        manager.commit(tid)
+        with pytest.raises(RecordIntegrityError) as excinfo:
+            tree.search(None, b"k")
+        assert "btree:7" in excinfo.value.file
+
+
+class TestIndexRidDecode:
+    def test_garbled_rid_bytes_wrap(self):
+        with pytest.raises(RecordIntegrityError) as excinfo:
+            _decode_rid(b"\x00garbage")
+        assert excinfo.value.file == "index:rid"
